@@ -1,0 +1,85 @@
+//! Data-path micro-benchmarks: ECMP selection, bucket-table dispatch (the
+//! per-packet redirector work the paper eBPF-accelerates), Nagle
+//! aggregation, session tables and tunnel encapsulation.
+
+use canal_gateway::redirector::BucketTable;
+use canal_gateway::tunnel::{SessionAggregator, TunnelConfig};
+use canal_net::nagle::NagleBuffer;
+use canal_net::{bucket_of, ecmp_select, Endpoint, FiveTuple, Packet, SessionTable, VpcAddr, VpcId};
+use canal_sim::{SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tuple(sport: u16) -> FiveTuple {
+    FiveTuple::tcp(
+        Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+        Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 9, 9), 443),
+    )
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let t = tuple(12_345);
+    c.bench_function("hash/ecmp_select", |b| {
+        b.iter(|| ecmp_select(black_box(&t), 16))
+    });
+    c.bench_function("hash/bucket_of", |b| {
+        b.iter(|| bucket_of(black_box(&t), 1024))
+    });
+}
+
+fn bench_redirector(c: &mut Criterion) {
+    let mut table = BucketTable::new(1024, &[0, 1, 2, 3], 4);
+    table.replica_going_offline(1, 4); // chains of length 2 in a quarter
+    let t = tuple(999);
+    c.bench_function("redirector/dispatch_syn", |b| {
+        b.iter(|| table.dispatch(black_box(&t), true, |_, _| false))
+    });
+    c.bench_function("redirector/dispatch_established_chain_walk", |b| {
+        b.iter(|| table.dispatch(black_box(&t), false, |r, _| r == 1))
+    });
+}
+
+fn bench_nagle(c: &mut Criterion) {
+    c.bench_function("nagle/10k_small_writes", |b| {
+        b.iter(|| {
+            let mut buf = NagleBuffer::with_defaults();
+            for i in 0..10_000u64 {
+                buf.write(SimTime::from_micros(i), 64);
+            }
+            buf.flush(SimTime::from_secs(1));
+            black_box(buf.segments().len())
+        })
+    });
+}
+
+fn bench_session_table(c: &mut Criterion) {
+    c.bench_function("session_table/establish_touch_close", |b| {
+        let mut st = SessionTable::new(1 << 20, SimDuration::from_secs(300));
+        let mut sport = 0u16;
+        b.iter(|| {
+            sport = sport.wrapping_add(1);
+            let k = tuple(sport);
+            let now = SimTime::from_micros(sport as u64);
+            st.establish(k, now).unwrap();
+            st.touch(&k, now);
+            st.close(&k, now);
+        })
+    });
+}
+
+fn bench_tunnel(c: &mut Criterion) {
+    let mut agg = SessionAggregator::new(TunnelConfig::for_cores(4), 0x0A63_0002, 77);
+    let pkt = Packet::data(tuple(5_000), vec![0u8; 1024]);
+    c.bench_function("tunnel/encapsulate_1KiB", |b| {
+        b.iter(|| black_box(agg.encapsulate(&pkt)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_redirector,
+    bench_nagle,
+    bench_session_table,
+    bench_tunnel
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! One module per experiment group; every public function regenerates one
+//! paper table or figure (DESIGN.md §3 maps ids to modules).
+
+pub mod ablations;
+pub mod cloud;
+pub mod control;
+pub mod costs;
+pub mod health;
+pub mod micro;
+pub mod motivation;
+pub mod offload;
+pub mod perf;
+pub mod resource;

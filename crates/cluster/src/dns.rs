@@ -1,0 +1,153 @@
+//! AZ-aware DNS resolution (§4.2, "Hierarchical failure recovery").
+//!
+//! The paper customizes DNS so requests resolve to *available backends in
+//! the client's AZ* for latency, spilling to other AZs only when every local
+//! backend is down. [`DnsView`] implements exactly that policy over a
+//! name → [(az, address, healthy)] record set.
+
+use canal_net::{AzId, VpcAddr};
+use std::collections::BTreeMap;
+
+/// One A-record target with health status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsTarget {
+    /// AZ where the backend runs.
+    pub az: AzId,
+    /// Backend address.
+    pub addr: VpcAddr,
+    /// Health as seen by the control plane.
+    pub healthy: bool,
+}
+
+/// A resolver view: names to candidate backends.
+#[derive(Debug, Clone, Default)]
+pub struct DnsView {
+    records: BTreeMap<String, Vec<DnsTarget>>,
+}
+
+impl DnsView {
+    /// Empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a backend for a name.
+    pub fn add(&mut self, name: &str, az: AzId, addr: VpcAddr) {
+        self.records.entry(name.to_string()).or_default().push(DnsTarget {
+            az,
+            addr,
+            healthy: true,
+        });
+    }
+
+    /// Update a backend's health. Returns whether the target was found.
+    pub fn set_health(&mut self, name: &str, addr: VpcAddr, healthy: bool) -> bool {
+        if let Some(targets) = self.records.get_mut(name) {
+            for t in targets.iter_mut() {
+                if t.addr == addr {
+                    t.healthy = healthy;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// All registered targets for a name.
+    pub fn targets(&self, name: &str) -> &[DnsTarget] {
+        self.records.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolve with AZ preference: healthy targets in `client_az` first;
+    /// if none, healthy targets anywhere; if none at all, `None`.
+    pub fn resolve(&self, name: &str, client_az: AzId) -> Option<DnsTarget> {
+        let targets = self.records.get(name)?;
+        targets
+            .iter()
+            .find(|t| t.healthy && t.az == client_az)
+            .or_else(|| targets.iter().find(|t| t.healthy))
+            .copied()
+    }
+
+    /// Resolve the full healthy candidate list, local-AZ targets first —
+    /// what a client-side load balancer iterates over.
+    pub fn resolve_all(&self, name: &str, client_az: AzId) -> Vec<DnsTarget> {
+        let Some(targets) = self.records.get(name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<DnsTarget> = targets
+            .iter()
+            .filter(|t| t.healthy && t.az == client_az)
+            .copied()
+            .collect();
+        out.extend(targets.iter().filter(|t| t.healthy && t.az != client_az));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::VpcId;
+
+    fn addr(last: u8) -> VpcAddr {
+        VpcAddr::new(VpcId(0), 172, 16, 0, last)
+    }
+
+    fn two_az_view() -> DnsView {
+        let mut v = DnsView::new();
+        v.add("gw.mesh", AzId(0), addr(1));
+        v.add("gw.mesh", AzId(0), addr(2));
+        v.add("gw.mesh", AzId(1), addr(3));
+        v
+    }
+
+    #[test]
+    fn prefers_local_az() {
+        let v = two_az_view();
+        let t = v.resolve("gw.mesh", AzId(0)).unwrap();
+        assert_eq!(t.az, AzId(0));
+        let t1 = v.resolve("gw.mesh", AzId(1)).unwrap();
+        assert_eq!(t1.addr, addr(3));
+    }
+
+    #[test]
+    fn spills_to_other_az_only_when_local_down() {
+        let mut v = two_az_view();
+        v.set_health("gw.mesh", addr(1), false);
+        // One local backend still healthy: stay local.
+        assert_eq!(v.resolve("gw.mesh", AzId(0)).unwrap().addr, addr(2));
+        v.set_health("gw.mesh", addr(2), false);
+        // All local down: cross-AZ fallback.
+        assert_eq!(v.resolve("gw.mesh", AzId(0)).unwrap().addr, addr(3));
+        v.set_health("gw.mesh", addr(3), false);
+        assert!(v.resolve("gw.mesh", AzId(0)).is_none());
+    }
+
+    #[test]
+    fn recovery_restores_local_preference() {
+        let mut v = two_az_view();
+        v.set_health("gw.mesh", addr(1), false);
+        v.set_health("gw.mesh", addr(2), false);
+        assert_eq!(v.resolve("gw.mesh", AzId(0)).unwrap().az, AzId(1));
+        v.set_health("gw.mesh", addr(1), true);
+        assert_eq!(v.resolve("gw.mesh", AzId(0)).unwrap().addr, addr(1));
+    }
+
+    #[test]
+    fn resolve_all_orders_local_first() {
+        let v = two_az_view();
+        let all = v.resolve_all("gw.mesh", AzId(1));
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].az, AzId(1));
+        assert!(all[1..].iter().all(|t| t.az == AzId(0)));
+    }
+
+    #[test]
+    fn unknown_name_and_target() {
+        let mut v = two_az_view();
+        assert!(v.resolve("nope", AzId(0)).is_none());
+        assert!(v.resolve_all("nope", AzId(0)).is_empty());
+        assert!(!v.set_health("gw.mesh", addr(99), false));
+    }
+}

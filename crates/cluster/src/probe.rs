@@ -1,0 +1,228 @@
+//! Health-check probing with hysteresis.
+//!
+//! Every mesh proxy health-checks the app endpoints it may route to. The
+//! §6.1 experience section is entirely about how *many* of these probes a
+//! consolidated gateway generates; this module provides the per-target state
+//! machine (k consecutive failures → unhealthy, m consecutive successes →
+//! healthy) and a tracker that counts probes sent — the quantity Tables 6/7
+//! aggregate.
+
+use canal_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Health of a probed target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Passing probes.
+    Healthy,
+    /// Failing probes.
+    Unhealthy,
+}
+
+/// Hysteresis thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbePolicy {
+    /// Consecutive failures before marking unhealthy.
+    pub fail_threshold: u32,
+    /// Consecutive successes before marking healthy again.
+    pub rise_threshold: u32,
+    /// Probe period.
+    pub interval: SimDuration,
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy {
+            fail_threshold: 3,
+            rise_threshold: 2,
+            interval: SimDuration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TargetState {
+    state: HealthState,
+    consecutive_fails: u32,
+    consecutive_oks: u32,
+    last_probe: Option<SimTime>,
+    probes_sent: u64,
+}
+
+/// Tracks probe state for a set of targets keyed by `K`.
+#[derive(Debug)]
+pub struct ProbeTracker<K: Ord + Clone> {
+    policy: ProbePolicy,
+    targets: BTreeMap<K, TargetState>,
+    transitions: Vec<(SimTime, K, HealthState)>,
+}
+
+impl<K: Ord + Clone> ProbeTracker<K> {
+    /// New tracker with the given policy.
+    pub fn new(policy: ProbePolicy) -> Self {
+        ProbeTracker {
+            policy,
+            targets: BTreeMap::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Register a target (initially healthy).
+    pub fn add_target(&mut self, key: K) {
+        self.targets.entry(key).or_insert(TargetState {
+            state: HealthState::Healthy,
+            consecutive_fails: 0,
+            consecutive_oks: 0,
+            last_probe: None,
+            probes_sent: 0,
+        });
+    }
+
+    /// Remove a target.
+    pub fn remove_target(&mut self, key: &K) -> bool {
+        self.targets.remove(key).is_some()
+    }
+
+    /// Whether a probe is due for the target at `now`.
+    pub fn due(&self, key: &K, now: SimTime) -> bool {
+        match self.targets.get(key) {
+            Some(t) => t
+                .last_probe
+                .is_none_or(|last| now.since(last) >= self.policy.interval),
+            None => false,
+        }
+    }
+
+    /// Record one probe result. Returns the new state if it *changed*.
+    pub fn record_probe(&mut self, key: &K, now: SimTime, success: bool) -> Option<HealthState> {
+        let policy = self.policy;
+        let t = self.targets.get_mut(key)?;
+        t.last_probe = Some(now);
+        t.probes_sent += 1;
+        if success {
+            t.consecutive_oks += 1;
+            t.consecutive_fails = 0;
+        } else {
+            t.consecutive_fails += 1;
+            t.consecutive_oks = 0;
+        }
+        let new_state = match t.state {
+            HealthState::Healthy if t.consecutive_fails >= policy.fail_threshold => {
+                Some(HealthState::Unhealthy)
+            }
+            HealthState::Unhealthy if t.consecutive_oks >= policy.rise_threshold => {
+                Some(HealthState::Healthy)
+            }
+            _ => None,
+        };
+        if let Some(s) = new_state {
+            t.state = s;
+            self.transitions.push((now, key.clone(), s));
+        }
+        new_state
+    }
+
+    /// Current state of a target.
+    pub fn state(&self, key: &K) -> Option<HealthState> {
+        self.targets.get(key).map(|t| t.state)
+    }
+
+    /// Total probes sent across all targets.
+    pub fn total_probes(&self) -> u64 {
+        self.targets.values().map(|t| t.probes_sent).sum()
+    }
+
+    /// Number of registered targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Count of currently healthy targets.
+    pub fn healthy_count(&self) -> usize {
+        self.targets
+            .values()
+            .filter(|t| t.state == HealthState::Healthy)
+            .count()
+    }
+
+    /// Recorded state transitions `(when, target, new_state)`.
+    pub fn transitions(&self) -> &[(SimTime, K, HealthState)] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: fn(u64) -> SimTime = SimTime::from_secs;
+
+    fn tracker() -> ProbeTracker<u32> {
+        let mut t = ProbeTracker::new(ProbePolicy::default());
+        t.add_target(1);
+        t
+    }
+
+    #[test]
+    fn starts_healthy_and_needs_three_failures() {
+        let mut t = tracker();
+        assert_eq!(t.state(&1), Some(HealthState::Healthy));
+        assert_eq!(t.record_probe(&1, T(0), false), None);
+        assert_eq!(t.record_probe(&1, T(5), false), None);
+        assert_eq!(
+            t.record_probe(&1, T(10), false),
+            Some(HealthState::Unhealthy)
+        );
+        assert_eq!(t.state(&1), Some(HealthState::Unhealthy));
+        assert_eq!(t.transitions().len(), 1);
+    }
+
+    #[test]
+    fn recovery_needs_two_successes() {
+        let mut t = tracker();
+        for i in 0..3 {
+            t.record_probe(&1, T(i * 5), false);
+        }
+        assert_eq!(t.record_probe(&1, T(15), true), None);
+        assert_eq!(t.record_probe(&1, T(20), true), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn intermittent_failures_do_not_flap() {
+        let mut t = tracker();
+        // fail, fail, ok, fail, fail, ok ... never 3 consecutive.
+        for i in 0..10u64 {
+            let success = i % 3 == 2;
+            assert_eq!(t.record_probe(&1, T(i * 5), success), None);
+        }
+        assert_eq!(t.state(&1), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn due_respects_interval() {
+        let mut t = tracker();
+        assert!(t.due(&1, T(0)));
+        t.record_probe(&1, T(0), true);
+        assert!(!t.due(&1, T(3)));
+        assert!(t.due(&1, T(5)));
+        assert!(!t.due(&2, T(100)), "unknown target never due");
+    }
+
+    #[test]
+    fn probe_counting_across_targets() {
+        let mut t = ProbeTracker::new(ProbePolicy::default());
+        for k in 0..4u32 {
+            t.add_target(k);
+        }
+        for round in 0..10u64 {
+            for k in 0..4u32 {
+                t.record_probe(&k, T(round * 5), true);
+            }
+        }
+        assert_eq!(t.total_probes(), 40);
+        assert_eq!(t.target_count(), 4);
+        assert_eq!(t.healthy_count(), 4);
+        assert!(t.remove_target(&0));
+        assert_eq!(t.target_count(), 3);
+    }
+}

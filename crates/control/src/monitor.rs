@@ -1,0 +1,261 @@
+//! Multi-indicator monitoring and anomaly-triggered rapid intervention
+//! (§4.2 "Anomaly detection-triggered rapid intervention", §6.2).
+//!
+//! The monitor consumes the gateway's per-window [`canal_gateway::gateway::WaterLevel`]
+//! reports and classifies breaches:
+//!
+//! * RPS and water level rising together, history-consistent → **normal
+//!   growth** → scale (Reuse/New).
+//! * TCP sessions surging *without* a matching RPS rise → **attack
+//!   signature** (§6.2 Case #1) → lossy sandbox migration.
+//! * Slow unusual growth triggering repeated auto-scaling (Case #2) →
+//!   lossless migration after user confirmation.
+//! * Tenant cluster near 100% under inbound flood (Case #3) → throttle at
+//!   the gateway.
+
+use canal_gateway::gateway::{BackendId, WaterLevel};
+use canal_net::GlobalServiceId;
+use canal_sim::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Alert levels of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A backend's water level breached the threshold.
+    Backend(BackendId),
+    /// A metered service is running out of its purchased resources.
+    Service(GlobalServiceId),
+    /// The tenant's own cluster is saturating.
+    Tenant(canal_net::TenantId),
+}
+
+/// What the monitor believes is happening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Organic traffic increase.
+    NormalGrowth,
+    /// Session surge without RPS surge — attack signature.
+    SessionAttack,
+    /// Sustained unusual growth pattern (vs history).
+    UnusualGrowth,
+    /// Cannot determine.
+    Undetermined,
+}
+
+/// The §6.2 decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorDecision {
+    /// Scale the pinpointed service (precise scaling, §4.3).
+    Scale(GlobalServiceId),
+    /// Migrate to the sandbox, resetting sessions.
+    MigrateLossy(GlobalServiceId),
+    /// Migrate to the sandbox, draining existing sessions.
+    MigrateLossless(GlobalServiceId),
+    /// Throttle the service at the redirector.
+    Throttle(GlobalServiceId),
+    /// Keep watching.
+    Observe,
+}
+
+#[derive(Debug, Default, Clone)]
+struct BackendHistory {
+    utilization: VecDeque<f64>,
+    sessions: VecDeque<f64>,
+    rps: VecDeque<f64>,
+}
+
+const HISTORY: usize = 24;
+
+/// Water-level monitor with per-backend history.
+#[derive(Debug, Default)]
+pub struct WaterLevelMonitor {
+    history: BTreeMap<BackendId, BackendHistory>,
+    alerts: Vec<(SimTime, AlertKind)>,
+}
+
+impl WaterLevelMonitor {
+    /// Fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_bounded(q: &mut VecDeque<f64>, v: f64) {
+        q.push_back(v);
+        while q.len() > HISTORY {
+            q.pop_front();
+        }
+    }
+
+    /// Ingest one monitoring window. Returns decisions (one per alerting
+    /// backend). `threshold` is the CPU water-level alert line.
+    pub fn ingest(
+        &mut self,
+        now: SimTime,
+        levels: &[WaterLevel],
+        threshold: f64,
+    ) -> Vec<(BackendId, Classification, MonitorDecision)> {
+        let mut out = Vec::new();
+        for level in levels {
+            let h = self.history.entry(level.backend).or_default();
+            let total_rps: u64 = level.top_services.iter().map(|&(_, n)| n).sum();
+            let prev_rps = h.rps.back().copied().unwrap_or(0.0);
+            let prev_sessions = h.sessions.back().copied().unwrap_or(0.0);
+            // Baseline: the median of recorded history (robust to the spike
+            // itself, so a sustained surge keeps classifying as growth until
+            // history catches up — the paper keeps scaling while hot).
+            let baseline_rps = {
+                let mut v: Vec<f64> = h.rps.iter().copied().collect();
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    v[v.len() / 2]
+                }
+            };
+            Self::push_bounded(&mut h.utilization, level.utilization);
+            Self::push_bounded(&mut h.sessions, level.session_occupancy);
+            Self::push_bounded(&mut h.rps, total_rps as f64);
+
+            if level.utilization < threshold && level.session_occupancy < 0.8 {
+                continue;
+            }
+            self.alerts.push((now, AlertKind::Backend(level.backend)));
+            let top = level.top_services.first().map(|&(s, _)| s);
+
+            // Attack signature: session occupancy jumped while RPS did not
+            // (§6.2 Case #1: "#TCP sessions surged without a corresponding
+            // increase in RPS").
+            let session_jump = level.session_occupancy > prev_sessions + 0.3;
+            let rps_flat = total_rps as f64 <= prev_rps * 1.3 + 10.0;
+            let classification = if session_jump && rps_flat {
+                Classification::SessionAttack
+            } else if total_rps as f64 > baseline_rps * 1.5 + 10.0 {
+                Classification::NormalGrowth
+            } else if h.utilization.len() >= 4
+                && h.utilization.iter().rev().take(4).all(|&u| u >= threshold * 0.9)
+            {
+                Classification::UnusualGrowth
+            } else {
+                Classification::Undetermined
+            };
+
+            let decision = match (classification, top) {
+                (Classification::SessionAttack, Some(s)) => MonitorDecision::MigrateLossy(s),
+                (Classification::NormalGrowth, Some(s)) => MonitorDecision::Scale(s),
+                (Classification::UnusualGrowth, Some(s)) => MonitorDecision::MigrateLossless(s),
+                (Classification::Undetermined, Some(s)) => MonitorDecision::Throttle(s),
+                (_, None) => MonitorDecision::Observe,
+            };
+            out.push((level.backend, classification, decision));
+        }
+        out
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[(SimTime, AlertKind)] {
+        &self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{ServiceId, TenantId};
+
+    fn svc(i: u32) -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(i))
+    }
+
+    fn level(
+        backend: BackendId,
+        util: f64,
+        sessions: f64,
+        top: &[(GlobalServiceId, u64)],
+    ) -> WaterLevel {
+        WaterLevel {
+            backend,
+            utilization: util,
+            session_occupancy: sessions,
+            top_services: top.to_vec(),
+            alert: util > 0.7,
+        }
+    }
+
+    const T: fn(u64) -> SimTime = SimTime::from_secs;
+
+    #[test]
+    fn quiet_backend_produces_no_decision() {
+        let mut m = WaterLevelMonitor::new();
+        let out = m.ingest(T(0), &[level(1, 0.3, 0.1, &[(svc(1), 100)])], 0.7);
+        assert!(out.is_empty());
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn rps_surge_classifies_as_growth_and_scales() {
+        let mut m = WaterLevelMonitor::new();
+        m.ingest(T(0), &[level(1, 0.4, 0.1, &[(svc(1), 100)])], 0.7);
+        let out = m.ingest(T(60), &[level(1, 0.85, 0.15, &[(svc(1), 5000)])], 0.7);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, Classification::NormalGrowth);
+        assert_eq!(out[0].2, MonitorDecision::Scale(svc(1)));
+    }
+
+    #[test]
+    fn session_surge_without_rps_is_attack() {
+        // §6.2 Case #1: 80% of backend sessions saturated, RPS flat.
+        let mut m = WaterLevelMonitor::new();
+        m.ingest(T(0), &[level(1, 0.4, 0.2, &[(svc(7), 1000)])], 0.7);
+        let out = m.ingest(T(60), &[level(1, 0.75, 0.8, &[(svc(7), 1000)])], 0.7);
+        assert_eq!(out[0].1, Classification::SessionAttack);
+        assert_eq!(out[0].2, MonitorDecision::MigrateLossy(svc(7)));
+    }
+
+    #[test]
+    fn sustained_high_water_without_rps_change_goes_lossless() {
+        let mut m = WaterLevelMonitor::new();
+        // Slow creep: high utilization for 4+ windows, RPS flat.
+        for i in 0..5 {
+            m.ingest(
+                T(i * 60),
+                &[level(1, 0.72 + i as f64 * 0.01, 0.2, &[(svc(2), 1000)])],
+                0.7,
+            );
+        }
+        let out = m.ingest(T(360), &[level(1, 0.78, 0.2, &[(svc(2), 1005)])], 0.7);
+        assert_eq!(out[0].1, Classification::UnusualGrowth);
+        assert_eq!(out[0].2, MonitorDecision::MigrateLossless(svc(2)));
+    }
+
+    #[test]
+    fn session_alert_fires_even_below_cpu_threshold() {
+        let mut m = WaterLevelMonitor::new();
+        m.ingest(T(0), &[level(1, 0.2, 0.1, &[(svc(1), 500)])], 0.7);
+        // CPU fine (30%), sessions at 85% — must still alert.
+        let out = m.ingest(T(60), &[level(1, 0.3, 0.85, &[(svc(1), 520)])], 0.7);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, Classification::SessionAttack);
+    }
+
+    #[test]
+    fn alerts_are_recorded_per_backend() {
+        let mut m = WaterLevelMonitor::new();
+        m.ingest(
+            T(0),
+            &[
+                level(1, 0.9, 0.1, &[(svc(1), 100)]),
+                level(2, 0.1, 0.1, &[(svc(2), 100)]),
+            ],
+            0.7,
+        );
+        assert_eq!(m.alerts().len(), 1);
+        assert_eq!(m.alerts()[0].1, AlertKind::Backend(1));
+    }
+
+    #[test]
+    fn empty_top_services_just_observes() {
+        let mut m = WaterLevelMonitor::new();
+        let out = m.ingest(T(0), &[level(1, 0.95, 0.1, &[])], 0.7);
+        assert_eq!(out[0].2, MonitorDecision::Observe);
+    }
+}

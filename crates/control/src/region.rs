@@ -1,0 +1,374 @@
+//! Event-driven region simulation.
+//!
+//! Wires the whole control loop onto the discrete-event engine
+//! (`canal_sim::Simulation`): workload arrivals, periodic monitoring
+//! windows, anomaly decisions, and — crucially — scaling operations whose
+//! capacity only becomes effective at their modeled completion instant
+//! (`Reuse` P50 ≈ 55 s, `New` ≈ 17 min). That completion lag is why the
+//! paper pre-provisions `New`: between executing a scale and its finish,
+//! the hot backend keeps burning.
+//!
+//! Used by the `region_day` example and the event-driven variants of the
+//! cloud experiments.
+
+use crate::monitor::{MonitorDecision, WaterLevelMonitor};
+use crate::scaling::ScalingEngine;
+use canal_gateway::gateway::{Gateway, GatewayError};
+use canal_gateway::sandbox::MigrationReport;
+use canal_net::{AzId, Endpoint, FiveTuple, GlobalServiceId, VpcAddr, VpcId};
+use canal_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries};
+use canal_workload::rps::RpsProcess;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Events driving the region.
+#[derive(Debug, Clone)]
+pub enum RegionEvent {
+    /// Generate one second of arrivals for every service.
+    TrafficTick,
+    /// Read water levels, classify, decide.
+    MonitorTick,
+    /// A planned scaling operation finished; its capacity becomes real.
+    ScalingCompleted {
+        /// Index into the engine's ledger.
+        ledger_index: usize,
+    },
+    /// A sandbox migration finished.
+    MigrationCompleted {
+        /// The migrated service.
+        service: GlobalServiceId,
+    },
+}
+
+/// Per-run output.
+#[derive(Debug, Default)]
+pub struct RegionReport {
+    /// Hottest-backend utilization per monitor window.
+    pub hot_utilization: TimeSeries,
+    /// Total offered RPS per traffic tick.
+    pub offered_rps: TimeSeries,
+    /// Requests served / errored.
+    pub served: u64,
+    /// Gateway-side errors (throttle/unavailable/session exhaustion).
+    pub errors: u64,
+    /// Scaling operations `(executed_at, finished_at, is_reuse)`.
+    pub scalings: Vec<(SimTime, SimTime, bool)>,
+    /// Migrations performed.
+    pub migrations: Vec<MigrationReport>,
+}
+
+/// The region model: gateway + monitor + scaling engine + workloads.
+pub struct RegionSimulation {
+    /// The mesh gateway under test.
+    pub gateway: Gateway,
+    monitor: WaterLevelMonitor,
+    engine: ScalingEngine,
+    workloads: BTreeMap<GlobalServiceId, RpsProcess>,
+    rng: SimRng,
+    horizon: SimTime,
+    monitor_period: SimDuration,
+    /// Services with a scaling operation in flight (debounce: the paper's
+    /// "minimal scaling operations" — don't re-plan while one is pending).
+    pending_scalings: BTreeSet<GlobalServiceId>,
+    /// Traffic sampling divisor (1 = full scale; 100 = 1% of arrivals).
+    pub sample_divisor: u64,
+    sport: u16,
+    /// Collected output.
+    pub report: RegionReport,
+}
+
+impl RegionSimulation {
+    /// Build a region over an existing gateway; services must already be
+    /// registered on it.
+    pub fn new(gateway: Gateway, horizon: SimTime, seed: u64) -> Self {
+        RegionSimulation {
+            gateway,
+            monitor: WaterLevelMonitor::new(),
+            engine: ScalingEngine::new(),
+            workloads: BTreeMap::new(),
+            rng: SimRng::seed(seed),
+            horizon,
+            monitor_period: SimDuration::from_secs(5),
+            pending_scalings: BTreeSet::new(),
+            sample_divisor: 1,
+            sport: 1,
+            report: RegionReport::default(),
+        }
+    }
+
+    /// Attach a workload to a registered service.
+    pub fn add_workload(&mut self, service: GlobalServiceId, process: RpsProcess) {
+        self.workloads.insert(service, process);
+    }
+
+    /// Access the scaling engine (e.g. to tune latencies before running).
+    pub fn engine_mut(&mut self) -> &mut ScalingEngine {
+        &mut self.engine
+    }
+
+    /// Run to the horizon and return the report.
+    pub fn run(mut self) -> RegionReport {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, RegionEvent::TrafficTick);
+        sim.schedule(SimTime::ZERO + self.monitor_period, RegionEvent::MonitorTick);
+        sim.run(&mut self);
+        let (served, errors) = self.gateway.stats();
+        self.report.served = served;
+        self.report.errors = errors;
+        self.report.scalings = self
+            .engine
+            .ledger()
+            .iter()
+            .map(|r| {
+                (
+                    r.executed_at,
+                    r.finished_at,
+                    r.kind == crate::scaling::ScalingKind::Reuse,
+                )
+            })
+            .collect();
+        self.report
+    }
+
+    fn tuple(&mut self) -> FiveTuple {
+        self.sport = self.sport.wrapping_add(1).max(1);
+        let sport = self.sport;
+        FiveTuple::tcp(
+            Endpoint::new(
+                VpcAddr::new(VpcId(1), 10, 4, (sport >> 8) as u8, sport as u8),
+                sport,
+            ),
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 6, 6, 6), 8443),
+        )
+    }
+}
+
+impl Model for RegionSimulation {
+    type Event = RegionEvent;
+
+    fn handle(&mut self, now: SimTime, event: RegionEvent, sched: &mut Scheduler<RegionEvent>) {
+        match event {
+            RegionEvent::TrafficTick => {
+                let mut offered = 0.0;
+                let services: Vec<(GlobalServiceId, u64)> = self
+                    .workloads
+                    .iter()
+                    .map(|(&svc, process)| {
+                        let rate = process.rate_at(now);
+                        offered += rate;
+                        (svc, (rate / self.sample_divisor as f64) as u64)
+                    })
+                    .collect();
+                for (svc, n) in services {
+                    for i in 0..n {
+                        let at = now + SimDuration::from_millis(i * 1000 / n.max(1));
+                        let t = self.tuple();
+                        match self.gateway.handle_request(at, svc, &t, true) {
+                            Ok(_) | Err(GatewayError::Throttled) => {}
+                            Err(_) => {}
+                        }
+                    }
+                }
+                self.report.offered_rps.push(now, offered);
+                if now + SimDuration::from_secs(1) <= self.horizon {
+                    sched.after(SimDuration::from_secs(1), RegionEvent::TrafficTick);
+                }
+            }
+            RegionEvent::MonitorTick => {
+                let levels = self.gateway.water_levels(now);
+                let utils: Vec<(u32, f64)> =
+                    levels.iter().map(|w| (w.backend, w.utilization)).collect();
+                let hot = levels.iter().map(|w| w.utilization).fold(0.0f64, f64::max);
+                self.report.hot_utilization.push(now, hot);
+                let decisions = self.monitor.ingest(now, &levels, 0.70);
+                for (backend, _class, decision) in decisions {
+                    let az = self
+                        .gateway
+                        .placement()
+                        .az_of(backend)
+                        .unwrap_or(AzId(0));
+                    match decision {
+                        MonitorDecision::Scale(service) => {
+                            if !self.pending_scalings.insert(service) {
+                                continue; // one in flight already
+                            }
+                            let record = self.engine.plan(
+                                now,
+                                &mut self.gateway,
+                                service,
+                                az,
+                                &utils,
+                                &mut self.rng,
+                            );
+                            let idx = self.engine.ledger().len() - 1;
+                            sched.at(
+                                record.finished_at,
+                                RegionEvent::ScalingCompleted { ledger_index: idx },
+                            );
+                        }
+                        MonitorDecision::MigrateLossy(service) => {
+                            let sessions: usize = self
+                                .gateway
+                                .backends_of(service)
+                                .iter()
+                                .map(|&b| self.gateway.backend_sessions(b))
+                                .sum();
+                            let report = self.gateway.sandbox.migrate_lossy(now, service, sessions);
+                            sched.at(
+                                report.completed_at,
+                                RegionEvent::MigrationCompleted { service },
+                            );
+                            self.report.migrations.push(report);
+                        }
+                        MonitorDecision::MigrateLossless(service) => {
+                            let lifetimes: Vec<SimDuration> = (0..16)
+                                .map(|_| {
+                                    SimDuration::from_secs_f64(self.rng.lognormal(1200.0, 0.4))
+                                })
+                                .collect();
+                            let report =
+                                self.gateway.sandbox.migrate_lossless(now, service, &lifetimes);
+                            sched.at(
+                                report.completed_at,
+                                RegionEvent::MigrationCompleted { service },
+                            );
+                            self.report.migrations.push(report);
+                        }
+                        MonitorDecision::Throttle(service) => {
+                            // Cap the service at roughly its current rate.
+                            let rate = self
+                                .workloads
+                                .get(&service)
+                                .map(|p| p.rate_at(now) / self.sample_divisor as f64)
+                                .unwrap_or(1000.0);
+                            self.gateway.sandbox.throttle(service, rate, rate / 10.0);
+                        }
+                        MonitorDecision::Observe => {}
+                    }
+                }
+                if now + self.monitor_period <= self.horizon {
+                    sched.after(self.monitor_period, RegionEvent::MonitorTick);
+                }
+            }
+            RegionEvent::ScalingCompleted { ledger_index } => {
+                let record = self.engine.ledger()[ledger_index];
+                ScalingEngine::apply(&mut self.gateway, &record);
+                self.pending_scalings.remove(&record.service);
+            }
+            RegionEvent::MigrationCompleted { service } => {
+                // Fully cut over: release from the sandbox back to the pool.
+                self.gateway.sandbox.release(service);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_gateway::gateway::GatewayConfig;
+    use canal_net::{ServiceId, TenantId};
+
+    fn svc(i: u32) -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(i))
+    }
+
+    fn build_region(seed: u64, reuse_median_s: u64) -> RegionSimulation {
+        let cfg = GatewayConfig {
+            cpu_per_request: SimDuration::from_millis(8),
+            backends_per_az: 6,
+            sessions_per_replica: 4_000_000,
+            ..GatewayConfig::default()
+        };
+        let mut gw = Gateway::new(cfg);
+        let mut rng = SimRng::seed(seed);
+        gw.register_service(svc(1), &mut rng);
+        let mut region = RegionSimulation::new(gw, SimTime::from_secs(240), seed);
+        region.engine_mut().latencies.reuse_median = SimDuration::from_secs(reuse_median_s);
+        region.add_workload(
+            svc(1),
+            RpsProcess::Spike {
+                base: 100.0,
+                at: 60.0,
+                duration: 1_000.0,
+                factor: 24.0,
+            },
+        );
+        region
+    }
+
+    #[test]
+    fn capacity_arrives_only_at_completion() {
+        // With a 60s Reuse completion, the hot window must persist for
+        // ~60s after the spike before utilization falls.
+        let report = build_region(3, 60).run();
+        let spike = SimTime::from_secs(60);
+        let hot_at = report
+            .hot_utilization
+            .first_time(spike, |u| u > 0.7)
+            .expect("spike must trip the threshold");
+        let recovered_at = report
+            .hot_utilization
+            .first_time(hot_at, |u| u < 0.6)
+            .expect("must eventually recover");
+        let lag = recovered_at.since(hot_at).as_secs_f64();
+        assert!(lag >= 45.0, "capacity arrived too early: {lag}s");
+        assert!(!report.scalings.is_empty());
+        // Every applied scaling finished after it executed.
+        assert!(report.scalings.iter().all(|&(exec, fin, _)| fin > exec));
+    }
+
+    #[test]
+    fn fast_completion_recovers_faster_than_slow() {
+        let fast = build_region(3, 10).run();
+        let slow = build_region(3, 120).run();
+        let recover = |r: &RegionReport| {
+            let hot = r.hot_utilization.first_time(SimTime::from_secs(60), |u| u > 0.7)?;
+            r.hot_utilization.first_time(hot, |u| u < 0.6)
+        };
+        let f = recover(&fast).expect("fast recovers");
+        if let Some(s) = recover(&slow) {
+            assert!(f < s, "fast {f} vs slow {s}");
+        }
+        // (The slow run may not recover within the horizon at all — also
+        // an acceptable demonstration of the completion gap.)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build_region(9, 30).run();
+        let b = build_region(9, 30).run();
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.scalings.len(), b.scalings.len());
+        assert_eq!(
+            a.hot_utilization.points().len(),
+            b.hot_utilization.points().len()
+        );
+        for (x, y) in a
+            .hot_utilization
+            .points()
+            .iter()
+            .zip(b.hot_utilization.points())
+        {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quiet_region_never_scales() {
+        let cfg = GatewayConfig {
+            cpu_per_request: SimDuration::from_millis(2),
+            ..GatewayConfig::default()
+        };
+        let mut gw = Gateway::new(cfg);
+        let mut rng = SimRng::seed(4);
+        gw.register_service(svc(1), &mut rng);
+        let mut region = RegionSimulation::new(gw, SimTime::from_secs(120), 4);
+        region.add_workload(svc(1), RpsProcess::Constant { rps: 50.0 });
+        let report = region.run();
+        assert!(report.scalings.is_empty());
+        assert_eq!(report.errors, 0);
+        assert!(report.served > 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Precise scaling: the `Reuse` / `New` strategies (§4.3, Figs. 17/18,
+//! Table 4).
+//!
+//! After root-cause analysis names the hot service:
+//!
+//! * **Reuse** — extend the service onto an existing backend whose water
+//!   level is below the reuse threshold (<20%). Fast: a config push and a
+//!   bucket-table install, P50 ≈ 55 s end to end.
+//! * **New** — no backend has headroom: create one. Slow: VM creation,
+//!   image load, network setup, registration — P50 ≈ 17 min, which is why
+//!   the paper pre-provisions (`New` "executed in advance").
+
+use canal_gateway::gateway::{BackendId, Gateway};
+use canal_net::{AzId, GlobalServiceId};
+use canal_sim::{SimDuration, SimRng, SimTime};
+
+/// Which scaling strategy was used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingKind {
+    /// Extended the service to an existing low-water backend.
+    Reuse,
+    /// Created a new backend.
+    New,
+}
+
+/// Timeline of one scaling operation (the Table 4 rows).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRecord {
+    /// Strategy chosen.
+    pub kind: ScalingKind,
+    /// The service scaled.
+    pub service: GlobalServiceId,
+    /// Backend the service was extended onto / created.
+    pub backend: BackendId,
+    /// When the operation was issued.
+    pub executed_at: SimTime,
+    /// When the extra capacity was serving traffic.
+    pub finished_at: SimTime,
+}
+
+impl ScalingRecord {
+    /// Execute→finish duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finished_at.since(self.executed_at)
+    }
+}
+
+/// Completion-time models, calibrated to Fig. 17 / Table 4.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingLatencies {
+    /// Median `Reuse` completion (config push + redirector update).
+    pub reuse_median: SimDuration,
+    /// Lognormal sigma for `Reuse`.
+    pub reuse_sigma: f64,
+    /// Median `New` completion (VM create + image + network + registration).
+    pub new_median: SimDuration,
+    /// Lognormal sigma for `New`.
+    pub new_sigma: f64,
+}
+
+impl Default for ScalingLatencies {
+    fn default() -> Self {
+        ScalingLatencies {
+            reuse_median: SimDuration::from_secs(55),
+            reuse_sigma: 0.35,
+            new_median: SimDuration::from_secs(17 * 60),
+            new_sigma: 0.25,
+        }
+    }
+}
+
+impl ScalingLatencies {
+    /// Draw a `Reuse` completion time.
+    pub fn draw_reuse(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.lognormal(self.reuse_median.as_secs_f64(), self.reuse_sigma))
+    }
+
+    /// Draw a `New` completion time.
+    pub fn draw_new(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.lognormal(self.new_median.as_secs_f64(), self.new_sigma))
+    }
+}
+
+/// The scaling engine: applies the §4.3 strategy against a gateway.
+#[derive(Debug)]
+pub struct ScalingEngine {
+    /// A backend below this window utilization is reusable.
+    pub reuse_threshold: f64,
+    /// Completion-time models.
+    pub latencies: ScalingLatencies,
+    ledger: Vec<ScalingRecord>,
+}
+
+impl Default for ScalingEngine {
+    fn default() -> Self {
+        ScalingEngine {
+            reuse_threshold: 0.20,
+            latencies: ScalingLatencies::default(),
+            ledger: Vec::new(),
+        }
+    }
+}
+
+impl ScalingEngine {
+    /// Fresh engine with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plan a scaling operation without applying it: pick `Reuse` on a
+    /// low-water backend in `az` not already hosting the service, else
+    /// provision a `New` backend (the VM starts building immediately, but
+    /// the service is not extended onto it yet). The returned record's
+    /// `finished_at` is when capacity becomes effective — apply it then via
+    /// [`Self::apply`]. This is the event-driven path (the capacity gap of
+    /// Fig. 17 exists precisely because completion lags execution).
+    pub fn plan(
+        &mut self,
+        now: SimTime,
+        gateway: &mut Gateway,
+        service: GlobalServiceId,
+        az: AzId,
+        backend_utils: &[(BackendId, f64)],
+        rng: &mut SimRng,
+    ) -> ScalingRecord {
+        let hosted = gateway.backends_of(service);
+        let reusable = backend_utils
+            .iter()
+            .filter(|&&(b, util)| {
+                util < self.reuse_threshold
+                    && !hosted.contains(&b)
+                    && gateway.placement().az_of(b) == Some(az)
+                    && gateway.placement().backend_available(b)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(b, _)| b);
+
+        let record = match reusable {
+            Some(backend) => ScalingRecord {
+                kind: ScalingKind::Reuse,
+                service,
+                backend,
+                executed_at: now,
+                finished_at: now + self.latencies.draw_reuse(rng),
+            },
+            None => {
+                let backend = gateway.scale_new_backend(az);
+                ScalingRecord {
+                    kind: ScalingKind::New,
+                    service,
+                    backend,
+                    executed_at: now,
+                    finished_at: now + self.latencies.draw_new(rng),
+                }
+            }
+        };
+        self.ledger.push(record);
+        record
+    }
+
+    /// Make a planned operation's capacity effective: extend the service
+    /// onto the chosen backend. Idempotent.
+    pub fn apply(gateway: &mut Gateway, record: &ScalingRecord) {
+        gateway.extend_service(record.service, record.backend);
+    }
+
+    /// Scale `service` in `az` and apply the placement change immediately
+    /// (the synchronous convenience path; see [`Self::plan`] for the
+    /// event-driven one).
+    pub fn scale(
+        &mut self,
+        now: SimTime,
+        gateway: &mut Gateway,
+        service: GlobalServiceId,
+        az: AzId,
+        backend_utils: &[(BackendId, f64)],
+        rng: &mut SimRng,
+    ) -> ScalingRecord {
+        let record = self.plan(now, gateway, service, az, backend_utils, rng);
+        Self::apply(gateway, &record);
+        record
+    }
+
+    /// All scaling operations performed (the Fig. 18 ledger).
+    pub fn ledger(&self) -> &[ScalingRecord] {
+        &self.ledger
+    }
+
+    /// Count of operations by kind.
+    pub fn counts(&self) -> (usize, usize) {
+        let reuse = self
+            .ledger
+            .iter()
+            .filter(|r| r.kind == ScalingKind::Reuse)
+            .count();
+        (reuse, self.ledger.len() - reuse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_gateway::gateway::GatewayConfig;
+    use canal_net::{ServiceId, TenantId};
+
+    fn svc(i: u32) -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(i))
+    }
+
+    const T: fn(u64) -> SimTime = SimTime::from_secs;
+
+    fn setup() -> (Gateway, GlobalServiceId, SimRng) {
+        let mut gw = Gateway::new(GatewayConfig::default());
+        let mut rng = SimRng::seed(7);
+        let s = svc(1);
+        gw.register_service(s, &mut rng);
+        (gw, s, rng)
+    }
+
+    #[test]
+    fn reuse_preferred_when_headroom_exists() {
+        let (mut gw, s, mut rng) = setup();
+        let mut eng = ScalingEngine::new();
+        // Find an AZ0 backend not hosting the service, report it idle.
+        let hosted = gw.backends_of(s);
+        let utils: Vec<(BackendId, f64)> = gw
+            .backends()
+            .iter()
+            .map(|&(b, _)| (b, if hosted.contains(&b) { 0.9 } else { 0.05 }))
+            .collect();
+        let r = eng.scale(T(100), &mut gw, s, AzId(0), &utils, &mut rng);
+        assert_eq!(r.kind, ScalingKind::Reuse);
+        assert!(gw.backends_of(s).contains(&r.backend));
+        // Fig. 17 scale: around a minute, not tens of minutes.
+        assert!(r.duration() < SimDuration::from_secs(240), "{}", r.duration());
+    }
+
+    #[test]
+    fn new_when_all_backends_hot() {
+        let (mut gw, s, mut rng) = setup();
+        let mut eng = ScalingEngine::new();
+        let utils: Vec<(BackendId, f64)> = gw
+            .backends()
+            .iter()
+            .map(|&(b, _)| (b, 0.85))
+            .collect();
+        let before = gw.backends().len();
+        let r = eng.scale(T(100), &mut gw, s, AzId(0), &utils, &mut rng);
+        assert_eq!(r.kind, ScalingKind::New);
+        assert_eq!(gw.backends().len(), before + 1);
+        assert_eq!(gw.placement().az_of(r.backend), Some(AzId(0)));
+        // New takes many minutes.
+        assert!(r.duration() > SimDuration::from_secs(300), "{}", r.duration());
+    }
+
+    #[test]
+    fn reuse_respects_the_az() {
+        let (mut gw, s, mut rng) = setup();
+        let mut eng = ScalingEngine::new();
+        // All idle backends are in AZ1; scaling in AZ0 must go New.
+        let utils: Vec<(BackendId, f64)> = gw
+            .backends()
+            .iter()
+            .map(|&(b, az)| (b, if az == AzId(1) { 0.05 } else { 0.9 }))
+            .collect();
+        let r = eng.scale(T(0), &mut gw, s, AzId(0), &utils, &mut rng);
+        assert_eq!(r.kind, ScalingKind::New);
+    }
+
+    #[test]
+    fn completion_time_distributions_match_fig17() {
+        let lat = ScalingLatencies::default();
+        let mut rng = SimRng::seed(1);
+        let reuse: Vec<f64> = (0..2000).map(|_| lat.draw_reuse(&mut rng).as_secs_f64()).collect();
+        let news: Vec<f64> = (0..2000).map(|_| lat.draw_new(&mut rng).as_secs_f64()).collect();
+        let p50_reuse = canal_sim::stats::percentile(&reuse, 0.5);
+        let p50_new = canal_sim::stats::percentile(&news, 0.5);
+        assert!((45.0..65.0).contains(&p50_reuse), "{p50_reuse}");
+        assert!((15.0 * 60.0..19.0 * 60.0).contains(&p50_new), "{p50_new}");
+    }
+
+    #[test]
+    fn plan_defers_capacity_until_apply() {
+        let (mut gw, s, mut rng) = setup();
+        let mut eng = ScalingEngine::new();
+        let idle: Vec<(BackendId, f64)> = gw.backends().iter().map(|&(b, _)| (b, 0.01)).collect();
+        let before = gw.backends_of(s).len();
+        let record = eng.plan(T(5), &mut gw, s, AzId(0), &idle, &mut rng);
+        // Nothing serves from the new placement yet.
+        assert_eq!(gw.backends_of(s).len(), before);
+        assert!(record.finished_at > record.executed_at);
+        ScalingEngine::apply(&mut gw, &record);
+        assert_eq!(gw.backends_of(s).len(), before + 1);
+        // Re-applying is harmless.
+        ScalingEngine::apply(&mut gw, &record);
+        assert_eq!(gw.backends_of(s).len(), before + 1);
+    }
+
+    #[test]
+    fn ledger_records_operations() {
+        let (mut gw, s, mut rng) = setup();
+        let mut eng = ScalingEngine::new();
+        let idle: Vec<(BackendId, f64)> = gw.backends().iter().map(|&(b, _)| (b, 0.01)).collect();
+        let hot: Vec<(BackendId, f64)> = gw.backends().iter().map(|&(b, _)| (b, 0.99)).collect();
+        eng.scale(T(0), &mut gw, s, AzId(0), &idle, &mut rng);
+        eng.scale(T(10), &mut gw, svc(2), AzId(0), &hot, &mut rng);
+        let (reuse, new) = eng.counts();
+        assert_eq!((reuse, new), (1, 1));
+        assert_eq!(eng.ledger().len(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Hierarchical failure recovery (§4.2, Fig. 8).
+//!
+//! Three nested failure domains: replica ⊂ backend ⊂ AZ. A service placed
+//! on multiple backends in multiple AZs stays available while *any* of its
+//! backends has a live replica in a live AZ. [`PlacementView`] tracks
+//! domain failures and answers availability queries — the mechanism the
+//! Fig. 8 walkthrough and the DNS failover (see `canal_cluster::dns`)
+//! build on.
+
+use canal_net::{AzId, GlobalServiceId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a gateway backend (a group of replica VMs).
+pub type BackendKey = u32;
+
+/// A failure (or recovery) target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureDomain {
+    /// One replica VM of a backend.
+    Replica(BackendKey, usize),
+    /// A whole backend (all its replicas).
+    Backend(BackendKey),
+    /// A whole AZ (power outage scenario).
+    Az(AzId),
+}
+
+#[derive(Debug, Clone)]
+struct BackendState {
+    az: AzId,
+    replicas: usize,
+    failed_replicas: BTreeSet<usize>,
+    backend_failed: bool,
+}
+
+/// Placement plus failure state, with availability queries.
+#[derive(Debug, Default)]
+pub struct PlacementView {
+    backends: BTreeMap<BackendKey, BackendState>,
+    failed_azs: BTreeSet<AzId>,
+    placements: BTreeMap<GlobalServiceId, Vec<BackendKey>>,
+}
+
+impl PlacementView {
+    /// Empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a backend with its AZ and replica count.
+    pub fn add_backend(&mut self, key: BackendKey, az: AzId, replicas: usize) {
+        assert!(replicas > 0);
+        self.backends.insert(
+            key,
+            BackendState {
+                az,
+                replicas,
+                failed_replicas: BTreeSet::new(),
+                backend_failed: false,
+            },
+        );
+    }
+
+    /// Place a service's configuration on a backend (Fig. 8: a service's
+    /// config is installed on multiple backends across AZs).
+    pub fn place(&mut self, service: GlobalServiceId, backend: BackendKey) {
+        assert!(self.backends.contains_key(&backend), "unknown backend");
+        let list = self.placements.entry(service).or_default();
+        if !list.contains(&backend) {
+            list.push(backend);
+        }
+    }
+
+    /// The backends hosting a service.
+    pub fn backends_of(&self, service: GlobalServiceId) -> &[BackendKey] {
+        self.placements.get(&service).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mark a domain failed.
+    pub fn fail(&mut self, domain: FailureDomain) {
+        match domain {
+            FailureDomain::Replica(b, r) => {
+                if let Some(be) = self.backends.get_mut(&b) {
+                    if r < be.replicas {
+                        be.failed_replicas.insert(r);
+                    }
+                }
+            }
+            FailureDomain::Backend(b) => {
+                if let Some(be) = self.backends.get_mut(&b) {
+                    be.backend_failed = true;
+                }
+            }
+            FailureDomain::Az(az) => {
+                self.failed_azs.insert(az);
+            }
+        }
+    }
+
+    /// Mark a domain recovered.
+    pub fn recover(&mut self, domain: FailureDomain) {
+        match domain {
+            FailureDomain::Replica(b, r) => {
+                if let Some(be) = self.backends.get_mut(&b) {
+                    be.failed_replicas.remove(&r);
+                }
+            }
+            FailureDomain::Backend(b) => {
+                if let Some(be) = self.backends.get_mut(&b) {
+                    be.backend_failed = false;
+                    be.failed_replicas.clear();
+                }
+            }
+            FailureDomain::Az(az) => {
+                self.failed_azs.remove(&az);
+            }
+        }
+    }
+
+    /// Whether a backend can serve: its AZ is up, it isn't failed, and at
+    /// least one replica lives.
+    pub fn backend_available(&self, key: BackendKey) -> bool {
+        let Some(be) = self.backends.get(&key) else {
+            return false;
+        };
+        !self.failed_azs.contains(&be.az)
+            && !be.backend_failed
+            && be.failed_replicas.len() < be.replicas
+    }
+
+    /// Live replica indices of a backend (empty when unavailable).
+    pub fn live_replicas(&self, key: BackendKey) -> Vec<usize> {
+        let Some(be) = self.backends.get(&key) else {
+            return Vec::new();
+        };
+        if self.failed_azs.contains(&be.az) || be.backend_failed {
+            return Vec::new();
+        }
+        (0..be.replicas)
+            .filter(|r| !be.failed_replicas.contains(r))
+            .collect()
+    }
+
+    /// Whether a service has any available backend.
+    pub fn service_available(&self, service: GlobalServiceId) -> bool {
+        self.backends_of(service)
+            .iter()
+            .any(|&b| self.backend_available(b))
+    }
+
+    /// Whether a service has an available backend in a specific AZ.
+    pub fn service_available_in_az(&self, service: GlobalServiceId, az: AzId) -> bool {
+        self.backends_of(service)
+            .iter()
+            .any(|&b| self.backend_available(b) && self.backends[&b].az == az)
+    }
+
+    /// The AZ of a backend.
+    pub fn az_of(&self, key: BackendKey) -> Option<AzId> {
+        self.backends.get(&key).map(|b| b.az)
+    }
+
+    /// All registered backend keys.
+    pub fn backend_keys(&self) -> Vec<BackendKey> {
+        self.backends.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{ServiceId, TenantId};
+
+    fn svc_a() -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(0xA))
+    }
+    fn svc_b() -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(2), ServiceId(0xB))
+    }
+
+    /// The exact Fig. 8 topology: service A on Backend1/2 (AZ1) and
+    /// Backend3 (AZ2); service B includes Backend4.
+    fn fig8() -> PlacementView {
+        let mut v = PlacementView::new();
+        v.add_backend(1, AzId(1), 3);
+        v.add_backend(2, AzId(1), 3);
+        v.add_backend(3, AzId(2), 3);
+        v.add_backend(4, AzId(1), 3);
+        v.place(svc_a(), 1);
+        v.place(svc_a(), 2);
+        v.place(svc_a(), 3);
+        v.place(svc_b(), 2);
+        v.place(svc_b(), 4);
+        v
+    }
+
+    #[test]
+    fn replica_failure_does_not_take_backend_down() {
+        let mut v = fig8();
+        v.fail(FailureDomain::Replica(1, 0));
+        v.fail(FailureDomain::Replica(1, 1));
+        assert!(v.backend_available(1));
+        assert_eq!(v.live_replicas(1), vec![2]);
+        // Last replica gone: backend down.
+        v.fail(FailureDomain::Replica(1, 2));
+        assert!(!v.backend_available(1));
+        assert!(v.service_available(svc_a()), "backend2/3 still carry A");
+    }
+
+    #[test]
+    fn backend_failure_falls_back_within_az_then_cross_az() {
+        let mut v = fig8();
+        v.fail(FailureDomain::Backend(1));
+        assert!(v.service_available_in_az(svc_a(), AzId(1)), "backend2 holds");
+        v.fail(FailureDomain::Backend(2));
+        assert!(!v.service_available_in_az(svc_a(), AzId(1)));
+        assert!(v.service_available(svc_a()), "AZ2's backend3 holds");
+        assert!(v.service_available_in_az(svc_a(), AzId(2)));
+    }
+
+    #[test]
+    fn az_failure_is_survivable_with_cross_az_placement() {
+        let mut v = fig8();
+        v.fail(FailureDomain::Az(AzId(1)));
+        assert!(!v.backend_available(1));
+        assert!(!v.backend_available(2));
+        assert!(v.service_available(svc_a()), "cross-AZ replica saves A");
+        // Service B is AZ1-only: gone.
+        assert!(!v.service_available(svc_b()));
+        v.recover(FailureDomain::Az(AzId(1)));
+        assert!(v.service_available(svc_b()));
+    }
+
+    #[test]
+    fn shuffle_sharding_scenario_a_dies_b_survives() {
+        // "query of death" kills every backend of A; B's combination is not
+        // a subset, so B keeps Backend4.
+        let mut v = fig8();
+        for b in [1, 2, 3] {
+            v.fail(FailureDomain::Backend(b));
+        }
+        assert!(!v.service_available(svc_a()));
+        assert!(v.service_available(svc_b()));
+    }
+
+    #[test]
+    fn recovery_clears_replica_failures() {
+        let mut v = fig8();
+        v.fail(FailureDomain::Replica(1, 0));
+        v.fail(FailureDomain::Backend(1));
+        assert!(!v.backend_available(1));
+        v.recover(FailureDomain::Backend(1));
+        assert!(v.backend_available(1));
+        assert_eq!(v.live_replicas(1).len(), 3, "replica failures cleared too");
+    }
+
+    #[test]
+    fn unknown_entities_answer_safely() {
+        let v = fig8();
+        assert!(!v.backend_available(99));
+        assert!(v.live_replicas(99).is_empty());
+        let ghost = GlobalServiceId::compose(TenantId(9), ServiceId(9));
+        assert!(!v.service_available(ghost));
+        assert!(v.backends_of(ghost).is_empty());
+    }
+
+    #[test]
+    fn duplicate_placement_is_idempotent() {
+        let mut v = fig8();
+        v.place(svc_a(), 1);
+        assert_eq!(v.backends_of(svc_a()).len(), 3);
+    }
+}

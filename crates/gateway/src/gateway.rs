@@ -1,0 +1,628 @@
+//! The assembled mesh gateway.
+//!
+//! Glues the pieces together the way Fig. 6/Fig. 8 describe: services are
+//! shuffle-sharded onto backends across AZs; each backend is a group of
+//! replica VMs with bounded session tables; per-service bucket tables keep
+//! session consistency; a sandbox handles exceptions; per-window water
+//! levels and top-service RPS feed the control plane (root-cause analysis,
+//! precise scaling — `canal-control`).
+
+use crate::failure::{BackendKey, FailureDomain, PlacementView};
+use crate::redirector::{BucketTable, Redirector};
+use crate::sandbox::Sandbox;
+use crate::sharding::ShuffleShardPlanner;
+use canal_net::{FiveTuple, GlobalServiceId, SessionTable};
+use canal_sim::{CpuServer, SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifier of a gateway backend.
+pub type BackendId = BackendKey;
+
+/// Identifier of a replica within a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReplicaId {
+    /// Owning backend.
+    pub backend: BackendId,
+    /// Index within the backend.
+    pub index: usize,
+}
+
+/// Gateway deployment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Availability zones.
+    pub azs: usize,
+    /// Initial backends per AZ.
+    pub backends_per_az: usize,
+    /// Replica VMs per backend.
+    pub replicas_per_backend: usize,
+    /// Cores per replica VM.
+    pub cores_per_replica: usize,
+    /// Backends a service is placed on per AZ (shuffle-shard size).
+    pub shard_size: usize,
+    /// Session-table budget per replica (SmartNIC memory).
+    pub sessions_per_replica: usize,
+    /// Session idle timeout.
+    pub session_idle_timeout: SimDuration,
+    /// Buckets per per-service bucket table.
+    pub buckets: usize,
+    /// Max replica-chain length (paper: > 2).
+    pub max_chain: usize,
+    /// Gateway CPU demand per request (request+response passes).
+    pub cpu_per_request: SimDuration,
+    /// Backend water-level alert threshold (fraction of CPU).
+    pub alert_threshold: f64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            azs: 2,
+            backends_per_az: 4,
+            replicas_per_backend: 3,
+            cores_per_replica: 4,
+            shard_size: 2,
+            sessions_per_replica: 100_000,
+            session_idle_timeout: SimDuration::from_secs(300),
+            buckets: 1024,
+            max_chain: 4,
+            cpu_per_request: SimDuration::from_micros(34),
+            alert_threshold: 0.70,
+        }
+    }
+}
+
+/// Why a request failed at the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayError {
+    /// Service unknown to the gateway.
+    UnknownService,
+    /// No available backend (all failed).
+    Unavailable,
+    /// Dropped by a redirector-level throttle.
+    Throttled,
+    /// Replica session table full.
+    SessionsExhausted,
+}
+
+/// Successful dispatch summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayServed {
+    /// Backend that served the request.
+    pub backend: BackendId,
+    /// Replica within that backend.
+    pub replica: usize,
+    /// When the gateway finished processing.
+    pub finish: SimTime,
+    /// Chain-redirect hops taken.
+    pub redirect_hops: usize,
+}
+
+struct ReplicaState {
+    cpu: CpuServer,
+    sessions: SessionTable,
+}
+
+struct ServiceWindow {
+    requests: u64,
+}
+
+/// The mesh gateway.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    placement: PlacementView,
+    planner: ShuffleShardPlanner,
+    replicas: BTreeMap<(BackendId, usize), ReplicaState>,
+    /// Per-backend redirector (per-service bucket tables inside).
+    redirectors: BTreeMap<BackendId, Redirector>,
+    /// The sandbox/throttle machinery.
+    pub sandbox: Sandbox,
+    backend_az: BTreeMap<BackendId, canal_net::AzId>,
+    next_backend: BackendId,
+    /// Per (backend, service) request counts in the current window.
+    window: BTreeMap<(BackendId, GlobalServiceId), ServiceWindow>,
+    window_start: SimTime,
+    errors: u64,
+    served: u64,
+}
+
+/// One backend's water-level report for the control plane.
+#[derive(Debug, Clone)]
+pub struct WaterLevel {
+    /// Which backend.
+    pub backend: BackendId,
+    /// CPU utilization over the window.
+    pub utilization: f64,
+    /// Session occupancy (max over replicas).
+    pub session_occupancy: f64,
+    /// Per-service request counts over the window, descending.
+    pub top_services: Vec<(GlobalServiceId, u64)>,
+    /// Whether the alert threshold is breached.
+    pub alert: bool,
+}
+
+impl Gateway {
+    /// Build a gateway with `cfg`, creating the initial backend pool.
+    pub fn new(cfg: GatewayConfig) -> Self {
+        let total = cfg.azs * cfg.backends_per_az;
+        let mut gw = Gateway {
+            cfg,
+            placement: PlacementView::new(),
+            planner: ShuffleShardPlanner::new(total, cfg.shard_size, cfg.shard_size - 1),
+            replicas: BTreeMap::new(),
+            redirectors: BTreeMap::new(),
+            sandbox: Sandbox::new(),
+            backend_az: BTreeMap::new(),
+            next_backend: 0,
+            window: BTreeMap::new(),
+            window_start: SimTime::ZERO,
+            errors: 0,
+            served: 0,
+        };
+        for az in 0..cfg.azs {
+            for _ in 0..cfg.backends_per_az {
+                gw.create_backend(canal_net::AzId(az as u32));
+            }
+        }
+        gw
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> GatewayConfig {
+        self.cfg
+    }
+
+    /// Placement and failure state (for DNS/availability integration).
+    pub fn placement(&self) -> &PlacementView {
+        &self.placement
+    }
+
+    /// Mutable failure injection.
+    pub fn fail(&mut self, domain: FailureDomain) {
+        self.placement.fail(domain);
+    }
+
+    /// Recovery.
+    pub fn recover(&mut self, domain: FailureDomain) {
+        self.placement.recover(domain);
+    }
+
+    fn create_backend(&mut self, az: canal_net::AzId) -> BackendId {
+        let id = self.next_backend;
+        self.next_backend += 1;
+        self.placement
+            .add_backend(id, az, self.cfg.replicas_per_backend);
+        self.backend_az.insert(id, az);
+        for r in 0..self.cfg.replicas_per_backend {
+            self.replicas.insert(
+                (id, r),
+                ReplicaState {
+                    cpu: CpuServer::new(self.cfg.cores_per_replica),
+                    sessions: SessionTable::new(
+                        self.cfg.sessions_per_replica,
+                        self.cfg.session_idle_timeout,
+                    ),
+                },
+            );
+        }
+        self.redirectors.insert(id, Redirector::new());
+        id
+    }
+
+    /// The `New` scaling operation: spawn a fresh backend in `az` and grow
+    /// the shard pool. (Its multi-minute wall-clock cost is modeled by the
+    /// control plane, which schedules the completion event.)
+    pub fn scale_new_backend(&mut self, az: canal_net::AzId) -> BackendId {
+        self.planner.grow_pool(1);
+        self.create_backend(az)
+    }
+
+    /// Register a tenant service: shuffle-shard it onto backends in each AZ
+    /// and install its bucket tables.
+    pub fn register_service(&mut self, service: GlobalServiceId, rng: &mut SimRng) -> Vec<BackendId> {
+        let combo = self.planner.assign(service, rng);
+        let backends: Vec<BackendId> = combo.iter().map(|&b| b as BackendId).collect();
+        for &b in &backends {
+            self.placement.place(service, b);
+            let replicas: Vec<usize> = (0..self.cfg.replicas_per_backend).collect();
+            self.redirectors
+                .get_mut(&b)
+                .expect("backend exists")
+                .install(
+                    service,
+                    BucketTable::new(self.cfg.buckets, &replicas, self.cfg.max_chain),
+                );
+        }
+        backends
+    }
+
+    /// The `Reuse` scaling operation: extend a service onto an existing
+    /// low-water backend. Returns false if already placed there.
+    pub fn extend_service(&mut self, service: GlobalServiceId, backend: BackendId) -> bool {
+        if self.placement.backends_of(service).contains(&backend) {
+            return false;
+        }
+        if !self.planner.extend(service, backend as usize) {
+            // The planner only knows services it assigned; register the
+            // extension directly for services placed manually.
+        }
+        self.placement.place(service, backend);
+        let replicas: Vec<usize> = (0..self.cfg.replicas_per_backend).collect();
+        self.redirectors.get_mut(&backend).expect("backend").install(
+            service,
+            BucketTable::new(self.cfg.buckets, &replicas, self.cfg.max_chain),
+        );
+        true
+    }
+
+    /// Backends of a service.
+    pub fn backends_of(&self, service: GlobalServiceId) -> Vec<BackendId> {
+        self.placement.backends_of(service).to_vec()
+    }
+
+    /// All backends with their AZ.
+    pub fn backends(&self) -> Vec<(BackendId, canal_net::AzId)> {
+        self.backend_az.iter().map(|(&b, &az)| (b, az)).collect()
+    }
+
+    /// Handle one request at the gateway: throttle check → backend choice
+    /// (ECMP over the service's available backends) → bucket-table dispatch
+    /// → session + CPU accounting.
+    pub fn handle_request(
+        &mut self,
+        now: SimTime,
+        service: GlobalServiceId,
+        tuple: &FiveTuple,
+        syn: bool,
+    ) -> Result<GatewayServed, GatewayError> {
+        if !self.sandbox.admit(now, service) {
+            self.errors += 1;
+            return Err(GatewayError::Throttled);
+        }
+        let placed = self.placement.backends_of(service);
+        if placed.is_empty() {
+            self.errors += 1;
+            return Err(GatewayError::UnknownService);
+        }
+        let available: Vec<BackendId> = placed
+            .iter()
+            .copied()
+            .filter(|&b| self.placement.backend_available(b))
+            .collect();
+        if available.is_empty() {
+            self.errors += 1;
+            return Err(GatewayError::Unavailable);
+        }
+        let backend = available[canal_net::ecmp_select(tuple, available.len())];
+        let live = self.placement.live_replicas(backend);
+
+        // Bucket-table dispatch with the replica session tables as the
+        // flow-state oracle.
+        let replicas = &self.replicas;
+        let decision = self
+            .redirectors
+            .get_mut(&backend)
+            .expect("backend")
+            .dispatch(service, tuple, syn, |r, t| {
+                replicas
+                    .get(&(backend, r))
+                    .is_some_and(|st| st.sessions.contains(t))
+            })
+            .ok_or(GatewayError::UnknownService)?;
+
+        // If the chain head is dead, fall over to any live replica (the
+        // short disruption + reconstruction of §4.2).
+        let replica = if live.contains(&decision.replica) {
+            decision.replica
+        } else {
+            *live.first().ok_or(GatewayError::Unavailable)?
+        };
+
+        let state = self.replicas.get_mut(&(backend, replica)).expect("replica");
+        if syn || !state.sessions.contains(tuple) {
+            if state.sessions.establish(*tuple, now).is_err() {
+                self.errors += 1;
+                return Err(GatewayError::SessionsExhausted);
+            }
+        } else {
+            state.sessions.touch(tuple, now);
+        }
+        let served = state.cpu.submit(now, self.cfg.cpu_per_request);
+
+        self.window
+            .entry((backend, service))
+            .or_insert(ServiceWindow { requests: 0 })
+            .requests += 1;
+        self.served += 1;
+        Ok(GatewayServed {
+            backend,
+            replica,
+            finish: served.finish,
+            redirect_hops: decision.redirect_hops,
+        })
+    }
+
+    /// Read and reset the monitoring window: per-backend water levels with
+    /// top services (the control plane's §4.3 input).
+    pub fn water_levels(&mut self, now: SimTime) -> Vec<WaterLevel> {
+        let mut out = Vec::new();
+        for (&backend, &_az) in self.backend_az.iter() {
+            let mut util_sum = 0.0;
+            let mut occupancy: f64 = 0.0;
+            let mut n = 0;
+            for r in 0..self.cfg.replicas_per_backend {
+                if let Some(st) = self.replicas.get_mut(&(backend, r)) {
+                    util_sum += st.cpu.window_utilization(now);
+                    occupancy = occupancy.max(st.sessions.occupancy());
+                    n += 1;
+                }
+            }
+            let utilization = if n == 0 { 0.0 } else { util_sum / n as f64 };
+            let mut top: Vec<(GlobalServiceId, u64)> = self
+                .window
+                .iter()
+                .filter(|((b, _), _)| *b == backend)
+                .map(|((_, s), w)| (*s, w.requests))
+                .collect();
+            top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            top.truncate(10);
+            out.push(WaterLevel {
+                backend,
+                utilization,
+                session_occupancy: occupancy,
+                top_services: top,
+                alert: utilization > self.cfg.alert_threshold,
+            });
+        }
+        self.window.clear();
+        self.window_start = now;
+        out
+    }
+
+    /// Session count currently live on a backend.
+    pub fn backend_sessions(&self, backend: BackendId) -> usize {
+        (0..self.cfg.replicas_per_backend)
+            .filter_map(|r| self.replicas.get(&(backend, r)))
+            .map(|st| st.sessions.len())
+            .sum()
+    }
+
+    /// Lifetime counters `(served, errors)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.served, self.errors)
+    }
+
+    /// One step of a rolling version upgrade (the Fig. 20 nightly
+    /// operation): take a single replica of a single backend out, "upgrade"
+    /// it, and bring it back. With `replicas_per_backend > 1` every backend
+    /// keeps serving throughout. Returns the `(backend, replica)` pairs in
+    /// the full rolling order so the caller can pace them (the paper's
+    /// region-wide upgrade takes ~4 hours).
+    pub fn rolling_upgrade_order(&self) -> Vec<(BackendId, usize)> {
+        let mut order = Vec::new();
+        for r in 0..self.cfg.replicas_per_backend {
+            for &b in self.backend_az.keys() {
+                order.push((b, r));
+            }
+        }
+        order
+    }
+
+    /// Execute one upgrade step: fail the replica, migrate its sessions'
+    /// ownership implicitly (flows re-establish on siblings via the
+    /// redirector), then recover it. Returns whether every service placed
+    /// on the backend stayed available during the step.
+    pub fn rolling_upgrade_step(&mut self, backend: BackendId, replica: usize) -> bool {
+        self.placement
+            .fail(crate::failure::FailureDomain::Replica(backend, replica));
+        let still_up = self.placement.backend_available(backend);
+        // Upgrade happens here (image swap); then the replica rejoins with
+        // a cleared session table.
+        if let Some(st) = self.replicas.get_mut(&(backend, replica)) {
+            st.sessions.expire_idle(SimTime::MAX - SimDuration::from_secs(1));
+        }
+        self.placement
+            .recover(crate::failure::FailureDomain::Replica(backend, replica));
+        still_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{Endpoint, ServiceId, TenantId, VpcAddr, VpcId};
+
+    fn svc(i: u32) -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(i))
+    }
+
+    fn tuple(sport: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 2, 2), 443),
+        )
+    }
+
+    const T: fn(u64) -> SimTime = SimTime::from_millis;
+
+    fn gateway_with_service() -> (Gateway, GlobalServiceId) {
+        let mut gw = Gateway::new(GatewayConfig::default());
+        let mut rng = SimRng::seed(42);
+        let s = svc(1);
+        gw.register_service(s, &mut rng);
+        (gw, s)
+    }
+
+    #[test]
+    fn registration_places_on_shard_size_backends() {
+        let (gw, s) = gateway_with_service();
+        let backends = gw.backends_of(s);
+        assert_eq!(backends.len(), gw.config().shard_size);
+    }
+
+    #[test]
+    fn requests_flow_and_sessions_stick() {
+        let (mut gw, s) = gateway_with_service();
+        let t1 = tuple(1000);
+        let first = gw.handle_request(T(0), s, &t1, true).unwrap();
+        // Subsequent packets of the same flow land on the same replica.
+        for i in 1..10u64 {
+            let again = gw.handle_request(T(i), s, &t1, false).unwrap();
+            assert_eq!(again.backend, first.backend);
+            assert_eq!(again.replica, first.replica);
+        }
+        let (served, errors) = gw.stats();
+        assert_eq!((served, errors), (10, 0));
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let (mut gw, _) = gateway_with_service();
+        assert_eq!(
+            gw.handle_request(T(0), svc(99), &tuple(1), true),
+            Err(GatewayError::UnknownService)
+        );
+    }
+
+    #[test]
+    fn failure_of_all_service_backends_is_unavailable_but_isolated() {
+        let (mut gw, s) = gateway_with_service();
+        let mut rng = SimRng::seed(43);
+        let other = svc(2);
+        gw.register_service(other, &mut rng);
+        for b in gw.backends_of(s) {
+            gw.fail(FailureDomain::Backend(b));
+        }
+        assert_eq!(
+            gw.handle_request(T(0), s, &tuple(1), true),
+            Err(GatewayError::Unavailable)
+        );
+        // Shuffle sharding: the other service still has at least one
+        // backend (combinations differ).
+        let other_ok = gw
+            .backends_of(other)
+            .iter()
+            .any(|&b| gw.placement().backend_available(b));
+        assert!(other_ok);
+    }
+
+    #[test]
+    fn replica_failure_falls_over_within_backend() {
+        let (mut gw, s) = gateway_with_service();
+        let t1 = tuple(7);
+        let first = gw.handle_request(T(0), s, &t1, true).unwrap();
+        gw.fail(FailureDomain::Replica(first.backend, first.replica));
+        // The flow's replica died: the session breaks briefly and is
+        // reconstructed on another live replica of the same backend.
+        let again = gw.handle_request(T(1), s, &t1, false).unwrap();
+        assert_eq!(again.backend, first.backend);
+        assert_ne!(again.replica, first.replica);
+    }
+
+    #[test]
+    fn throttled_service_drops_excess() {
+        let (mut gw, s) = gateway_with_service();
+        gw.sandbox.throttle(s, 1.0, 1.0);
+        assert!(gw.handle_request(T(0), s, &tuple(1), true).is_ok());
+        assert_eq!(
+            gw.handle_request(T(1), s, &tuple(2), true),
+            Err(GatewayError::Throttled)
+        );
+    }
+
+    #[test]
+    fn water_levels_identify_top_service() {
+        let (mut gw, s) = gateway_with_service();
+        let mut rng = SimRng::seed(44);
+        let quiet = svc(3);
+        gw.register_service(quiet, &mut rng);
+        for i in 0..200u16 {
+            gw.handle_request(T(i as u64), s, &tuple(1000 + i), true).unwrap();
+        }
+        gw.handle_request(T(300), quiet, &tuple(5), true).unwrap();
+        let levels = gw.water_levels(T(1000));
+        let hot = levels
+            .iter()
+            .filter(|w| !w.top_services.is_empty())
+            .max_by_key(|w| w.top_services[0].1)
+            .unwrap();
+        assert_eq!(hot.top_services[0].0, s);
+        // Window resets after reading.
+        let levels2 = gw.water_levels(T(2000));
+        assert!(levels2.iter().all(|w| w.top_services.is_empty()));
+    }
+
+    #[test]
+    fn session_exhaustion_surfaces() {
+        let cfg = GatewayConfig {
+            sessions_per_replica: 4,
+            azs: 1,
+            backends_per_az: 1,
+            shard_size: 1,
+            replicas_per_backend: 1,
+            ..GatewayConfig::default()
+        };
+        let mut gw = Gateway::new(cfg);
+        let mut rng = SimRng::seed(45);
+        let s = svc(1);
+        gw.register_service(s, &mut rng);
+        let mut full = 0;
+        for i in 0..10u16 {
+            if gw.handle_request(T(0), s, &tuple(100 + i), true)
+                == Err(GatewayError::SessionsExhausted)
+            {
+                full += 1;
+            }
+        }
+        assert_eq!(full, 6, "4 admitted, 6 rejected");
+    }
+
+    #[test]
+    fn rolling_upgrade_never_loses_availability() {
+        let (mut gw, s) = gateway_with_service();
+        let order = gw.rolling_upgrade_order();
+        // 8 backends × 3 replicas by default.
+        assert_eq!(order.len(), 8 * 3);
+        for (i, (b, r)) in order.into_iter().enumerate() {
+            assert!(gw.rolling_upgrade_step(b, r), "step {i} lost a backend");
+            // The service keeps serving mid-upgrade.
+            let t = tuple(30_000 + i as u16);
+            assert!(gw.handle_request(T(i as u64 * 10), s, &t, true).is_ok());
+        }
+        let (_, errors) = gw.stats();
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn single_replica_backends_do_blip_during_upgrade() {
+        // The inverse guarantee: with one replica per backend, an upgrade
+        // step takes the whole backend down — which is why the gateway
+        // deploys replicated backends.
+        let cfg = GatewayConfig {
+            replicas_per_backend: 1,
+            ..GatewayConfig::default()
+        };
+        let mut gw = Gateway::new(cfg);
+        let mut rng = SimRng::seed(50);
+        gw.register_service(svc(1), &mut rng);
+        let (b, r) = gw.rolling_upgrade_order()[0];
+        assert!(!gw.rolling_upgrade_step(b, r));
+    }
+
+    #[test]
+    fn scale_new_backend_then_extend_service() {
+        let (mut gw, s) = gateway_with_service();
+        let before = gw.backends_of(s).len();
+        let nb = gw.scale_new_backend(canal_net::AzId(0));
+        assert!(gw.extend_service(s, nb));
+        assert!(!gw.extend_service(s, nb), "idempotent");
+        assert_eq!(gw.backends_of(s).len(), before + 1);
+        // New backend serves traffic for the service.
+        let mut landed = false;
+        for i in 0..200u16 {
+            let r = gw.handle_request(T(i as u64), s, &tuple(2000 + i), true).unwrap();
+            landed |= r.backend == nb;
+        }
+        assert!(landed, "extended backend never selected");
+    }
+}

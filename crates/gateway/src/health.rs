@@ -1,0 +1,254 @@
+//! Multi-level health-check aggregation (§6.1, Tables 6/7).
+//!
+//! The consolidated gateway multiplies health-check sources: a service sits
+//! on several backends, each backend has several replicas, each replica
+//! several cores — and naively *every core* probes *every app of every
+//! service* it hosts. Apps shared between services are probed once per
+//! service on top. The result is probe traffic up to 515× the app traffic
+//! (Table 6).
+//!
+//! The paper's three aggregation levels, implemented here:
+//!
+//! 1. **Service-level** — per backend, services with overlapping app sets
+//!    have their checks merged: probe the *union* of apps once.
+//! 2. **Core-level** — one core per replica is elected to probe; the rest
+//!    query its results locally.
+//! 3. **Replica-level** — a dedicated gateway-wide health-check proxy
+//!    probes each app once; replicas query the proxy for results.
+
+use canal_sim::SimDuration;
+use std::collections::BTreeSet;
+
+/// One service's probe targets (app/pod ids) on a backend.
+#[derive(Debug, Clone)]
+pub struct ServiceProbes {
+    /// The apps (pods) this service health-checks.
+    pub apps: Vec<u32>,
+}
+
+/// One gateway backend's probing population.
+#[derive(Debug, Clone)]
+pub struct BackendProbes {
+    /// Replicas (VMs) in this backend.
+    pub replicas: usize,
+    /// Cores per replica.
+    pub cores_per_replica: usize,
+    /// Services configured on this backend.
+    pub services: Vec<ServiceProbes>,
+}
+
+impl BackendProbes {
+    fn union_apps(&self) -> usize {
+        self.services
+            .iter()
+            .flat_map(|s| s.apps.iter().copied())
+            .collect::<BTreeSet<u32>>()
+            .len()
+    }
+
+    fn total_app_refs(&self) -> usize {
+        self.services.iter().map(|s| s.apps.len()).sum()
+    }
+}
+
+/// A full health-check plan for (a slice of) the gateway.
+#[derive(Debug, Clone)]
+pub struct HealthCheckPlan {
+    /// Probe period.
+    pub interval: SimDuration,
+    /// Backends and what they probe.
+    pub backends: Vec<BackendProbes>,
+}
+
+impl HealthCheckPlan {
+    /// Probes per second with **no aggregation**: every core of every
+    /// replica probes every app reference of every service.
+    pub fn base_rps(&self) -> f64 {
+        let per_interval: usize = self
+            .backends
+            .iter()
+            .map(|b| b.total_app_refs() * b.replicas * b.cores_per_replica)
+            .sum();
+        per_interval as f64 / self.interval.as_secs_f64()
+    }
+
+    /// After **service-level** aggregation: overlapping apps across services
+    /// on the same backend are probed once (union), still from every core.
+    pub fn after_service_agg(&self) -> f64 {
+        let per_interval: usize = self
+            .backends
+            .iter()
+            .map(|b| b.union_apps() * b.replicas * b.cores_per_replica)
+            .sum();
+        per_interval as f64 / self.interval.as_secs_f64()
+    }
+
+    /// After **core-level** aggregation on top: one elected core per replica
+    /// probes; other cores query locally (not network probes).
+    pub fn after_core_agg(&self) -> f64 {
+        let per_interval: usize = self
+            .backends
+            .iter()
+            .map(|b| b.union_apps() * b.replicas)
+            .sum();
+        per_interval as f64 / self.interval.as_secs_f64()
+    }
+
+    /// After **replica-level** aggregation on top: the dedicated
+    /// health-check proxy probes each app once for the whole gateway and
+    /// serves the result to every replica of every backend. (Table 7's
+    /// Case1 column — 10817 base probes collapsing to 18/s — only adds up
+    /// with gateway-global dedup: 18/s × 5 s ≈ the ~92-app union, not the
+    /// per-backend sum.)
+    pub fn after_replica_agg(&self) -> f64 {
+        let global: BTreeSet<u32> = self
+            .backends
+            .iter()
+            .flat_map(|b| b.services.iter().flat_map(|s| s.apps.iter().copied()))
+            .collect();
+        global.len() as f64 / self.interval.as_secs_f64()
+    }
+
+    /// Total reduction fraction (Table 7's final column).
+    pub fn reduction(&self) -> f64 {
+        let base = self.base_rps();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - self.after_replica_agg() / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> HealthCheckPlan {
+        // Two backends; services A(1,2,3) and B(3,4) share app 3 on
+        // backend 0 — the paper's aggregation example.
+        HealthCheckPlan {
+            interval: SimDuration::from_secs(5),
+            backends: vec![
+                BackendProbes {
+                    replicas: 4,
+                    cores_per_replica: 8,
+                    services: vec![
+                        ServiceProbes { apps: vec![1, 2, 3] },
+                        ServiceProbes { apps: vec![3, 4] },
+                    ],
+                },
+                BackendProbes {
+                    replicas: 2,
+                    cores_per_replica: 8,
+                    services: vec![ServiceProbes { apps: vec![5, 6] }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn base_counts_every_core_and_every_app_ref() {
+        let p = plan();
+        // Backend0: 5 app refs × 4 replicas × 8 cores = 160;
+        // Backend1: 2 × 2 × 8 = 32. Total 192 per 5s = 38.4/s.
+        assert!((p.base_rps() - 38.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_agg_merges_shared_apps() {
+        let p = plan();
+        // Backend0 union = {1,2,3,4} = 4 × 32 cores = 128; backend1 = 32.
+        // 160 per 5s = 32/s.
+        assert!((p.after_service_agg() - 32.0).abs() < 1e-9);
+        assert!(p.after_service_agg() < p.base_rps());
+    }
+
+    #[test]
+    fn core_agg_divides_by_core_count() {
+        let p = plan();
+        // (4×4 + 2×2) = 20 per 5s = 4/s.
+        assert!((p.after_core_agg() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_agg_probes_each_app_once_globally() {
+        let p = plan();
+        // Global union {1,2,3,4} ∪ {5,6} = 6 apps per 5s = 1.2/s.
+        assert!((p.after_replica_agg() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_agg_dedupes_across_backends() {
+        // The same service (same apps) on two backends is probed once by
+        // the gateway-wide health-check proxy.
+        let b = BackendProbes {
+            replicas: 2,
+            cores_per_replica: 2,
+            services: vec![ServiceProbes { apps: vec![1, 2, 3] }],
+        };
+        let p = HealthCheckPlan {
+            interval: SimDuration::from_secs(5),
+            backends: vec![b.clone(), b],
+        };
+        assert!((p.after_replica_agg() - 0.6).abs() < 1e-9); // 3 apps / 5s
+    }
+
+    #[test]
+    fn aggregation_is_monotone() {
+        let p = plan();
+        assert!(p.base_rps() >= p.after_service_agg());
+        assert!(p.after_service_agg() >= p.after_core_agg());
+        assert!(p.after_core_agg() >= p.after_replica_agg());
+    }
+
+    #[test]
+    fn production_scale_hits_paper_reduction() {
+        // A production-shaped case: 6 backends × 8 replicas × 16 cores,
+        // 40 services × 6 apps with heavy sharing.
+        let services: Vec<ServiceProbes> = (0..40)
+            .map(|s| ServiceProbes {
+                apps: (0..6).map(|a| (s * 3 + a) % 60).collect(),
+            })
+            .collect();
+        let p = HealthCheckPlan {
+            interval: SimDuration::from_secs(5),
+            backends: (0..6)
+                .map(|_| BackendProbes {
+                    replicas: 8,
+                    cores_per_replica: 16,
+                    services: services.clone(),
+                })
+                .collect(),
+        };
+        // Table 7: minimum 99.6% reduction.
+        assert!(p.reduction() > 0.996, "{}", p.reduction());
+    }
+
+    #[test]
+    fn no_sharing_means_service_agg_is_free() {
+        // Disjoint app sets: service-level aggregation changes nothing.
+        let p = HealthCheckPlan {
+            interval: SimDuration::from_secs(5),
+            backends: vec![BackendProbes {
+                replicas: 2,
+                cores_per_replica: 2,
+                services: vec![
+                    ServiceProbes { apps: vec![1, 2] },
+                    ServiceProbes { apps: vec![3, 4] },
+                ],
+            }],
+        };
+        assert_eq!(p.base_rps(), p.after_service_agg());
+    }
+
+    #[test]
+    fn empty_plan_is_zero() {
+        let p = HealthCheckPlan {
+            interval: SimDuration::from_secs(5),
+            backends: vec![],
+        };
+        assert_eq!(p.base_rps(), 0.0);
+        assert_eq!(p.reduction(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # canal-gateway
+//!
+//! The centralized multi-tenant mesh gateway (§4.2–§4.4, §6.1–§6.2):
+//!
+//! * [`sharding`] — shuffle sharding: every service gets a near-unique
+//!   combination of backends so no single failure pattern takes out two
+//!   services together (Fig. 8, Fig. 19).
+//! * [`redirector`] — the Beamer-style disaggregated load balancer: ECMP in
+//!   front, per-service fixed-size bucket tables with priority replica
+//!   chains (longer than Beamer's 2, §4.4) keeping established sessions on
+//!   their replicas across scale events (Fig. 26).
+//! * [`tunnel`] — session aggregation over VXLAN: many sessions ride few
+//!   tunnels, spread across replica cores by outer source port (Fig. 9).
+//! * [`health`] — the §6.1 multi-level health-check aggregation
+//!   (service → core → replica levels, Tables 6/7).
+//! * [`failure`] — hierarchical failure recovery: replica → backend →
+//!   AZ (Fig. 8), with availability queries.
+//! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
+//!   redirector-level throttling (§6.2).
+//! * [`gateway`] — the assembled gateway: service placement, per-backend
+//!   CPU/session accounting, request dispatch, and the water-level signals
+//!   the control plane consumes.
+
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod gateway;
+pub mod health;
+pub mod redirector;
+pub mod sandbox;
+pub mod sharding;
+pub mod tunnel;
+
+pub use failure::{FailureDomain, PlacementView};
+pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
+pub use health::HealthCheckPlan;
+pub use redirector::{BucketTable, DispatchDecision, Redirector};
+pub use sandbox::{MigrationKind, Sandbox};
+pub use sharding::ShuffleShardPlanner;
+pub use tunnel::{SessionAggregator, TunnelConfig};

@@ -1,0 +1,337 @@
+//! The Beamer-style redirector behind LB disaggregation (§4.4, App. C,
+//! Fig. 26).
+//!
+//! The router's ECMP hash breaks session consistency whenever the replica
+//! list changes. The fix: every replica runs a *redirector* holding a
+//! fixed-size per-service bucket table. A flow's bucket never changes
+//! (fixed bucket count); each bucket stores a priority-ordered *replica
+//! chain*:
+//!
+//! * a SYN (new flow) is served by the chain head — the newest/preferred
+//!   replica;
+//! * a non-SYN packet walks the chain until it finds the replica that owns
+//!   the flow (session state), redirecting hop by hop.
+//!
+//! The paper's modifications to Beamer: chains longer than 2 (consecutive
+//! scale events), per-service tables indexed by the global service id, and
+//! eBPF execution (a cost constant, not a logic change).
+
+use canal_net::{bucket_of, FiveTuple, GlobalServiceId};
+use std::collections::BTreeMap;
+
+/// Where a packet ended up and how many chain redirections it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchDecision {
+    /// Replica index chosen.
+    pub replica: usize,
+    /// Chain hops beyond the first lookup (0 = served where it landed).
+    pub redirect_hops: usize,
+}
+
+/// A per-service bucket table.
+#[derive(Debug, Clone)]
+pub struct BucketTable {
+    buckets: Vec<Vec<usize>>,
+    max_chain: usize,
+}
+
+impl BucketTable {
+    /// Table with `n_buckets` buckets spread over `replicas`, allowing
+    /// chains up to `max_chain` long (paper: > 2).
+    pub fn new(n_buckets: usize, replicas: &[usize], max_chain: usize) -> Self {
+        assert!(n_buckets > 0 && !replicas.is_empty() && max_chain >= 2);
+        let buckets = (0..n_buckets)
+            .map(|b| vec![replicas[b % replicas.len()]])
+            .collect();
+        BucketTable { buckets, max_chain }
+    }
+
+    /// Number of buckets (fixed for the table's lifetime).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the table has no buckets (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The chain of a bucket (head = highest priority).
+    pub fn chain(&self, bucket: usize) -> &[usize] {
+        &self.buckets[bucket]
+    }
+
+    /// Prepend `replacement` in every bucket whose head is `leaving` — the
+    /// Beamer take-offline step: new flows go to the replacement while
+    /// established flows chain back to `leaving` until they age out.
+    pub fn replica_going_offline(&mut self, leaving: usize, replacement: usize) {
+        assert_ne!(leaving, replacement);
+        for chain in &mut self.buckets {
+            if chain.first() == Some(&leaving) {
+                chain.insert(0, replacement);
+                chain.truncate(self.max_chain);
+            }
+        }
+    }
+
+    /// Finish an offline: drop `leaving` from all chains (its flows have
+    /// aged out; see [`crate::sandbox`] for the drain timing).
+    pub fn replica_removed(&mut self, leaving: usize) {
+        for chain in &mut self.buckets {
+            chain.retain(|&r| r != leaving);
+        }
+        // A bucket must never end up empty; that would be a config error the
+        // controller prevents by sequencing replacement before removal.
+        debug_assert!(self.buckets.iter().all(|c| !c.is_empty()));
+    }
+
+    /// Scale-out: the new replica takes over ~1/(n+1) of buckets by
+    /// prepending itself, shifting old heads down the chain.
+    pub fn replica_added(&mut self, new_replica: usize, take_every: usize) {
+        assert!(take_every > 0);
+        for (i, chain) in self.buckets.iter_mut().enumerate() {
+            if i % take_every == 0 && chain.first() != Some(&new_replica) {
+                chain.insert(0, new_replica);
+                chain.truncate(self.max_chain);
+            }
+        }
+    }
+
+    /// Dispatch one packet. `has_flow(replica, tuple)` is the session-state
+    /// oracle (the replica's kernel/session table).
+    pub fn dispatch<F: Fn(usize, &FiveTuple) -> bool>(
+        &self,
+        tuple: &FiveTuple,
+        syn: bool,
+        has_flow: F,
+    ) -> DispatchDecision {
+        let bucket = bucket_of(tuple, self.buckets.len());
+        let chain = &self.buckets[bucket];
+        if syn {
+            // New flows insert at the head (highest priority).
+            return DispatchDecision {
+                replica: chain[0],
+                redirect_hops: 0,
+            };
+        }
+        // Established flows walk the chain to their owner.
+        for (hops, &replica) in chain.iter().enumerate() {
+            if has_flow(replica, tuple) {
+                return DispatchDecision {
+                    replica,
+                    redirect_hops: hops,
+                };
+            }
+        }
+        // No owner anywhere (e.g. state aged out): treat like a new flow at
+        // the head; the replica will RST/re-establish.
+        DispatchDecision {
+            replica: chain[0],
+            redirect_hops: chain.len() - 1,
+        }
+    }
+
+    /// Longest chain currently in the table (the App. A latency concern).
+    pub fn max_chain_in_use(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Per-service bucket tables, indexed by global service id (paper mod ii).
+#[derive(Debug, Default)]
+pub struct Redirector {
+    tables: BTreeMap<GlobalServiceId, BucketTable>,
+    dispatches: u64,
+    redirected: u64,
+}
+
+impl Redirector {
+    /// Empty redirector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a service's bucket table.
+    pub fn install(&mut self, service: GlobalServiceId, table: BucketTable) {
+        self.tables.insert(service, table);
+    }
+
+    /// The table of a service.
+    pub fn table(&self, service: GlobalServiceId) -> Option<&BucketTable> {
+        self.tables.get(&service)
+    }
+
+    /// Mutable table access (scale events).
+    pub fn table_mut(&mut self, service: GlobalServiceId) -> Option<&mut BucketTable> {
+        self.tables.get_mut(&service)
+    }
+
+    /// Dispatch a packet for a service. Returns `None` for unknown services
+    /// (the packet is dropped and the gateway answers 503 upstream).
+    pub fn dispatch<F: Fn(usize, &FiveTuple) -> bool>(
+        &mut self,
+        service: GlobalServiceId,
+        tuple: &FiveTuple,
+        syn: bool,
+        has_flow: F,
+    ) -> Option<DispatchDecision> {
+        let table = self.tables.get(&service)?;
+        let d = table.dispatch(tuple, syn, has_flow);
+        self.dispatches += 1;
+        if d.redirect_hops > 0 {
+            self.redirected += 1;
+        }
+        Some(d)
+    }
+
+    /// Lifetime counters `(dispatches, redirected)` — the paper's claim that
+    /// "the redirection frequency is low" is checked against these.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.dispatches, self.redirected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{Endpoint, ServiceId, TenantId, VpcAddr, VpcId};
+    use std::collections::HashSet;
+
+    fn tuple(sport: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 9, 9), 443),
+        )
+    }
+
+    fn gs() -> GlobalServiceId {
+        GlobalServiceId::compose(TenantId(1), ServiceId(1))
+    }
+
+    #[test]
+    fn syn_goes_to_chain_head() {
+        let t = BucketTable::new(64, &[0, 1, 2], 4);
+        let d = t.dispatch(&tuple(1000), true, |_, _| false);
+        let head = t.chain(bucket_of(&tuple(1000), 64))[0];
+        assert_eq!(d.replica, head);
+        assert_eq!(d.redirect_hops, 0);
+    }
+
+    #[test]
+    fn established_flow_found_via_chain_walk() {
+        // The Fig. 26 case: IP2 going offline, IP3 prepended. An established
+        // flow owned by IP2 must still reach IP2 with one redirect hop.
+        let mut t = BucketTable::new(64, &[2], 4); // all buckets head = 2
+        t.replica_going_offline(2, 3);
+        let tup = tuple(4242);
+        let d = t.dispatch(&tup, false, |replica, _| replica == 2);
+        assert_eq!(d.replica, 2);
+        assert_eq!(d.redirect_hops, 1);
+        // A new flow (SYN) lands on the replacement.
+        let d_new = t.dispatch(&tup, true, |_, _| false);
+        assert_eq!(d_new.replica, 3);
+    }
+
+    #[test]
+    fn drained_replica_can_be_removed() {
+        let mut t = BucketTable::new(32, &[2], 4);
+        t.replica_going_offline(2, 3);
+        // Flows aged out: nothing owns them at 2 anymore.
+        t.replica_removed(2);
+        for b in 0..t.len() {
+            assert!(!t.chain(b).contains(&2));
+            assert!(!t.chain(b).is_empty());
+        }
+        let d = t.dispatch(&tuple(777), false, |_, _| false);
+        assert_eq!(d.replica, 3);
+    }
+
+    #[test]
+    fn consecutive_offline_events_need_long_chains() {
+        // The paper's modification: chains > 2 to survive consecutive
+        // crashes ("query of death"). Two replicas die back-to-back.
+        let mut t = BucketTable::new(16, &[1], 4);
+        t.replica_going_offline(1, 2); // chain: [2, 1]
+        t.replica_going_offline(2, 3); // chain: [3, 2, 1]
+        assert_eq!(t.max_chain_in_use(), 3);
+        // A flow still owned by the original replica 1 is reachable.
+        let d = t.dispatch(&tuple(5), false, |r, _| r == 1);
+        assert_eq!(d.replica, 1);
+        assert_eq!(d.redirect_hops, 2);
+        // Chains never exceed the cap.
+        t.replica_going_offline(3, 4);
+        t.replica_going_offline(4, 5);
+        assert!(t.max_chain_in_use() <= 4);
+    }
+
+    #[test]
+    fn scale_out_splits_new_flows_but_keeps_old_ones() {
+        let mut t = BucketTable::new(64, &[0, 1], 4);
+        t.replica_added(9, 2); // replica 9 takes ~half the buckets
+        let mut new_on_9 = 0;
+        let mut old_kept = 0;
+        for sport in 0..512u16 {
+            let tup = tuple(40_000 + sport);
+            let new_flow = t.dispatch(&tup, true, |_, _| false);
+            if new_flow.replica == 9 {
+                new_on_9 += 1;
+            }
+            // An established flow on replica 0 stays on replica 0.
+            let old = t.dispatch(&tup, false, |r, _| r == 0);
+            if old.replica == 0 {
+                old_kept += 1;
+            }
+        }
+        assert!(new_on_9 > 128, "new replica got {new_on_9}/512 new flows");
+        // Every old flow owned by 0 still reaches 0 (if 0 is in its chain).
+        assert!(old_kept > 0);
+    }
+
+    #[test]
+    fn session_consistency_property_across_replica_change() {
+        // Property: for any set of established flows pinned to their
+        // original owners, a going-offline event never reroutes them.
+        let mut t = BucketTable::new(128, &[0, 1, 2], 4);
+        // Establish: each flow owned by its original SYN target.
+        let owners: Vec<(FiveTuple, usize)> = (0..256u16)
+            .map(|i| {
+                let tup = tuple(1000 + i);
+                let d = t.dispatch(&tup, true, |_, _| false);
+                (tup, d.replica)
+            })
+            .collect();
+        t.replica_going_offline(1, 2);
+        for (tup, owner) in &owners {
+            let d = t.dispatch(tup, false, |r, tpl| {
+                // The oracle: only the recorded owner has the flow.
+                owners.iter().any(|(t2, o2)| t2 == tpl && *o2 == r)
+            });
+            assert_eq!(d.replica, *owner, "flow rerouted by scale event");
+        }
+    }
+
+    #[test]
+    fn redirector_routes_per_service() {
+        let mut r = Redirector::new();
+        r.install(gs(), BucketTable::new(16, &[0, 1], 4));
+        let other = GlobalServiceId::compose(TenantId(2), ServiceId(1));
+        r.install(other, BucketTable::new(16, &[5, 6], 4));
+        let d1 = r.dispatch(gs(), &tuple(1), true, |_, _| false).unwrap();
+        let d2 = r.dispatch(other, &tuple(1), true, |_, _| false).unwrap();
+        assert!([0, 1].contains(&d1.replica));
+        assert!([5, 6].contains(&d2.replica));
+        // Unknown service: None.
+        let unknown = GlobalServiceId::compose(TenantId(9), ServiceId(9));
+        assert!(r.dispatch(unknown, &tuple(1), true, |_, _| false).is_none());
+        let (dispatches, redirected) = r.stats();
+        assert_eq!(dispatches, 2);
+        assert_eq!(redirected, 0);
+    }
+
+    #[test]
+    fn buckets_cover_all_replicas() {
+        let t = BucketTable::new(256, &[0, 1, 2, 3], 4);
+        let heads: HashSet<usize> = (0..256).map(|b| t.chain(b)[0]).collect();
+        assert_eq!(heads.len(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Session aggregation via VXLAN tunneling (§4.4, Fig. 9).
+//!
+//! Replica session state lives in memory-constrained SmartNICs: hundreds of
+//! thousands of sessions exhaust it while the CPU idles at ~20%. The fix:
+//! the aggregator (on the router / programmable chip) encapsulates many user
+//! sessions into a few VXLAN tunnels, so the underlying server only tracks
+//! *tunnel* sessions. Tunnels are spread across replica cores by giving each
+//! tunnel a distinct outer source port hashed by the vSwitch's RSS.
+//!
+//! This module does the real encapsulation with
+//! [`canal_net::vxlan::VxlanFrame`] and accounts the before/after session
+//! pressure that Table 5's tunneling savings derive from.
+
+use canal_net::{ecmp::rss_core_for_sport, FiveTuple, Packet, VxlanFrame};
+use std::collections::BTreeMap;
+
+/// Tunnel fan-out configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelConfig {
+    /// Number of tunnels per replica (paper: ≈10× the core count).
+    pub tunnels_per_replica: usize,
+    /// Replica core count (for RSS spreading checks).
+    pub replica_cores: usize,
+    /// Base outer source port; tunnel `i` uses `base + i`.
+    pub sport_base: u16,
+    /// Router IP (outer source).
+    pub router_ip: u32,
+}
+
+impl TunnelConfig {
+    /// The paper's guidance: ~10 tunnels per core.
+    pub fn for_cores(replica_cores: usize) -> Self {
+        TunnelConfig {
+            tunnels_per_replica: replica_cores * 10,
+            replica_cores,
+            sport_base: 40_000,
+            router_ip: 0x0A63_0001, // 10.99.0.1
+        }
+    }
+}
+
+/// Aggregates sessions into tunnels toward one replica.
+#[derive(Debug)]
+pub struct SessionAggregator {
+    cfg: TunnelConfig,
+    replica_ip: u32,
+    vni: u32,
+    /// session five-tuple → tunnel index (sticky).
+    session_to_tunnel: BTreeMap<FiveTuple, usize>,
+    encapsulated: u64,
+}
+
+impl SessionAggregator {
+    /// Aggregator toward `replica_ip` on tenant `vni`.
+    pub fn new(cfg: TunnelConfig, replica_ip: u32, vni: u32) -> Self {
+        assert!(cfg.tunnels_per_replica > 0);
+        SessionAggregator {
+            cfg,
+            replica_ip,
+            vni,
+            session_to_tunnel: BTreeMap::new(),
+            encapsulated: 0,
+        }
+    }
+
+    fn tunnel_of(&mut self, tuple: &FiveTuple) -> usize {
+        if let Some(&t) = self.session_to_tunnel.get(tuple) {
+            return t;
+        }
+        let t = (canal_net::hash_five_tuple(tuple) % self.cfg.tunnels_per_replica as u64) as usize;
+        self.session_to_tunnel.insert(*tuple, t);
+        t
+    }
+
+    /// Encapsulate one packet into its session's tunnel. The returned frame
+    /// is byte-encodable; the outer source port selects the RSS core.
+    pub fn encapsulate(&mut self, pkt: &Packet) -> VxlanFrame {
+        let tunnel = self.tunnel_of(&pkt.tuple);
+        self.encapsulated += 1;
+        let sport = self.cfg.sport_base + tunnel as u16;
+        // Inner bytes: the app payload (headers abstracted by Packet).
+        VxlanFrame::new(
+            self.cfg.router_ip,
+            self.replica_ip,
+            sport,
+            self.vni,
+            pkt.payload.clone(),
+        )
+    }
+
+    /// Sessions currently tracked by the aggregator (user-visible sessions).
+    pub fn user_sessions(&self) -> usize {
+        self.session_to_tunnel.len()
+    }
+
+    /// Distinct tunnels in use — what the underlying server's session table
+    /// actually holds after aggregation.
+    pub fn tunnels_in_use(&self) -> usize {
+        let mut used: Vec<usize> = self.session_to_tunnel.values().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// The session-table reduction factor achieved so far.
+    pub fn reduction_factor(&self) -> f64 {
+        let t = self.tunnels_in_use();
+        if t == 0 {
+            1.0
+        } else {
+            self.user_sessions() as f64 / t as f64
+        }
+    }
+
+    /// Packets encapsulated.
+    pub fn packets(&self) -> u64 {
+        self.encapsulated
+    }
+
+    /// Which RSS core a tunnel's packets land on.
+    pub fn core_of_tunnel(&self, tunnel: usize) -> usize {
+        rss_core_for_sport(self.cfg.sport_base + tunnel as u16, self.cfg.replica_cores)
+    }
+
+    /// Session churn: forget a closed session.
+    pub fn session_closed(&mut self, tuple: &FiveTuple) -> bool {
+        self.session_to_tunnel.remove(tuple).is_some()
+    }
+}
+
+/// Replica-side disaggregation: decode the tunnel frame back into inner
+/// bytes (placed before the redirector per §4.4).
+pub fn disaggregate(frame_bytes: bytes::Bytes) -> Result<VxlanFrame, canal_net::vxlan::VxlanError> {
+    VxlanFrame::decode(frame_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{Endpoint, VpcAddr, VpcId};
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::data(
+            FiveTuple::tcp(
+                Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+                Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 5, 5), 443),
+            ),
+            format!("payload-{sport}").into_bytes(),
+        )
+    }
+
+    fn agg() -> SessionAggregator {
+        SessionAggregator::new(TunnelConfig::for_cores(4), 0x0A63_0002, 77)
+    }
+
+    #[test]
+    fn many_sessions_few_tunnels() {
+        let mut a = agg();
+        for sport in 1000..6000u16 {
+            a.encapsulate(&pkt(sport));
+        }
+        assert_eq!(a.user_sessions(), 5000);
+        assert!(a.tunnels_in_use() <= 40, "{}", a.tunnels_in_use());
+        assert!(a.reduction_factor() > 100.0);
+    }
+
+    #[test]
+    fn session_sticks_to_its_tunnel() {
+        let mut a = agg();
+        let f1 = a.encapsulate(&pkt(1234));
+        let f2 = a.encapsulate(&pkt(1234));
+        assert_eq!(f1.outer_sport, f2.outer_sport);
+        assert_eq!(a.user_sessions(), 1);
+        assert_eq!(a.packets(), 2);
+    }
+
+    #[test]
+    fn encapsulation_round_trips_through_real_bytes() {
+        let mut a = agg();
+        let p = pkt(4321);
+        let frame = a.encapsulate(&p);
+        let wire = frame.encode();
+        let back = disaggregate(wire).unwrap();
+        assert_eq!(back.inner, p.payload);
+        assert_eq!(back.vni, 77);
+        assert_eq!(back.outer_dst_ip, 0x0A63_0002);
+    }
+
+    #[test]
+    fn tunnels_spread_across_cores() {
+        let a = agg();
+        let mut cores: Vec<usize> = (0..40).map(|t| a.core_of_tunnel(t)).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        // 40 tunnels over 4 cores must touch every core.
+        assert_eq!(cores.len(), 4);
+    }
+
+    #[test]
+    fn closed_sessions_release_tracking() {
+        let mut a = agg();
+        let p = pkt(1);
+        a.encapsulate(&p);
+        assert_eq!(a.user_sessions(), 1);
+        assert!(a.session_closed(&p.tuple));
+        assert!(!a.session_closed(&p.tuple));
+        assert_eq!(a.user_sessions(), 0);
+    }
+
+    #[test]
+    fn mtu_overhead_is_the_vxlan_constant() {
+        let mut a = agg();
+        let p = pkt(9);
+        let frame = a.encapsulate(&p);
+        assert_eq!(
+            frame.encoded_len(),
+            p.payload.len() + canal_net::VXLAN_OVERHEAD
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! HTTP/1.1 messages: methods, status codes, headers, request/response
+//! structs and their byte serializers.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// HTTP request method (the subset mesh traffic uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// PUT
+    Put,
+    /// DELETE
+    Delete,
+    /// HEAD
+    Head,
+    /// OPTIONS
+    Options,
+    /// PATCH
+    Patch,
+}
+
+impl Method {
+    /// Canonical token.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+            Method::Patch => "PATCH",
+        }
+    }
+
+    /// Parse a token (case-sensitive, per RFC 9110).
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "HEAD" => Method::Head,
+            "OPTIONS" => Method::Options,
+            "PATCH" => Method::Patch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK
+    pub const OK: StatusCode = StatusCode(200);
+    /// 403 Forbidden (authorization denials)
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found (no route matched)
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 429 Too Many Requests (rate limiting / throttling)
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    /// 500 Internal Server Error
+    pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable (no healthy backend)
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// Whether this is a 2xx code.
+    pub const fn is_success(self) -> bool {
+        self.0 >= 200 && self.0 < 300
+    }
+
+    /// Whether this is a 4xx/5xx code (the "error codes" of Fig. 20).
+    pub const fn is_error(self) -> bool {
+        self.0 >= 400
+    }
+
+    /// Reason phrase for serialization.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An insertion-ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header (duplicates preserved, per HTTP semantics).
+    pub fn insert(&mut self, name: &str, value: &str) {
+        self.entries.push((name.to_string(), value.to_string()));
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, case-insensitive.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove all values for `name`. Returns whether anything was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Cookie value by key from any `Cookie:` header (`k=v; k2=v2` format),
+    /// as used by A/B-testing predicates.
+    pub fn cookie(&self, key: &str) -> Option<&str> {
+        for cookies in self.get_all("cookie") {
+            for pair in cookies.split(';') {
+                let pair = pair.trim();
+                if let Some((k, v)) = pair.split_once('=') {
+                    if k == key {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (origin-form path, possibly with query).
+    pub path: String,
+    /// Headers.
+    pub headers: HeaderMap,
+    /// Body bytes (empty when absent).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A GET request with no body.
+    pub fn get(path: &str) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A POST request with a body (Content-Length added at serialization).
+    pub fn post(path: &str, body: impl Into<Bytes>) -> Self {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            headers: HeaderMap::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Builder-style header attachment.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Path without the query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Serialize to wire bytes (Content-Length emitted when a body exists or
+    /// the method conventionally carries one).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.body.len());
+        buf.put_slice(self.method.as_str().as_bytes());
+        buf.put_u8(b' ');
+        buf.put_slice(self.path.as_bytes());
+        buf.put_slice(b" HTTP/1.1\r\n");
+        for (n, v) in self.headers.iter() {
+            buf.put_slice(n.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        if !self.body.is_empty() || matches!(self.method, Method::Post | Method::Put | Method::Patch)
+        {
+            buf.put_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers.
+    pub headers: HeaderMap,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A response with the given status and body.
+    pub fn new(status: StatusCode, body: impl Into<Bytes>) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: body.into(),
+        }
+    }
+
+    /// 200 OK with a body.
+    pub fn ok(body: impl Into<Bytes>) -> Self {
+        Self::new(StatusCode::OK, body)
+    }
+
+    /// Builder-style header attachment.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Serialize to wire bytes (Content-Length always emitted).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.body.len());
+        buf.put_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
+        );
+        for (n, v) in self.headers.iter() {
+            buf.put_slice(n.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        buf.put_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trip() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+            Method::Options,
+            Method::Patch,
+        ] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("get"), None); // case-sensitive
+        assert_eq!(Method::parse("BREW"), None);
+    }
+
+    #[test]
+    fn status_categories() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::OK.is_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_error());
+        assert!(StatusCode::TOO_MANY_REQUESTS.is_error());
+        assert_eq!(StatusCode(200).reason(), "OK");
+        assert_eq!(StatusCode(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn header_map_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/plain");
+        h.insert("X-Canary", "true");
+        assert_eq!(h.get("content-type"), Some("text/plain"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/plain"));
+        assert_eq!(h.get("x-canary"), Some("true"));
+        assert_eq!(h.get("absent"), None);
+        assert!(h.remove("X-CANARY"));
+        assert_eq!(h.get("x-canary"), None);
+        assert!(!h.remove("x-canary"));
+    }
+
+    #[test]
+    fn header_map_duplicates_preserved() {
+        let mut h = HeaderMap::new();
+        h.insert("Set-Cookie", "a=1");
+        h.insert("set-cookie", "b=2");
+        let all: Vec<&str> = h.get_all("Set-Cookie").collect();
+        assert_eq!(all, vec!["a=1", "b=2"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn cookie_extraction() {
+        let mut h = HeaderMap::new();
+        h.insert("Cookie", "session=abc; user_group=beta; theme=dark");
+        assert_eq!(h.cookie("user_group"), Some("beta"));
+        assert_eq!(h.cookie("session"), Some("abc"));
+        assert_eq!(h.cookie("absent"), None);
+    }
+
+    #[test]
+    fn request_encoding() {
+        let req = Request::get("/api/v1/items?limit=10").with_header("Host", "svc.example");
+        let wire = req.encode();
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.starts_with("GET /api/v1/items?limit=10 HTTP/1.1\r\n"));
+        assert!(text.contains("Host: svc.example\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        assert_eq!(req.path_only(), "/api/v1/items");
+    }
+
+    #[test]
+    fn post_gets_content_length() {
+        let req = Request::post("/submit", &b"x=1"[..]);
+        let text = String::from_utf8(req.encode().to_vec()).unwrap();
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nx=1"));
+    }
+
+    #[test]
+    fn response_encoding() {
+        let resp = Response::ok(&b"hello"[..]).with_header("X-Served-By", "gateway");
+        let text = String::from_utf8(resp.encode().to_vec()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("X-Served-By: gateway\r\n"));
+        assert!(text.ends_with("hello"));
+    }
+}

@@ -1,0 +1,396 @@
+//! L7 route matching and weighted target selection.
+//!
+//! Table 3 of the paper shows 72–95% of tenants configure L7 routing rules —
+//! "specific packet processing routes based on URLs, HTTP headers, and
+//! message content". This module implements those predicates plus the
+//! weighted-target selection that drives percentage-based traffic splitting,
+//! A/B testing (cookie/header-keyed) and canary release.
+//!
+//! A [`RouteTable`] is an ordered rule list: first match wins, mirroring how
+//! VirtualService-style configs are evaluated.
+
+use crate::message::Request;
+
+/// Path predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathPredicate {
+    /// Match the path (sans query) exactly.
+    Exact(String),
+    /// Match any path with this prefix.
+    Prefix(String),
+    /// Match paths containing this substring ("message content" routing).
+    Contains(String),
+}
+
+impl PathPredicate {
+    /// Evaluate against a request path (query string excluded).
+    pub fn matches(&self, path: &str) -> bool {
+        let path = path.split('?').next().unwrap_or(path);
+        match self {
+            PathPredicate::Exact(p) => path == p,
+            PathPredicate::Prefix(p) => path.starts_with(p.as_str()),
+            PathPredicate::Contains(p) => path.contains(p.as_str()),
+        }
+    }
+}
+
+/// Header (or cookie) predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderPredicate {
+    /// Header present with exactly this value.
+    Exact {
+        /// Header name (case-insensitive).
+        name: String,
+        /// Required value.
+        value: String,
+    },
+    /// Header present (any value).
+    Present {
+        /// Header name (case-insensitive).
+        name: String,
+    },
+    /// Header value starts with the prefix.
+    Prefix {
+        /// Header name (case-insensitive).
+        name: String,
+        /// Required value prefix.
+        prefix: String,
+    },
+    /// Cookie key equals value (A/B test user groups).
+    Cookie {
+        /// Cookie key.
+        key: String,
+        /// Required cookie value.
+        value: String,
+    },
+}
+
+impl HeaderPredicate {
+    /// Evaluate against a request's headers.
+    pub fn matches(&self, req: &Request) -> bool {
+        match self {
+            HeaderPredicate::Exact { name, value } => req.headers.get(name) == Some(value.as_str()),
+            HeaderPredicate::Present { name } => req.headers.get(name).is_some(),
+            HeaderPredicate::Prefix { name, prefix } => req
+                .headers
+                .get(name)
+                .is_some_and(|v| v.starts_with(prefix.as_str())),
+            HeaderPredicate::Cookie { key, value } => {
+                req.headers.cookie(key) == Some(value.as_str())
+            }
+        }
+    }
+}
+
+/// A full route predicate: every listed condition must hold.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutePredicate {
+    /// Optional path condition.
+    pub path: Option<PathPredicate>,
+    /// Optional method condition (token, e.g. "GET").
+    pub method: Option<String>,
+    /// Header conditions (conjunctive).
+    pub headers: Vec<HeaderPredicate>,
+}
+
+impl RoutePredicate {
+    /// Matches everything.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Path-prefix shorthand.
+    pub fn prefix(p: &str) -> Self {
+        RoutePredicate {
+            path: Some(PathPredicate::Prefix(p.to_string())),
+            ..Default::default()
+        }
+    }
+
+    /// Evaluate against a request.
+    pub fn matches(&self, req: &Request) -> bool {
+        if let Some(p) = &self.path {
+            if !p.matches(&req.path) {
+                return false;
+            }
+        }
+        if let Some(m) = &self.method {
+            if req.method.as_str() != m {
+                return false;
+            }
+        }
+        self.headers.iter().all(|h| h.matches(req))
+    }
+}
+
+/// One destination of a split route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedTarget {
+    /// Target backend subset / version name (e.g. "v1", "v2-canary").
+    pub name: String,
+    /// Relative weight (need not sum to 100).
+    pub weight: u32,
+}
+
+impl WeightedTarget {
+    /// Construct a target.
+    pub fn new(name: &str, weight: u32) -> Self {
+        WeightedTarget {
+            name: name.to_string(),
+            weight,
+        }
+    }
+}
+
+/// A routing rule: predicate plus weighted targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRule {
+    /// Rule name (for observability).
+    pub name: String,
+    /// Match condition.
+    pub predicate: RoutePredicate,
+    /// Weighted destinations (must be non-empty, total weight > 0).
+    pub targets: Vec<WeightedTarget>,
+}
+
+impl RouteRule {
+    /// Construct a rule; panics on empty/zero-weight target lists (config
+    /// validation, done once at rule build time).
+    pub fn new(name: &str, predicate: RoutePredicate, targets: Vec<WeightedTarget>) -> Self {
+        assert!(!targets.is_empty(), "rule {name} has no targets");
+        assert!(
+            targets.iter().map(|t| t.weight as u64).sum::<u64>() > 0,
+            "rule {name} has zero total weight"
+        );
+        RouteRule {
+            name: name.to_string(),
+            predicate,
+            targets,
+        }
+    }
+
+    /// Pick a target deterministically from a uniform draw in `[0,1)`.
+    /// Splitting the randomness out keeps the rule table pure and the
+    /// simulation reproducible.
+    pub fn select_target(&self, uniform_draw: f64) -> &WeightedTarget {
+        let total: u64 = self.targets.iter().map(|t| t.weight as u64).sum();
+        let mut ticket = (uniform_draw.clamp(0.0, 0.999_999_999) * total as f64) as u64;
+        for t in &self.targets {
+            if ticket < t.weight as u64 {
+                return t;
+            }
+            ticket -= t.weight as u64;
+        }
+        self.targets.last().expect("non-empty")
+    }
+}
+
+/// An ordered route table; first matching rule wins.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    rules: Vec<RouteRule>,
+}
+
+impl RouteTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a rule (evaluated after all earlier rules).
+    pub fn push(&mut self, rule: RouteRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// First rule matching the request.
+    pub fn find(&self, req: &Request) -> Option<&RouteRule> {
+        self.rules.iter().find(|r| r.predicate.matches(req))
+    }
+
+    /// Match and select in one step: `(rule name, target name)`.
+    pub fn route(&self, req: &Request, uniform_draw: f64) -> Option<(&str, &str)> {
+        self.find(req)
+            .map(|r| (r.name.as_str(), r.select_target(uniform_draw).name.as_str()))
+    }
+
+    /// Approximate serialized config size in bytes — drives the southbound
+    /// bandwidth accounting of Fig. 15 (each rule pushed to a proxy costs
+    /// roughly its textual size).
+    pub fn config_bytes(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| {
+                64 + r.name.len()
+                    + r.targets.iter().map(|t| t.name.len() + 8).sum::<usize>()
+                    + 48 // predicate encoding overhead
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+
+    #[test]
+    fn path_predicates() {
+        assert!(PathPredicate::Exact("/a".into()).matches("/a"));
+        assert!(PathPredicate::Exact("/a".into()).matches("/a?q=1"));
+        assert!(!PathPredicate::Exact("/a".into()).matches("/a/b"));
+        assert!(PathPredicate::Prefix("/api/".into()).matches("/api/v1"));
+        assert!(!PathPredicate::Prefix("/api/".into()).matches("/v1/api/"));
+        assert!(PathPredicate::Contains("cart".into()).matches("/v2/cart/add"));
+    }
+
+    #[test]
+    fn header_predicates() {
+        let req = Request::get("/")
+            .with_header("X-Env", "staging")
+            .with_header("Cookie", "group=beta; id=1");
+        assert!(HeaderPredicate::Exact {
+            name: "x-env".into(),
+            value: "staging".into()
+        }
+        .matches(&req));
+        assert!(HeaderPredicate::Present {
+            name: "X-ENV".into()
+        }
+        .matches(&req));
+        assert!(HeaderPredicate::Prefix {
+            name: "x-env".into(),
+            prefix: "stag".into()
+        }
+        .matches(&req));
+        assert!(HeaderPredicate::Cookie {
+            key: "group".into(),
+            value: "beta".into()
+        }
+        .matches(&req));
+        assert!(!HeaderPredicate::Cookie {
+            key: "group".into(),
+            value: "alpha".into()
+        }
+        .matches(&req));
+    }
+
+    #[test]
+    fn predicate_conjunction() {
+        let pred = RoutePredicate {
+            path: Some(PathPredicate::Prefix("/api".into())),
+            method: Some("POST".into()),
+            headers: vec![HeaderPredicate::Present {
+                name: "authorization".into(),
+            }],
+        };
+        let good = Request::post("/api/x", &b""[..]).with_header("Authorization", "t");
+        let wrong_method = Request::get("/api/x").with_header("Authorization", "t");
+        let missing_header = Request::post("/api/x", &b""[..]);
+        assert!(pred.matches(&good));
+        assert!(!pred.matches(&wrong_method));
+        assert!(!pred.matches(&missing_header));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut table = RouteTable::new();
+        table.push(RouteRule::new(
+            "canary-beta-users",
+            RoutePredicate {
+                headers: vec![HeaderPredicate::Cookie {
+                    key: "group".into(),
+                    value: "beta".into(),
+                }],
+                ..Default::default()
+            },
+            vec![WeightedTarget::new("v2", 100)],
+        ));
+        table.push(RouteRule::new(
+            "default",
+            RoutePredicate::any(),
+            vec![WeightedTarget::new("v1", 100)],
+        ));
+
+        let beta = Request::get("/").with_header("Cookie", "group=beta");
+        let plain = Request::get("/");
+        assert_eq!(table.route(&beta, 0.5), Some(("canary-beta-users", "v2")));
+        assert_eq!(table.route(&plain, 0.5), Some(("default", "v1")));
+    }
+
+    #[test]
+    fn weighted_split_respects_proportions() {
+        // 90/10 canary: draws below 0.9 go v1.
+        let rule = RouteRule::new(
+            "split",
+            RoutePredicate::any(),
+            vec![WeightedTarget::new("v1", 90), WeightedTarget::new("v2", 10)],
+        );
+        assert_eq!(rule.select_target(0.0).name, "v1");
+        assert_eq!(rule.select_target(0.89).name, "v1");
+        assert_eq!(rule.select_target(0.91).name, "v2");
+        assert_eq!(rule.select_target(0.999).name, "v2");
+        // Statistical check.
+        let n = 100_000;
+        let v2 = (0..n)
+            .filter(|i| rule.select_target(*i as f64 / n as f64).name == "v2")
+            .count();
+        let frac = v2 as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.005, "{frac}");
+    }
+
+    #[test]
+    fn unmatched_request_routes_nowhere() {
+        let mut table = RouteTable::new();
+        table.push(RouteRule::new(
+            "only-api",
+            RoutePredicate::prefix("/api"),
+            vec![WeightedTarget::new("v1", 1)],
+        ));
+        assert!(table.route(&Request::get("/other"), 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no targets")]
+    fn empty_targets_rejected() {
+        RouteRule::new("bad", RoutePredicate::any(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn zero_weight_rejected() {
+        RouteRule::new(
+            "bad",
+            RoutePredicate::any(),
+            vec![WeightedTarget::new("v1", 0)],
+        );
+    }
+
+    #[test]
+    fn config_bytes_grow_with_rules() {
+        let mut t = RouteTable::new();
+        let one = {
+            t.push(RouteRule::new(
+                "r1",
+                RoutePredicate::any(),
+                vec![WeightedTarget::new("v1", 1)],
+            ));
+            t.config_bytes()
+        };
+        t.push(RouteRule::new(
+            "r2",
+            RoutePredicate::prefix("/x"),
+            vec![WeightedTarget::new("v1", 1), WeightedTarget::new("v2", 1)],
+        ));
+        assert!(t.config_bytes() > one);
+    }
+}

@@ -1,0 +1,184 @@
+//! Zero-trust authorization policies (§4.1.1).
+//!
+//! Authorization is the one zero-trust feature the paper *can* deploy
+//! remotely: "input and processing logic being information carried by
+//! packets and traffic admission rules". Rules match on verified source
+//! identity, path and method; first match wins with a configurable default.
+
+use canal_http::Request;
+
+/// Allow or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthzAction {
+    /// Admit the request.
+    Allow,
+    /// Reject with 403.
+    Deny,
+}
+
+/// One authorization rule.
+#[derive(Debug, Clone)]
+pub struct AuthzRule {
+    /// Source workload identities this rule applies to (empty = any).
+    pub source_identities: Vec<u64>,
+    /// Path prefix constraint (empty = any).
+    pub path_prefix: String,
+    /// Method constraint (None = any).
+    pub method: Option<String>,
+    /// Verdict when matched.
+    pub action: AuthzAction,
+}
+
+impl AuthzRule {
+    /// Allow `identities` to call paths under `prefix`.
+    pub fn allow(identities: &[u64], prefix: &str) -> Self {
+        AuthzRule {
+            source_identities: identities.to_vec(),
+            path_prefix: prefix.to_string(),
+            method: None,
+            action: AuthzAction::Allow,
+        }
+    }
+
+    /// Deny `identities` on paths under `prefix`.
+    pub fn deny(identities: &[u64], prefix: &str) -> Self {
+        AuthzRule {
+            action: AuthzAction::Deny,
+            ..Self::allow(identities, prefix)
+        }
+    }
+
+    fn matches(&self, source_identity: u64, req: &Request) -> bool {
+        if !self.source_identities.is_empty() && !self.source_identities.contains(&source_identity)
+        {
+            return false;
+        }
+        if !self.path_prefix.is_empty() && !req.path_only().starts_with(&self.path_prefix) {
+            return false;
+        }
+        if let Some(m) = &self.method {
+            if req.method.as_str() != m {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An ordered authorization policy with a default verdict.
+#[derive(Debug, Clone)]
+pub struct AuthzPolicy {
+    rules: Vec<AuthzRule>,
+    /// Verdict when no rule matches. Zero-trust default is deny.
+    pub default_action: AuthzAction,
+}
+
+impl AuthzPolicy {
+    /// Zero-trust policy: default deny.
+    pub fn default_deny() -> Self {
+        AuthzPolicy {
+            rules: Vec::new(),
+            default_action: AuthzAction::Deny,
+        }
+    }
+
+    /// Permissive policy: default allow (tenants without L7 security).
+    pub fn default_allow() -> Self {
+        AuthzPolicy {
+            rules: Vec::new(),
+            default_action: AuthzAction::Allow,
+        }
+    }
+
+    /// Append a rule (evaluated in insertion order; first match wins).
+    pub fn push(&mut self, rule: AuthzRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the policy has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluate a request from a *verified* source identity (the mTLS layer
+    /// established it; see `canal_crypto::mtls`).
+    pub fn check(&self, source_identity: u64, req: &Request) -> AuthzAction {
+        self.rules
+            .iter()
+            .find(|r| r.matches(source_identity, req))
+            .map(|r| r.action)
+            .unwrap_or(self.default_action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_http::Request;
+
+    #[test]
+    fn default_deny_blocks_everything() {
+        let p = AuthzPolicy::default_deny();
+        assert_eq!(p.check(1, &Request::get("/")), AuthzAction::Deny);
+    }
+
+    #[test]
+    fn allow_rule_admits_matching_identity() {
+        let mut p = AuthzPolicy::default_deny();
+        p.push(AuthzRule::allow(&[100, 101], "/api"));
+        assert_eq!(p.check(100, &Request::get("/api/x")), AuthzAction::Allow);
+        assert_eq!(p.check(101, &Request::get("/api")), AuthzAction::Allow);
+        // Wrong identity or path: default deny.
+        assert_eq!(p.check(999, &Request::get("/api/x")), AuthzAction::Deny);
+        assert_eq!(p.check(100, &Request::get("/admin")), AuthzAction::Deny);
+    }
+
+    #[test]
+    fn first_match_wins_over_later_rules() {
+        let mut p = AuthzPolicy::default_allow();
+        p.push(AuthzRule::deny(&[666], ""));
+        p.push(AuthzRule::allow(&[666], "/public"));
+        // The deny comes first, so even /public is blocked for 666.
+        assert_eq!(p.check(666, &Request::get("/public")), AuthzAction::Deny);
+        assert_eq!(p.check(1, &Request::get("/public")), AuthzAction::Allow);
+    }
+
+    #[test]
+    fn method_constraint() {
+        let mut p = AuthzPolicy::default_deny();
+        let mut rule = AuthzRule::allow(&[], "/data");
+        rule.method = Some("GET".into());
+        p.push(rule);
+        assert_eq!(p.check(5, &Request::get("/data/1")), AuthzAction::Allow);
+        assert_eq!(
+            p.check(5, &Request::post("/data/1", &b""[..])),
+            AuthzAction::Deny
+        );
+    }
+
+    #[test]
+    fn empty_identity_list_matches_anyone() {
+        let mut p = AuthzPolicy::default_deny();
+        p.push(AuthzRule::allow(&[], "/healthz"));
+        assert_eq!(p.check(42, &Request::get("/healthz")), AuthzAction::Allow);
+        assert_eq!(p.check(43, &Request::get("/healthz")), AuthzAction::Allow);
+    }
+
+    #[test]
+    fn query_string_does_not_defeat_prefix() {
+        let mut p = AuthzPolicy::default_deny();
+        p.push(AuthzRule::allow(&[1], "/api"));
+        assert_eq!(
+            p.check(1, &Request::get("/api/items?id=2")),
+            AuthzAction::Allow
+        );
+        // Path traversal outside the prefix stays denied.
+        assert_eq!(p.check(1, &Request::get("/secrets?x=/api")), AuthzAction::Deny);
+    }
+}

@@ -1,0 +1,45 @@
+//! # canal-mesh
+//!
+//! The core of the reproduction: the service-mesh L7 engine and the three
+//! data-plane architectures the paper evaluates against each other.
+//!
+//! * [`costs`] — the calibrated cost model. Every per-step constant lives
+//!   here, with the paper figure it was calibrated against.
+//! * [`l7`] — the L7 engine every architecture shares: real HTTP parsing,
+//!   route control, weighted traffic splitting / canary / A-B, authorization
+//!   and rate limiting.
+//! * [`authz`] — zero-trust authorization policies.
+//! * Rate limiting reuses [`canal_net::ratelimit::TokenBucket`] (shared with
+//!   the gateway's §6.2 throttling).
+//! * [`path`] — the request-path executor: a request is a sequence of
+//!   [`path::Step`]s over named CPU stages; queueing delay and CPU
+//!   utilization come from `canal_sim::CpuServer` integration, so the
+//!   latency knees of Figs. 2/11 *emerge* rather than being asserted.
+//! * [`arch`] — [`arch::MeshArchitecture`]: the Sidecar (Istio-like),
+//!   Ambient-like, and Canal data planes as step-plan builders plus the
+//!   proxy/component inventory each needs (for resource and control-plane
+//!   accounting).
+//! * [`resources`] — the per-pod sidecar resource model behind Table 1 and
+//!   Fig. 3.
+//! * [`observability`] — the §4.1.1 split: L4 per-pod labeling at the
+//!   on-node proxy, rich L7 logs at the gateway, and trace assembly.
+//! * [`proxyless`] — the Appendix B proxyless mode: DNS redirection,
+//!   ENI-based authentication, semi-managed encryption.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod authz;
+pub mod costs;
+pub mod l7;
+pub mod observability;
+pub mod path;
+pub mod proxyless;
+pub mod resources;
+
+pub use arch::{Architecture, MeshArchitecture, RequestCtx};
+pub use authz::{AuthzAction, AuthzPolicy, AuthzRule};
+pub use costs::CostModel;
+pub use l7::{L7Engine, L7Outcome};
+pub use path::{PathExecutor, StageId, Step};
+pub use canal_net::ratelimit::TokenBucket;

@@ -1,0 +1,274 @@
+//! The cloud-based proxyless service mesh (Appendix B).
+//!
+//! For customers who block *any* third-party footprint on their nodes, even
+//! the on-node proxy goes away:
+//!
+//! * **Redirection** moves to DNS: with the customer's permission, service
+//!   names resolve to the mesh gateway's VIPs instead of pod IPs.
+//! * **Authentication** moves to the virtual network interfaces (ENIs)
+//!   attached to the containers — the fabric guarantees traffic through an
+//!   ENI cannot be forged. The costs the paper calls out are modeled: each
+//!   container needs its own ENI (per-node memory + an IP from the subnet),
+//!   and nodes hit the interface limit as containers grow.
+//! * **Encryption** becomes semi-managed: user-held certificates (full
+//!   equivalence) or gateway-terminated TLS (requires trusting the cloud).
+//! * **Observability** degrades to gateway-only (partial; see
+//!   [`crate::observability::Trace::is_end_to_end`]).
+
+use canal_cluster::dns::DnsView;
+use canal_net::{AzId, NodeId, PodId, VpcAddr};
+use std::collections::BTreeMap;
+
+/// Encryption management mode under proxyless deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxylessEncryption {
+    /// The user manages certificates; equivalent to the on-node-proxy mode.
+    UserManagedCerts,
+    /// TLS terminates at the mesh gateway; requires trusting the provider.
+    GatewayTerminated,
+    /// No encryption (plaintext to the gateway) — strongly discouraged.
+    None,
+}
+
+/// Errors from ENI management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EniError {
+    /// The node reached its interface limit.
+    NodeInterfaceLimit,
+    /// The subnet ran out of allocatable IPs.
+    SubnetExhausted,
+    /// The container already has an ENI.
+    AlreadyAttached,
+}
+
+/// One attached virtual network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eni {
+    /// Owning container/pod.
+    pub pod: PodId,
+    /// Node holding the interface.
+    pub node: NodeId,
+    /// Fabric-allocated IP.
+    pub ip: VpcAddr,
+    /// Memory the interface pins on the node (bytes).
+    pub node_memory: u64,
+}
+
+/// The ENI registry: per-container interfaces with node limits and subnet
+/// accounting (the two growth problems Appendix B names).
+#[derive(Debug)]
+pub struct EniRegistry {
+    per_node_limit: usize,
+    memory_per_eni: u64,
+    subnet_capacity: usize,
+    subnet_base: VpcAddr,
+    next_host: u32,
+    by_pod: BTreeMap<PodId, Eni>,
+    per_node: BTreeMap<NodeId, usize>,
+}
+
+impl EniRegistry {
+    /// Registry with a per-node interface limit and a subnet of
+    /// `subnet_capacity` allocatable addresses starting at `subnet_base`.
+    pub fn new(per_node_limit: usize, subnet_base: VpcAddr, subnet_capacity: usize) -> Self {
+        assert!(per_node_limit > 0 && subnet_capacity > 0);
+        EniRegistry {
+            per_node_limit,
+            memory_per_eni: 8 << 20, // ~8 MiB of node memory per interface
+            subnet_capacity,
+            subnet_base,
+            next_host: 0,
+            by_pod: BTreeMap::new(),
+            per_node: BTreeMap::new(),
+        }
+    }
+
+    /// Attach an ENI to a container.
+    pub fn attach(&mut self, pod: PodId, node: NodeId) -> Result<Eni, EniError> {
+        if self.by_pod.contains_key(&pod) {
+            return Err(EniError::AlreadyAttached);
+        }
+        let used = self.per_node.get(&node).copied().unwrap_or(0);
+        if used >= self.per_node_limit {
+            return Err(EniError::NodeInterfaceLimit);
+        }
+        if self.by_pod.len() >= self.subnet_capacity {
+            return Err(EniError::SubnetExhausted);
+        }
+        self.next_host += 1;
+        let eni = Eni {
+            pod,
+            node,
+            ip: VpcAddr::from_ip(self.subnet_base.vpc, self.subnet_base.ip + self.next_host),
+            node_memory: self.memory_per_eni,
+        };
+        self.by_pod.insert(pod, eni);
+        *self.per_node.entry(node).or_insert(0) += 1;
+        Ok(eni)
+    }
+
+    /// Detach a container's ENI.
+    pub fn detach(&mut self, pod: PodId) -> bool {
+        if let Some(eni) = self.by_pod.remove(&pod) {
+            if let Some(n) = self.per_node.get_mut(&eni.node) {
+                *n -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verify the claimed source of a packet: the fabric guarantees traffic
+    /// through an ENI carries its allocated IP, so source authenticity
+    /// reduces to an exact (pod, ip) match.
+    pub fn authenticate(&self, pod: PodId, claimed_ip: VpcAddr) -> bool {
+        self.by_pod.get(&pod).is_some_and(|e| e.ip == claimed_ip)
+    }
+
+    /// Total node memory pinned by interfaces on `node`.
+    pub fn node_memory(&self, node: NodeId) -> u64 {
+        self.by_pod
+            .values()
+            .filter(|e| e.node == node)
+            .map(|e| e.node_memory)
+            .sum()
+    }
+
+    /// Attached interface count.
+    pub fn len(&self) -> usize {
+        self.by_pod.len()
+    }
+
+    /// Whether no interface is attached.
+    pub fn is_empty(&self) -> bool {
+        self.by_pod.is_empty()
+    }
+}
+
+/// Proxyless redirection: point a service's DNS name at the gateway VIPs.
+/// Returns the records written. The caller supplies the tenant's consent
+/// explicitly — the paper is emphatic that this happens "with the user's
+/// permission".
+pub fn install_dns_redirect(
+    dns: &mut DnsView,
+    service_name: &str,
+    gateway_vips: &[(AzId, VpcAddr)],
+    user_consented: bool,
+) -> Result<usize, &'static str> {
+    if !user_consented {
+        return Err("DNS redirection requires the tenant's consent");
+    }
+    for &(az, vip) in gateway_vips {
+        dns.add(service_name, az, vip);
+    }
+    Ok(gateway_vips.len())
+}
+
+/// Feature matrix of the deployment modes (the Appendix B trade-off table):
+/// `(traffic_control, zero_trust_full, observability_full)`.
+pub fn feature_matrix(mode: ProxylessEncryption) -> (bool, bool, bool) {
+    match mode {
+        // Traffic control always holds (it lives at the gateway). Zero
+        // trust holds only with user-managed certs; observability is always
+        // partial without the on-node proxy.
+        ProxylessEncryption::UserManagedCerts => (true, true, false),
+        ProxylessEncryption::GatewayTerminated => (true, false, false),
+        ProxylessEncryption::None => (true, false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::VpcId;
+
+    fn base() -> VpcAddr {
+        VpcAddr::new(VpcId(1), 10, 200, 0, 0)
+    }
+
+    #[test]
+    fn attach_allocates_unique_ips() {
+        let mut reg = EniRegistry::new(8, base(), 100);
+        let a = reg.attach(PodId(1), NodeId(1)).unwrap();
+        let b = reg.attach(PodId(2), NodeId(1)).unwrap();
+        assert_ne!(a.ip, b.ip);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.node_memory(NodeId(1)), 2 * (8 << 20));
+    }
+
+    #[test]
+    fn node_interface_limit_hits_as_containers_grow() {
+        // The first Appendix-B issue: "as the number of containers grows,
+        // the maximum limit of interfaces is easily hit".
+        let mut reg = EniRegistry::new(4, base(), 1000);
+        for i in 0..4 {
+            reg.attach(PodId(i), NodeId(1)).unwrap();
+        }
+        assert_eq!(
+            reg.attach(PodId(99), NodeId(1)),
+            Err(EniError::NodeInterfaceLimit)
+        );
+        // Another node still has room.
+        assert!(reg.attach(PodId(99), NodeId(2)).is_ok());
+        // Detaching frees a slot.
+        assert!(reg.detach(PodId(0)));
+        assert!(reg.attach(PodId(100), NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn subnet_exhaustion() {
+        let mut reg = EniRegistry::new(100, base(), 3);
+        for i in 0..3 {
+            reg.attach(PodId(i), NodeId(i)).unwrap();
+        }
+        assert_eq!(reg.attach(PodId(9), NodeId(9)), Err(EniError::SubnetExhausted));
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut reg = EniRegistry::new(8, base(), 10);
+        reg.attach(PodId(1), NodeId(1)).unwrap();
+        assert_eq!(reg.attach(PodId(1), NodeId(2)), Err(EniError::AlreadyAttached));
+        assert!(!reg.detach(PodId(42)));
+    }
+
+    #[test]
+    fn eni_authentication() {
+        let mut reg = EniRegistry::new(8, base(), 10);
+        let eni = reg.attach(PodId(7), NodeId(1)).unwrap();
+        assert!(reg.authenticate(PodId(7), eni.ip));
+        // Forged source IP fails (the fabric would have dropped it).
+        let forged = VpcAddr::new(VpcId(1), 10, 200, 0, 99);
+        assert!(!reg.authenticate(PodId(7), forged));
+        assert!(!reg.authenticate(PodId(8), eni.ip));
+    }
+
+    #[test]
+    fn dns_redirect_requires_consent() {
+        let mut dns = DnsView::new();
+        let vips = [(AzId(0), VpcAddr::new(VpcId(0), 172, 16, 0, 1))];
+        assert!(install_dns_redirect(&mut dns, "orders.tenant", &vips, false).is_err());
+        assert_eq!(
+            install_dns_redirect(&mut dns, "orders.tenant", &vips, true),
+            Ok(1)
+        );
+        assert!(dns.resolve("orders.tenant", AzId(0)).is_some());
+    }
+
+    #[test]
+    fn feature_matrix_matches_appendix() {
+        // Traffic control survives every mode; full zero trust needs
+        // user-managed certs; observability is always partial.
+        for mode in [
+            ProxylessEncryption::UserManagedCerts,
+            ProxylessEncryption::GatewayTerminated,
+            ProxylessEncryption::None,
+        ] {
+            let (tc, zt, obs) = feature_matrix(mode);
+            assert!(tc);
+            assert!(!obs);
+            assert_eq!(zt, mode == ProxylessEncryption::UserManagedCerts);
+        }
+    }
+}

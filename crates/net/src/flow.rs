@@ -1,0 +1,220 @@
+//! Capacity-bounded session tables.
+//!
+//! A gateway replica's connection state lives in SmartNIC-backed memory with
+//! a hard session budget (§3.2 Issue #4): once the table fills, new flows are
+//! refused even though the CPU may be nearly idle — the imbalance session
+//! aggregation (§4.4) exists to fix. [`SessionTable`] models exactly that:
+//! bounded capacity, idle-timeout aging, and occupancy accounting.
+
+use crate::packet::FiveTuple;
+use canal_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Key identifying a session (the five-tuple).
+pub type SessionKey = FiveTuple;
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The table is at capacity (SmartNIC session memory exhausted).
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct SessionEntry {
+    last_seen: SimTime,
+    established_at: SimTime,
+}
+
+/// A bounded session table with idle-timeout aging.
+#[derive(Debug)]
+pub struct SessionTable {
+    capacity: usize,
+    idle_timeout: SimDuration,
+    entries: HashMap<SessionKey, SessionEntry>,
+    /// Total sessions ever accepted.
+    accepted: u64,
+    /// Insertions refused because the table was full.
+    rejected: u64,
+    /// Sessions removed by aging.
+    expired: u64,
+}
+
+impl SessionTable {
+    /// New table with a session budget and idle timeout.
+    pub fn new(capacity: usize, idle_timeout: SimDuration) -> Self {
+        assert!(capacity > 0);
+        SessionTable {
+            capacity,
+            idle_timeout,
+            entries: HashMap::new(),
+            accepted: 0,
+            rejected: 0,
+            expired: 0,
+        }
+    }
+
+    /// Current live session count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Session budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy fraction in [0, 1].
+    pub fn occupancy(&self) -> f64 {
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// Whether a session exists for this key.
+    pub fn contains(&self, key: &SessionKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Record a new session. Errors if at capacity (after opportunistically
+    /// expiring idle sessions).
+    pub fn establish(&mut self, key: SessionKey, now: SimTime) -> Result<(), SessionError> {
+        if self.entries.contains_key(&key) {
+            // Re-establishing refreshes the timestamp.
+            self.touch(&key, now);
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            self.expire_idle(now);
+        }
+        if self.entries.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(SessionError::Full);
+        }
+        self.entries.insert(
+            key,
+            SessionEntry {
+                last_seen: now,
+                established_at: now,
+            },
+        );
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Refresh a session's idle timer on traffic. Returns false if no such
+    /// session exists (caller should treat the packet as a stray).
+    pub fn touch(&mut self, key: &SessionKey, now: SimTime) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_seen = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicitly close a session. Returns session age if it existed.
+    pub fn close(&mut self, key: &SessionKey, now: SimTime) -> Option<SimDuration> {
+        self.entries
+            .remove(key)
+            .map(|e| now.since(e.established_at))
+    }
+
+    /// Drop every session idle past the timeout. Returns how many expired.
+    pub fn expire_idle(&mut self, now: SimTime) -> usize {
+        let timeout = self.idle_timeout;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.since(e.last_seen) < timeout);
+        let removed = before - self.entries.len();
+        self.expired += removed as u64;
+        removed
+    }
+
+    /// Keys of all live sessions (unordered).
+    pub fn keys(&self) -> impl Iterator<Item = &SessionKey> {
+        self.entries.keys()
+    }
+
+    /// Lifetime counters: (accepted, rejected, expired).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accepted, self.rejected, self.expired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Endpoint, VpcAddr};
+    use crate::ids::VpcId;
+
+    fn key(sport: u16) -> SessionKey {
+        FiveTuple::tcp(
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 2), 443),
+        )
+    }
+
+    const T: fn(u64) -> SimTime = SimTime::from_secs;
+
+    #[test]
+    fn establish_and_close() {
+        let mut t = SessionTable::new(10, SimDuration::from_secs(60));
+        assert!(t.establish(key(1), T(0)).is_ok());
+        assert!(t.contains(&key(1)));
+        assert_eq!(t.len(), 1);
+        let age = t.close(&key(1), T(5)).unwrap();
+        assert_eq!(age, SimDuration::from_secs(5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = SessionTable::new(3, SimDuration::from_secs(60));
+        for i in 0..3 {
+            assert!(t.establish(key(i), T(0)).is_ok());
+        }
+        assert_eq!(t.establish(key(99), T(1)), Err(SessionError::Full));
+        let (acc, rej, _) = t.stats();
+        assert_eq!((acc, rej), (3, 1));
+        assert!((t.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_table_admits_after_idle_expiry() {
+        let mut t = SessionTable::new(2, SimDuration::from_secs(10));
+        t.establish(key(1), T(0)).unwrap();
+        t.establish(key(2), T(0)).unwrap();
+        // 15s later the old sessions are idle-expired, making room.
+        assert!(t.establish(key(3), T(15)).is_ok());
+        assert_eq!(t.len(), 1);
+        let (_, _, expired) = t.stats();
+        assert_eq!(expired, 2);
+    }
+
+    #[test]
+    fn touch_keeps_sessions_alive() {
+        let mut t = SessionTable::new(2, SimDuration::from_secs(10));
+        t.establish(key(1), T(0)).unwrap();
+        assert!(t.touch(&key(1), T(8)));
+        assert_eq!(t.expire_idle(T(12)), 0); // refreshed at t=8
+        assert_eq!(t.expire_idle(T(19)), 1); // 11s idle now
+        assert!(!t.touch(&key(1), T(20)));
+    }
+
+    #[test]
+    fn reestablish_is_idempotent() {
+        let mut t = SessionTable::new(2, SimDuration::from_secs(10));
+        t.establish(key(1), T(0)).unwrap();
+        t.establish(key(1), T(5)).unwrap();
+        assert_eq!(t.len(), 1);
+        let (acc, _, _) = t.stats();
+        assert_eq!(acc, 1);
+        // The re-establish refreshed last_seen to t=5.
+        assert_eq!(t.expire_idle(T(12)), 0);
+    }
+}

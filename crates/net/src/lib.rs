@@ -1,0 +1,34 @@
+//! # canal-net
+//!
+//! Network substrate for the Canal Mesh reproduction: identifiers and
+//! addressing (with the deliberate cross-tenant VPC address overlap the paper
+//! highlights), five-tuples, a byte-accurate VXLAN encapsulation codec with
+//! the vSwitch VNI→service-ID mapping of §4.2, ECMP and bucket hashing used
+//! by the disaggregated load balancer, the Nagle small-packet aggregation
+//! buffer of §4.1.2, and capacity-bounded session tables modeling
+//! SmartNIC-backed session memory (§3.2 Issue #4).
+//!
+//! Everything here is real data-path code operating on real bytes; only
+//! *time* comes from `canal-sim`.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod conn;
+pub mod ecmp;
+pub mod flow;
+pub mod ids;
+pub mod nagle;
+pub mod packet;
+pub mod ratelimit;
+pub mod vxlan;
+
+pub use addr::{Endpoint, VpcAddr};
+pub use conn::{TcpConn, TcpState};
+pub use ecmp::{bucket_of, ecmp_select, hash_five_tuple};
+pub use flow::{SessionKey, SessionTable};
+pub use ids::{AzId, GlobalServiceId, NodeId, PodId, ServiceId, TenantId, VpcId};
+pub use nagle::NagleBuffer;
+pub use ratelimit::TokenBucket;
+pub use packet::{FiveTuple, Packet, Proto};
+pub use vxlan::{VSwitch, VxlanFrame, VXLAN_OVERHEAD};

@@ -1,0 +1,41 @@
+//! # canal-sim
+//!
+//! Deterministic discrete-event simulation substrate for the Canal Mesh
+//! reproduction.
+//!
+//! The crate provides four building blocks used by every other crate in the
+//! workspace:
+//!
+//! * [`time`] — a nanosecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) with no dependency on wall-clock time, so every run is
+//!   reproducible.
+//! * [`engine`] — an event queue and driver loop in the classic
+//!   model-handles-event style: the model is an explicit state machine, the
+//!   engine owns time.
+//! * [`rng`] — a seeded random-number source with the distribution samplers
+//!   the workloads need (exponential, normal, lognormal, Pareto, Zipf).
+//! * [`metrics`] / [`stats`] / [`output`] — counters, gauges, log-bucketed
+//!   histograms, time series, summary statistics, and plain-text/CSV table
+//!   writers used by the experiment harness.
+//! * [`queueing`] — a multi-core FIFO server used to model proxy CPUs; both
+//!   queueing delay and CPU utilization fall out of busy-time integration
+//!   rather than closed-form approximations.
+//!
+//! Design follows the event-driven, allocation-conscious style of embedded
+//! TCP/IP stacks: explicit state machines, no async runtime, no global state.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod output;
+pub mod queueing;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Model, Scheduler, Simulation};
+pub use metrics::{Counter, Gauge, Histogram, MetricSet, TimeSeries};
+pub use queueing::CpuServer;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

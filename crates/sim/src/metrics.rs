@@ -1,0 +1,449 @@
+//! Metrics primitives used throughout the workspace.
+//!
+//! * [`Counter`] — monotonically increasing event count.
+//! * [`Gauge`] — last-written value (e.g. instantaneous CPU utilization).
+//! * [`Histogram`] — log-bucketed value distribution with quantile queries;
+//!   resolution is ~4.6% per bucket (16 buckets per octave), bounded memory.
+//! * [`TimeSeries`] — (time, value) samples for the timeline figures.
+//! * [`MetricSet`] — a string-keyed registry an experiment can dump at the end.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Monotonic event counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Last-value gauge.
+#[derive(Debug, Default, Clone)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Add a delta (may be negative).
+    pub fn adjust(&mut self, dv: f64) {
+        self.value += dv;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+const BUCKETS_PER_OCTAVE: usize = 16;
+const SUB_ONE_BUCKET: usize = 0;
+
+/// Log-bucketed histogram over non-negative f64 values.
+///
+/// Values below 1.0 land in a single underflow bucket; above that, each
+/// octave is split into 16 geometric sub-buckets (≈4.4% relative error),
+/// which is ample for latency distributions spanning ns..minutes when the
+/// caller feeds nanoseconds or microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<usize, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v < 1.0 {
+            return SUB_ONE_BUCKET;
+        }
+        // log2(v) * 16, +1 so bucket 0 stays the underflow bucket.
+        (v.log2() * BUCKETS_PER_OCTAVE as f64).floor() as usize + 1
+    }
+
+    fn bucket_upper(idx: usize) -> f64 {
+        if idx == SUB_ONE_BUCKET {
+            1.0
+        } else {
+            2f64.powf(idx as f64 / BUCKETS_PER_OCTAVE as f64)
+        }
+    }
+
+    /// Record one observation. Negative values are clamped to zero.
+    pub fn record(&mut self, v: f64) {
+        let v = v.max(0.0);
+        *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Quantile in `[0,1]`, e.g. `0.99` for P99. Returns the upper bound of
+    /// the bucket containing the requested rank (clamped to observed max),
+    /// or 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// (time, value) samples for timeline plots (Figs. 16, 18, 20).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; samples must arrive in non-decreasing time order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(last, _)| t >= last),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Largest value over the window `[from, to]` (None if no samples there).
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean value over the window `[from, to]` (None if no samples there).
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// First time at which the value satisfies `pred`, at or after `from`.
+    pub fn first_time<F: Fn(f64) -> bool>(&self, from: SimTime, pred: F) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|&&(t, v)| t >= from && pred(v))
+            .map(|&(t, _)| t)
+    }
+}
+
+/// A string-keyed bundle of metrics an experiment dumps at the end.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter by name, created on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// Gauge by name, created on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// Histogram by name, created on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Time series by name, created on first use.
+    pub fn series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_string()).or_default()
+    }
+
+    /// Read-only counter lookup.
+    pub fn get_counter(&self, name: &str) -> Option<&Counter> {
+        self.counters.get(name)
+    }
+
+    /// Read-only histogram lookup.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Read-only series lookup.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterate histograms (name-sorted).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::new();
+        g.set(3.5);
+        g.adjust(-1.0);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Bucket resolution is ~4.4%; allow 6%.
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.06, "p50 {p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.06, "p99 {p99}");
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10_000.0);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_edge_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut h = Histogram::new();
+        h.record(42.0);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+        assert!(h.quantile(0.5) >= 42.0 * 0.95 && h.quantile(0.5) <= 42.0 * 1.05);
+    }
+
+    #[test]
+    fn histogram_sub_one_values() {
+        let mut h = Histogram::new();
+        h.record(0.25);
+        h.record(0.5);
+        h.record(-3.0); // clamps to 0
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5) <= 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1000 {
+            let v = (i * 7 % 503) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.9), whole.quantile(0.9));
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn timeseries_window_queries() {
+        let mut s = TimeSeries::new();
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(
+            s.max_in(SimTime::from_secs(2), SimTime::from_secs(5)),
+            Some(5.0)
+        );
+        assert_eq!(
+            s.mean_in(SimTime::from_secs(0), SimTime::from_secs(3)),
+            Some(1.5)
+        );
+        assert_eq!(
+            s.first_time(SimTime::from_secs(4), |v| v > 6.0),
+            Some(SimTime::from_secs(7))
+        );
+        assert_eq!(s.max_in(SimTime::from_secs(20), SimTime::from_secs(30)), None);
+        assert_eq!(s.last(), Some(9.0));
+    }
+
+    #[test]
+    fn metric_set_registry() {
+        let mut m = MetricSet::new();
+        m.counter("requests").add(10);
+        m.histogram("latency").record(5.0);
+        m.series("cpu").push(SimTime::ZERO, 0.4);
+        assert_eq!(m.get_counter("requests").unwrap().get(), 10);
+        assert_eq!(m.get_histogram("latency").unwrap().count(), 1);
+        assert_eq!(m.get_series("cpu").unwrap().len(), 1);
+        assert!(m.get_counter("absent").is_none());
+    }
+}

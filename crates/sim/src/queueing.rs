@@ -1,0 +1,229 @@
+//! Multi-core FIFO CPU server.
+//!
+//! Every proxy / gateway backend in the reproduction is modeled as a
+//! [`CpuServer`]: `cores` identical processors serving demands FIFO. Work is
+//! submitted as `(arrival, demand)` pairs; the server assigns each job to the
+//! earliest-free core and integrates busy time, so *queueing delay and CPU
+//! utilization emerge from the arrival process* rather than being asserted.
+//! This is what produces the latency knees of Fig. 2 / Fig. 11 organically.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A multi-core FIFO work-conserving server.
+#[derive(Debug, Clone)]
+pub struct CpuServer {
+    /// Instant each core becomes free.
+    core_free: Vec<SimTime>,
+    /// Total busy time integrated across all cores.
+    busy: SimDuration,
+    /// Jobs served.
+    jobs: u64,
+    /// Start of the current utilization accounting window.
+    window_start: SimTime,
+    /// Busy time accumulated inside the current window.
+    window_busy: SimDuration,
+}
+
+/// Outcome of submitting one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    /// When processing began (>= arrival).
+    pub start: SimTime,
+    /// When processing finished.
+    pub finish: SimTime,
+    /// Time spent waiting for a core.
+    pub queued: SimDuration,
+}
+
+impl CpuServer {
+    /// A server with `cores` processors, all free at t=0.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "server needs at least one core");
+        CpuServer {
+            core_free: vec![SimTime::ZERO; cores],
+            busy: SimDuration::ZERO,
+            jobs: 0,
+            window_start: SimTime::ZERO,
+            window_busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_free.len()
+    }
+
+    /// Submit a job arriving at `arrival` needing `demand` of CPU time.
+    /// Returns when it started, finished and how long it queued.
+    pub fn submit(&mut self, arrival: SimTime, demand: SimDuration) -> Served {
+        // Earliest-free core.
+        let (idx, &free) = self
+            .core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one core");
+        let start = free.max(arrival);
+        let finish = start + demand;
+        self.core_free[idx] = finish;
+        self.busy += demand;
+        self.window_busy += demand;
+        self.jobs += 1;
+        Served {
+            start,
+            finish,
+            queued: start.since(arrival),
+        }
+    }
+
+    /// Would a job arriving now wait? (i.e. are all cores busy past `now`)
+    pub fn backlogged(&self, now: SimTime) -> bool {
+        self.core_free.iter().all(|&t| t > now)
+    }
+
+    /// Instant the most-loaded core frees up.
+    pub fn drained_at(&self) -> SimTime {
+        *self.core_free.iter().max().expect("non-empty")
+    }
+
+    /// Total jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total CPU busy time integrated since creation.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Average utilization in `[0,1]` over `[0, now]` across all cores.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_nanos() as f64 * self.core_free.len() as f64;
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        (self.busy.as_nanos() as f64 / elapsed).min(1.0)
+    }
+
+    /// Utilization over the window since the last [`Self::reset_window`],
+    /// then restart the window at `now`. Used by the periodic backend
+    /// water-level monitors.
+    pub fn window_utilization(&mut self, now: SimTime) -> f64 {
+        let span = now.since(self.window_start).as_nanos() as f64 * self.core_free.len() as f64;
+        let u = if span <= 0.0 {
+            0.0
+        } else {
+            (self.window_busy.as_nanos() as f64 / span).min(1.0)
+        };
+        self.window_start = now;
+        self.window_busy = SimDuration::ZERO;
+        u
+    }
+
+    /// Restart the utilization window without reading it.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.window_busy = SimDuration::ZERO;
+    }
+
+    /// Equivalent cores of demand currently offered: mean number of busy
+    /// cores at instant `now` (0..=cores), a cheap instantaneous load probe.
+    pub fn busy_cores(&self, now: SimTime) -> usize {
+        self.core_free.iter().filter(|&&t| t > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: fn(u64) -> SimDuration = SimDuration::from_micros;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = CpuServer::new(2);
+        let r = s.submit(SimTime::from_micros(5), US(10));
+        assert_eq!(r.start, SimTime::from_micros(5));
+        assert_eq!(r.finish, SimTime::from_micros(15));
+        assert_eq!(r.queued, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jobs_queue_when_cores_busy() {
+        let mut s = CpuServer::new(1);
+        let a = s.submit(SimTime::ZERO, US(10));
+        let b = s.submit(SimTime::ZERO, US(10));
+        assert_eq!(a.queued, SimDuration::ZERO);
+        assert_eq!(b.start, a.finish);
+        assert_eq!(b.queued, US(10));
+    }
+
+    #[test]
+    fn two_cores_serve_two_jobs_in_parallel() {
+        let mut s = CpuServer::new(2);
+        let a = s.submit(SimTime::ZERO, US(10));
+        let b = s.submit(SimTime::ZERO, US(10));
+        assert_eq!(a.queued, SimDuration::ZERO);
+        assert_eq!(b.queued, SimDuration::ZERO);
+        let c = s.submit(SimTime::ZERO, US(10));
+        assert_eq!(c.queued, US(10));
+    }
+
+    #[test]
+    fn utilization_integrates_busy_time() {
+        let mut s = CpuServer::new(2);
+        s.submit(SimTime::ZERO, US(10));
+        // 10us busy over 2 cores * 20us elapsed = 25%.
+        let u = s.utilization(SimTime::from_micros(20));
+        assert!((u - 0.25).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn window_utilization_resets() {
+        let mut s = CpuServer::new(1);
+        s.submit(SimTime::ZERO, US(50));
+        let u1 = s.window_utilization(SimTime::from_micros(100));
+        assert!((u1 - 0.5).abs() < 1e-9);
+        // Fresh window with no work: zero.
+        let u2 = s.window_utilization(SimTime::from_micros(200));
+        assert_eq!(u2, 0.0);
+    }
+
+    #[test]
+    fn backlog_detection() {
+        let mut s = CpuServer::new(1);
+        assert!(!s.backlogged(SimTime::ZERO));
+        s.submit(SimTime::ZERO, US(10));
+        assert!(s.backlogged(SimTime::from_micros(5)));
+        assert!(!s.backlogged(SimTime::from_micros(10)));
+        assert_eq!(s.drained_at(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn busy_core_count() {
+        let mut s = CpuServer::new(4);
+        s.submit(SimTime::ZERO, US(10));
+        s.submit(SimTime::ZERO, US(20));
+        assert_eq!(s.busy_cores(SimTime::from_micros(5)), 2);
+        assert_eq!(s.busy_cores(SimTime::from_micros(15)), 1);
+        assert_eq!(s.busy_cores(SimTime::from_micros(25)), 0);
+    }
+
+    #[test]
+    fn saturation_grows_queueing_delay() {
+        // Arrivals at 90% of service rate vs 110%: the overloaded server's
+        // queueing delay must diverge. This is the mechanism behind Fig. 2.
+        let service = US(10);
+        let mut under = CpuServer::new(1);
+        let mut over = CpuServer::new(1);
+        let mut last_under = SimDuration::ZERO;
+        let mut last_over = SimDuration::ZERO;
+        for i in 0..1000u64 {
+            last_under = under
+                .submit(SimTime::from_nanos(i * 11_111), service)
+                .queued;
+            last_over = over.submit(SimTime::from_nanos(i * 9_090), service).queued;
+        }
+        assert!(last_over > last_under * 5);
+    }
+}

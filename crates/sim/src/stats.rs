@@ -1,0 +1,167 @@
+//! Small exact-statistics helpers for experiment post-processing.
+//!
+//! Unlike [`crate::metrics::Histogram`] (bounded-memory, bucketed), these
+//! operate on full sample vectors and are exact — used where an experiment
+//! keeps every sample anyway (e.g. CDFs for Fig. 17).
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than 2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Exact percentile with linear interpolation, `q` in `[0,1]`.
+/// Returns 0 for empty input.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Evenly spaced CDF points `(value, cumulative_fraction)` for plotting.
+pub fn cdf_points(xs: &[f64], n_points: usize) -> Vec<(f64, f64)> {
+    if xs.is_empty() || n_points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (1..=n_points)
+        .map(|i| {
+            let frac = i as f64 / n_points as f64;
+            let idx = ((frac * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1);
+            (sorted[idx], frac)
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient of two equal-length series
+/// (0 if degenerate). Used by the root-cause-analysis trend matcher.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Half-width-at-half-maximum window of a 24-hour-style series: the
+/// contiguous index range around the global peak where values stay at or
+/// above `min + (max - min)/2`. Used by the §6.3 in-phase migration planner.
+pub fn hwhm_window(xs: &[f64]) -> Option<(usize, usize)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let (peak_idx, &peak) = xs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let half = min + (peak - min) / 2.0;
+    let mut lo = peak_idx;
+    while lo > 0 && xs[lo - 1] >= half {
+        lo -= 1;
+    }
+    let mut hi = peak_idx;
+    while hi + 1 < xs.len() && xs[hi + 1] >= half {
+        hi += 1;
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert!((percentile(&xs, 0.25) - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_points_monotonic() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = cdf_points(&xs, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 100.0);
+    }
+
+    #[test]
+    fn pearson_detects_correlation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-9);
+        let flat = vec![3.0; 50];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+    }
+
+    #[test]
+    fn hwhm_finds_peak_window() {
+        // Triangle peaking at index 5: half-max window should straddle 5.
+        let xs: Vec<f64> = (0..11).map(|i| 10.0 - (i as f64 - 5.0).abs() * 2.0).collect();
+        let (lo, hi) = hwhm_window(&xs).unwrap();
+        assert!(lo <= 5 && hi >= 5);
+        assert!(xs[lo] >= 5.0 && xs[hi] >= 5.0);
+        if lo > 0 {
+            assert!(xs[lo - 1] < 5.0);
+        }
+        assert_eq!(hwhm_window(&[]), None);
+    }
+}

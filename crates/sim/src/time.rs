@@ -1,0 +1,295 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an absolute instant on the simulation clock, measured in
+//! nanoseconds since the start of the run. [`SimDuration`] is a span between
+//! two instants. Both are thin wrappers over `u64`, `Copy`, totally ordered,
+//! and print in a human-readable unit chosen by magnitude.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock (nanoseconds since t=0).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since t=0.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since t=0.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since t=0 as a float (for metric timestamps).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional microseconds, rounding to the nearest nanosecond.
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDuration((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds, rounding to the nearest nanosecond.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Multiply by an integer count (e.g. n protocol-stack traversals).
+    pub const fn times(self, n: u64) -> Self {
+        SimDuration(self.0 * n)
+    }
+
+    /// Scale by a float factor, rounding to the nearest nanosecond.
+    pub fn scale(self, f: f64) -> Self {
+        SimDuration((self.0 as f64 * f).max(0.0).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> Self {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, t: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(t.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_sub(d.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, n: u64) -> SimDuration {
+        SimDuration(self.0 / n)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 10_000_000_000 {
+        write!(f, "{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 10_000_000 {
+        write!(f, "{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        write!(f, "{:.2}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+")?;
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_millis(5);
+        let d = SimDuration::from_micros(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_secs_f64(0.0015);
+        assert_eq!(d.as_nanos(), 1_500_000);
+        assert!((d.as_millis_f64() - 1.5).abs() < 1e-9);
+        assert!((d.as_micros_f64() - 1500.0).abs() < 1e-9);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d.times(3), SimDuration::from_micros(30));
+        assert_eq!(d.scale(0.5), SimDuration::from_micros(5));
+        assert_eq!(d * 2, SimDuration::from_micros(20));
+        assert_eq!(d / 2, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(120)), "120.00us");
+        assert_eq!(format!("{}", SimDuration::from_millis(34)), "34.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(70)), "70.00s");
+    }
+}

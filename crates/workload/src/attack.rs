@@ -1,0 +1,192 @@
+//! Abnormal-traffic scenarios (§6.2).
+//!
+//! Each scenario generates the observable *signature* the paper's monitors
+//! key on, so the monitor/classifier stack can be exercised end to end:
+//!
+//! * [`AttackKind::SessionFlood`] — many new TCP sessions, flat request
+//!   rate (Case #1's "#TCP sessions surged without a corresponding increase
+//!   in RPS") → expect a lossy migration.
+//! * [`AttackKind::SlowGrowth`] — traffic creeping up over hours, steadily
+//!   consuming auto-scaled resources (Case #2) → expect a lossless
+//!   migration after confirmation.
+//! * [`AttackKind::QueryOfDeath`] — rare requests with pathological
+//!   processing demand that can crash replicas in sequence (§4.2, the
+//!   motivation for >2-long redirector chains).
+
+use canal_sim::{SimDuration, SimRng, SimTime};
+
+/// The abnormal patterns of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// New-session flood with flat RPS.
+    SessionFlood,
+    /// Hours-long slow ramp.
+    SlowGrowth,
+    /// Occasional pathologically expensive queries.
+    QueryOfDeath,
+}
+
+/// A generated abnormal-traffic timeline.
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    /// Which pattern.
+    pub kind: AttackKind,
+    /// `(time, new_sessions_opened, requests_sent)` per second-long slot.
+    pub timeline: Vec<(SimTime, u64, u64)>,
+    /// For `QueryOfDeath`: CPU demand multiplier of poisoned requests.
+    pub poison_demand_factor: f64,
+    /// For `QueryOfDeath`: fraction of requests that are poisoned.
+    pub poison_fraction: f64,
+}
+
+impl AttackScenario {
+    /// A session flood starting at `onset`, opening `flood_sessions_per_s`
+    /// new sessions per second while request rate stays at `base_rps`.
+    pub fn session_flood(
+        duration: SimDuration,
+        onset: SimDuration,
+        base_rps: u64,
+        flood_sessions_per_s: u64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let secs = duration.as_secs_f64() as u64;
+        let onset_s = onset.as_secs_f64() as u64;
+        let timeline = (0..secs)
+            .map(|s| {
+                let jitter = |v: u64, rng: &mut SimRng| {
+                    ((v as f64) * rng.uniform(0.9, 1.1)) as u64
+                };
+                let sessions = if s >= onset_s {
+                    jitter(flood_sessions_per_s, rng)
+                } else {
+                    jitter(base_rps / 20, rng).max(1) // normal churn
+                };
+                (SimTime::from_secs(s), sessions, jitter(base_rps, rng))
+            })
+            .collect();
+        AttackScenario {
+            kind: AttackKind::SessionFlood,
+            timeline,
+            poison_demand_factor: 1.0,
+            poison_fraction: 0.0,
+        }
+    }
+
+    /// A slow multiplicative ramp over `duration` reaching `final_factor`×
+    /// the base rate.
+    pub fn slow_growth(
+        duration: SimDuration,
+        base_rps: u64,
+        final_factor: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let secs = duration.as_secs_f64() as u64;
+        let timeline = (0..secs)
+            .map(|s| {
+                let frac = s as f64 / secs.max(1) as f64;
+                let rate = base_rps as f64 * (1.0 + (final_factor - 1.0) * frac)
+                    * rng.uniform(0.95, 1.05);
+                (
+                    SimTime::from_secs(s),
+                    (rate / 20.0) as u64, // session churn proportional to rps
+                    rate as u64,
+                )
+            })
+            .collect();
+        AttackScenario {
+            kind: AttackKind::SlowGrowth,
+            timeline,
+            poison_demand_factor: 1.0,
+            poison_fraction: 0.0,
+        }
+    }
+
+    /// A query-of-death stream: normal load with a small poisoned fraction
+    /// whose demand is `demand_factor`× normal.
+    pub fn query_of_death(
+        duration: SimDuration,
+        base_rps: u64,
+        poison_fraction: f64,
+        demand_factor: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let secs = duration.as_secs_f64() as u64;
+        let timeline = (0..secs)
+            .map(|s| {
+                let rps = ((base_rps as f64) * rng.uniform(0.9, 1.1)) as u64;
+                (SimTime::from_secs(s), (rps / 20).max(1), rps)
+            })
+            .collect();
+        AttackScenario {
+            kind: AttackKind::QueryOfDeath,
+            timeline,
+            poison_demand_factor: demand_factor,
+            poison_fraction,
+        }
+    }
+
+    /// Peak sessions-per-second over the timeline.
+    pub fn peak_sessions(&self) -> u64 {
+        self.timeline.iter().map(|&(_, s, _)| s).max().unwrap_or(0)
+    }
+
+    /// Peak RPS over the timeline.
+    pub fn peak_rps(&self) -> u64 {
+        self.timeline.iter().map(|&(_, _, r)| r).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_flood_has_the_case1_signature() {
+        let mut rng = SimRng::seed(1);
+        let sc = AttackScenario::session_flood(
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(60),
+            1000,
+            50_000,
+            &mut rng,
+        );
+        // Sessions surge ~1000x; RPS stays flat.
+        let early_sessions: u64 = sc.timeline[..60].iter().map(|&(_, s, _)| s).sum();
+        let late_sessions: u64 = sc.timeline[60..].iter().map(|&(_, s, _)| s).sum();
+        assert!(late_sessions > early_sessions * 100);
+        let early_rps: u64 = sc.timeline[..60].iter().map(|&(_, _, r)| r).sum();
+        let late_rps: u64 = sc.timeline[60..].iter().map(|&(_, _, r)| r).sum();
+        let ratio = late_rps as f64 / early_rps as f64;
+        assert!((0.8..1.25).contains(&ratio), "rps moved: {ratio}");
+    }
+
+    #[test]
+    fn slow_growth_reaches_final_factor() {
+        let mut rng = SimRng::seed(2);
+        let sc = AttackScenario::slow_growth(SimDuration::from_secs(3600), 1000, 5.0, &mut rng);
+        let first = sc.timeline[0].2 as f64;
+        let last = sc.timeline.last().unwrap().2 as f64;
+        let growth = last / first;
+        assert!((3.8..6.3).contains(&growth), "{growth}");
+        // Monotone-ish: second half clearly above first half.
+        let h1: u64 = sc.timeline[..1800].iter().map(|&(_, _, r)| r).sum();
+        let h2: u64 = sc.timeline[1800..].iter().map(|&(_, _, r)| r).sum();
+        assert!(h2 > h1 * 2);
+    }
+
+    #[test]
+    fn query_of_death_poisons_a_fraction() {
+        let mut rng = SimRng::seed(3);
+        let sc = AttackScenario::query_of_death(
+            SimDuration::from_secs(60),
+            2000,
+            0.001,
+            500.0,
+            &mut rng,
+        );
+        assert_eq!(sc.kind, AttackKind::QueryOfDeath);
+        assert_eq!(sc.poison_fraction, 0.001);
+        assert_eq!(sc.poison_demand_factor, 500.0);
+        assert!(sc.peak_rps() > 1500);
+    }
+}

@@ -1,0 +1,112 @@
+//! Request mixes: protocol share, connection reuse, payload sizes.
+
+use canal_sim::SimRng;
+
+/// Parameters of a request population.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMix {
+    /// Fraction of HTTPS requests (≈3× resource cost, §6.3).
+    pub https_fraction: f64,
+    /// Fraction of requests opening a new connection (pay the handshake).
+    pub new_connection_fraction: f64,
+    /// Median request payload bytes (lognormal).
+    pub req_bytes_median: f64,
+    /// Median response payload bytes (lognormal).
+    pub resp_bytes_median: f64,
+    /// Lognormal sigma for payload sizes.
+    pub size_sigma: f64,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix {
+            https_fraction: 0.6,
+            new_connection_fraction: 0.05,
+            req_bytes_median: 512.0,
+            resp_bytes_median: 4096.0,
+            size_sigma: 0.8,
+        }
+    }
+}
+
+impl RequestMix {
+    /// The wrk-style short-HTTPS-flow mix of the Fig. 27/28 appendix
+    /// experiments: every request is a fresh HTTPS connection.
+    pub fn https_short_flows() -> Self {
+        RequestMix {
+            https_fraction: 1.0,
+            new_connection_fraction: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Plain HTTP with persistent connections (the Fig. 10 light workload).
+    pub fn http_keepalive() -> Self {
+        RequestMix {
+            https_fraction: 0.0,
+            new_connection_fraction: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Draw one request.
+    pub fn sample(&self, rng: &mut SimRng) -> SampledRequest {
+        SampledRequest {
+            https: rng.chance(self.https_fraction),
+            new_connection: rng.chance(self.new_connection_fraction),
+            req_bytes: rng.lognormal(self.req_bytes_median, self.size_sigma).min(1e8) as usize,
+            resp_bytes: rng.lognormal(self.resp_bytes_median, self.size_sigma).min(1e8) as usize,
+        }
+    }
+}
+
+/// One sampled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledRequest {
+    /// Whether the request is HTTPS.
+    pub https: bool,
+    /// Whether it opens a fresh connection.
+    pub new_connection: bool,
+    /// Request payload bytes.
+    pub req_bytes: usize,
+    /// Response payload bytes.
+    pub resp_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_converge() {
+        let mix = RequestMix::default();
+        let mut rng = SimRng::seed(1);
+        let n = 100_000;
+        let samples: Vec<SampledRequest> = (0..n).map(|_| mix.sample(&mut rng)).collect();
+        let https = samples.iter().filter(|s| s.https).count() as f64 / n as f64;
+        let fresh = samples.iter().filter(|s| s.new_connection).count() as f64 / n as f64;
+        assert!((https - 0.6).abs() < 0.01, "{https}");
+        assert!((fresh - 0.05).abs() < 0.005, "{fresh}");
+    }
+
+    #[test]
+    fn payload_medians_converge() {
+        let mix = RequestMix::default();
+        let mut rng = SimRng::seed(2);
+        let mut sizes: Vec<f64> = (0..50_000)
+            .map(|_| mix.sample(&mut rng).resp_bytes as f64)
+            .collect();
+        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sizes[sizes.len() / 2];
+        assert!((median - 4096.0).abs() < 300.0, "{median}");
+    }
+
+    #[test]
+    fn preset_mixes() {
+        let mut rng = SimRng::seed(3);
+        let s = RequestMix::https_short_flows().sample(&mut rng);
+        assert!(s.https && s.new_connection);
+        let k = RequestMix::http_keepalive().sample(&mut rng);
+        assert!(!k.https && !k.new_connection);
+    }
+}

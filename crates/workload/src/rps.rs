@@ -1,0 +1,268 @@
+//! Request-rate processes and arrival generation.
+
+use canal_sim::{SimRng, SimTime};
+
+/// A time-varying request rate (requests per second).
+#[derive(Debug, Clone)]
+pub enum RpsProcess {
+    /// Fixed rate.
+    Constant {
+        /// Requests per second.
+        rps: f64,
+    },
+    /// A daily sinusoid: `base + amplitude * (1 + cos(2π (t-phase)/period))/2`.
+    Diurnal {
+        /// Floor rate.
+        base: f64,
+        /// Peak-to-floor swing.
+        amplitude: f64,
+        /// Period (e.g. 24 h).
+        period: f64,
+        /// Peak offset in seconds.
+        phase: f64,
+    },
+    /// A sudden multiplicative spike over a window.
+    Spike {
+        /// Normal rate.
+        base: f64,
+        /// Spike start (seconds).
+        at: f64,
+        /// Spike duration (seconds).
+        duration: f64,
+        /// Multiplier during the spike.
+        factor: f64,
+    },
+    /// A linear ramp starting at `from` seconds.
+    Ramp {
+        /// Initial rate.
+        base: f64,
+        /// Ramp start (seconds).
+        from: f64,
+        /// Added rps per second after `from`.
+        slope: f64,
+    },
+    /// A hotspot flash crowd: instant surge then exponential decay.
+    FlashCrowd {
+        /// Normal rate.
+        base: f64,
+        /// Event time (seconds).
+        at: f64,
+        /// Instant surge added on top of base.
+        surge: f64,
+        /// Decay time constant (seconds).
+        decay: f64,
+    },
+}
+
+impl RpsProcess {
+    /// The instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let s = t.as_secs_f64();
+        match *self {
+            RpsProcess::Constant { rps } => rps,
+            RpsProcess::Diurnal {
+                base,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let x = (s - phase) / period * std::f64::consts::TAU;
+                base + amplitude * (1.0 + x.cos()) / 2.0
+            }
+            RpsProcess::Spike {
+                base,
+                at,
+                duration,
+                factor,
+            } => {
+                if s >= at && s < at + duration {
+                    base * factor
+                } else {
+                    base
+                }
+            }
+            RpsProcess::Ramp { base, from, slope } => {
+                base + slope * (s - from).max(0.0)
+            }
+            RpsProcess::FlashCrowd {
+                base,
+                at,
+                surge,
+                decay,
+            } => {
+                if s < at {
+                    base
+                } else {
+                    base + surge * (-(s - at) / decay).exp()
+                }
+            }
+        }
+    }
+
+    /// An upper bound on the rate over `[0, horizon]` (for thinning).
+    pub fn max_rate(&self, horizon: SimTime) -> f64 {
+        let h = horizon.as_secs_f64();
+        match *self {
+            RpsProcess::Constant { rps } => rps,
+            RpsProcess::Diurnal {
+                base, amplitude, ..
+            } => base + amplitude,
+            RpsProcess::Spike { base, factor, .. } => base * factor.max(1.0),
+            RpsProcess::Ramp { base, from, slope } => base + slope * (h - from).max(0.0),
+            RpsProcess::FlashCrowd { base, surge, .. } => base + surge,
+        }
+    }
+
+    /// Generate Poisson arrivals over `[0, horizon]` by thinning.
+    pub fn arrivals(&self, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        let lambda_max = self.max_rate(horizon).max(1e-9);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let h = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(1.0 / lambda_max);
+            if t > h {
+                break;
+            }
+            let at = SimTime::from_nanos((t * 1e9) as u64);
+            if rng.chance(self.rate_at(at) / lambda_max) {
+                out.push(at);
+            }
+        }
+        out
+    }
+
+    /// Sample the rate curve at `n` evenly spaced points over `[0, horizon]`
+    /// (the 24-hour series of §6.3).
+    pub fn sample_curve(&self, horizon: SimTime, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let frac = i as f64 / n as f64;
+                self.rate_at(SimTime::from_nanos(
+                    (horizon.as_nanos() as f64 * frac) as u64,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: SimTime = SimTime::from_secs(1000);
+
+    #[test]
+    fn constant_arrival_count_converges() {
+        let p = RpsProcess::Constant { rps: 50.0 };
+        let mut rng = SimRng::seed(1);
+        let arr = p.arrivals(H, &mut rng);
+        let expected = 50.0 * 1000.0;
+        assert!((arr.len() as f64 - expected).abs() < expected * 0.05, "{}", arr.len());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_peaks_at_phase() {
+        let p = RpsProcess::Diurnal {
+            base: 10.0,
+            amplitude: 100.0,
+            period: 86_400.0,
+            phase: 3600.0,
+        };
+        let at_peak = p.rate_at(SimTime::from_secs(3600));
+        let off_peak = p.rate_at(SimTime::from_secs(3600 + 43_200));
+        assert!((at_peak - 110.0).abs() < 1e-9);
+        assert!((off_peak - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spike_window() {
+        let p = RpsProcess::Spike {
+            base: 100.0,
+            at: 50.0,
+            duration: 10.0,
+            factor: 8.0,
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(49)), 100.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(55)), 800.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(60)), 100.0);
+        let mut rng = SimRng::seed(2);
+        let arr = p.arrivals(SimTime::from_secs(100), &mut rng);
+        let in_spike = arr
+            .iter()
+            .filter(|t| (50.0..60.0).contains(&t.as_secs_f64()))
+            .count();
+        let before = arr
+            .iter()
+            .filter(|t| t.as_secs_f64() < 50.0)
+            .count();
+        // 10s at 800 ≈ 8000 vs 50s at 100 ≈ 5000.
+        assert!(in_spike as f64 > before as f64 * 1.3);
+    }
+
+    #[test]
+    fn ramp_grows_linearly() {
+        let p = RpsProcess::Ramp {
+            base: 10.0,
+            from: 100.0,
+            slope: 2.0,
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(50)), 10.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(200)), 210.0);
+    }
+
+    #[test]
+    fn flash_crowd_decays() {
+        let p = RpsProcess::FlashCrowd {
+            base: 100.0,
+            at: 10.0,
+            surge: 1000.0,
+            decay: 30.0,
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(9)), 100.0);
+        assert!((p.rate_at(SimTime::from_secs(10)) - 1100.0).abs() < 1.0);
+        let later = p.rate_at(SimTime::from_secs(100));
+        assert!(later < 150.0 && later > 100.0);
+    }
+
+    #[test]
+    fn sample_curve_shape() {
+        let p = RpsProcess::Diurnal {
+            base: 0.0,
+            amplitude: 100.0,
+            period: 86_400.0,
+            phase: 43_200.0,
+        };
+        let curve = p.sample_curve(SimTime::from_secs(86_400), 96);
+        assert_eq!(curve.len(), 96);
+        let (peak_idx, _) = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Peak near midday (index 48).
+        assert!((44..=52).contains(&peak_idx), "{peak_idx}");
+    }
+
+    #[test]
+    fn thinning_respects_time_varying_rate() {
+        let p = RpsProcess::Diurnal {
+            base: 5.0,
+            amplitude: 200.0,
+            period: 1000.0,
+            phase: 500.0,
+        };
+        let mut rng = SimRng::seed(3);
+        let arr = p.arrivals(SimTime::from_secs(1000), &mut rng);
+        let hot = arr
+            .iter()
+            .filter(|t| (400.0..600.0).contains(&t.as_secs_f64()))
+            .count();
+        let cold = arr
+            .iter()
+            .filter(|t| t.as_secs_f64() < 200.0)
+            .count();
+        assert!(hot > cold * 3, "hot {hot} cold {cold}");
+    }
+}

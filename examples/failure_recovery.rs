@@ -1,0 +1,128 @@
+//! Hierarchical failure recovery and session consistency (Fig. 8, §4.2,
+//! App. C / Fig. 26).
+//!
+//! Walks the exact Fig. 8 scenario: replica failures, whole-backend
+//! failures, an AZ outage, the shuffle-sharding blast-radius guarantee —
+//! then shows the Beamer-style redirector keeping established sessions on
+//! their replica while one drains off.
+//!
+//! ```sh
+//! cargo run --example failure_recovery
+//! ```
+
+use canal::cluster::dns::DnsView;
+use canal::gateway::failure::{FailureDomain, PlacementView};
+use canal::gateway::redirector::BucketTable;
+use canal::gateway::sharding::ShuffleShardPlanner;
+use canal::net::{
+    AzId, Endpoint, FiveTuple, GlobalServiceId, ServiceId, TenantId, VpcAddr, VpcId,
+};
+use canal::sim::SimRng;
+
+fn main() {
+    // --- Fig. 8 placement: A on Backend1/2 (AZ1) + Backend3 (AZ2);
+    //     B on Backend2 + Backend4. ---
+    let svc_a = GlobalServiceId::compose(TenantId(1), ServiceId(0xA));
+    let svc_b = GlobalServiceId::compose(TenantId(2), ServiceId(0xB));
+    let mut view = PlacementView::new();
+    for (b, az) in [(1, 1), (2, 1), (3, 2), (4, 1)] {
+        view.add_backend(b, AzId(az), 3);
+    }
+    for b in [1, 2, 3] {
+        view.place(svc_a, b);
+    }
+    view.place(svc_b, 2);
+    view.place(svc_b, 4);
+
+    println!("--- replica level ---");
+    view.fail(FailureDomain::Replica(1, 0));
+    view.fail(FailureDomain::Replica(1, 1));
+    println!(
+        "two replicas of backend1 down; backend1 available: {}",
+        view.backend_available(1)
+    );
+
+    println!("\n--- backend level ---");
+    view.fail(FailureDomain::Backend(1));
+    println!(
+        "backend1 down; service A available in AZ1: {} (backend2 holds)",
+        view.service_available_in_az(svc_a, AzId(1))
+    );
+
+    println!("\n--- AZ level ---");
+    view.fail(FailureDomain::Az(AzId(1)));
+    println!(
+        "AZ1 down; service A available: {} (cross-AZ backend3), service B available: {}",
+        view.service_available(svc_a),
+        view.service_available(svc_b)
+    );
+    view.recover(FailureDomain::Az(AzId(1)));
+    view.recover(FailureDomain::Backend(1));
+
+    // --- DNS failover prefers the local AZ and spills only when empty. ---
+    println!("\n--- AZ-aware DNS ---");
+    let mut dns = DnsView::new();
+    let vip = |last| VpcAddr::new(VpcId(0), 172, 16, 0, last);
+    dns.add("gw.canal", AzId(1), vip(1));
+    dns.add("gw.canal", AzId(2), vip(2));
+    println!(
+        "client in AZ1 resolves to {}",
+        dns.resolve("gw.canal", AzId(1)).unwrap().addr
+    );
+    dns.set_health("gw.canal", vip(1), false);
+    println!(
+        "AZ1 VIP down: client now resolves to {}",
+        dns.resolve("gw.canal", AzId(1)).unwrap().addr
+    );
+
+    // --- Shuffle sharding: killing all of one service's backends never
+    //     takes a second service fully down. ---
+    println!("\n--- shuffle sharding blast radius ---");
+    let mut rng = SimRng::seed(99);
+    let mut planner = ShuffleShardPlanner::new(12, 3, 2);
+    for i in 0..20u32 {
+        planner.assign(GlobalServiceId::compose(TenantId(3), ServiceId(i)), &mut rng);
+    }
+    let victim = GlobalServiceId::compose(TenantId(3), ServiceId(0));
+    let combo = planner.combination(victim).unwrap().to_vec();
+    let lost = planner.services_lost_if(&combo);
+    println!(
+        "query of death kills backends {combo:?} -> services fully lost: {} of 20",
+        lost.len()
+    );
+
+    // --- Redirector session consistency during a replica drain. ---
+    println!("\n--- redirector drain (Fig. 26) ---");
+    let mut table = BucketTable::new(128, &[1, 2], 4);
+    let tuple = |sport: u16| {
+        FiveTuple::tcp(
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 0, 1), sport),
+            Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, 7, 7), 443),
+        )
+    };
+    let flows: Vec<(FiveTuple, usize)> = (0..100u16)
+        .map(|i| {
+            let t = tuple(2000 + i);
+            (t, table.dispatch(&t, true, |_, _| false).replica)
+        })
+        .collect();
+    table.replica_going_offline(2, 3);
+    let owners = flows.clone();
+    let consistent = flows
+        .iter()
+        .filter(|(t, owner)| {
+            table
+                .dispatch(t, false, |r, tpl| {
+                    owners.iter().any(|(t2, o2)| t2 == tpl && *o2 == r)
+                })
+                .replica
+                == *owner
+        })
+        .count();
+    let new_on_2 = (0..100u16)
+        .filter(|i| table.dispatch(&tuple(9000 + i), true, |_, _| false).replica == 2)
+        .count();
+    println!("IP2 going offline: {consistent}/100 old flows stay put, {new_on_2} new flows reach IP2");
+    table.replica_removed(2);
+    println!("after drain, IP2 removed from every chain");
+}

@@ -1,0 +1,16 @@
+//! Facade crate for the Canal Mesh workspace: re-exports every subsystem
+//! crate under one name and provides [`testbed`] — the assembled mesh
+//! behind a single handle for downstream users, examples and integration
+//! tests. See README.md for the architecture overview.
+
+pub mod testbed;
+
+pub use canal_cluster as cluster;
+pub use canal_control as control;
+pub use canal_crypto as crypto;
+pub use canal_gateway as gateway;
+pub use canal_http as http;
+pub use canal_mesh as mesh;
+pub use canal_net as net;
+pub use canal_sim as sim;
+pub use canal_workload as workload;

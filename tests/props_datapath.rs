@@ -1,0 +1,198 @@
+//! Property-based tests over the data-path state machines: bucket-table
+//! session consistency under arbitrary scale-event sequences, Nagle byte
+//! conservation, session-table invariants, token-bucket rate bounds,
+//! shuffle-shard uniqueness, and histogram quantile ordering.
+
+use canal::gateway::redirector::BucketTable;
+use canal::gateway::sharding::ShuffleShardPlanner;
+use canal::net::nagle::NagleBuffer;
+use canal::net::{
+    Endpoint, FiveTuple, GlobalServiceId, ServiceId, SessionTable, TenantId, TokenBucket, VpcAddr,
+    VpcId,
+};
+use canal::sim::{Histogram, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn tup(sport: u16) -> FiveTuple {
+    FiveTuple::tcp(
+        Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, (sport >> 8) as u8, sport as u8), sport),
+        Endpoint::new(VpcAddr::new(VpcId(1), 10, 8, 8, 8), 443),
+    )
+}
+
+/// A random scale event against a bucket table.
+#[derive(Debug, Clone)]
+enum ScaleEvent {
+    Offline { leaving: usize, replacement: usize },
+    Added { new_replica: usize, take_every: usize },
+}
+
+fn scale_events() -> impl Strategy<Value = Vec<ScaleEvent>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..8, 8usize..16).prop_map(|(l, r)| ScaleEvent::Offline {
+                leaving: l,
+                replacement: r
+            }),
+            (8usize..16, 1usize..4).prop_map(|(n, t)| ScaleEvent::Added {
+                new_replica: n,
+                take_every: t
+            }),
+        ],
+        0..4,
+    )
+}
+
+proptest! {
+    /// THE redirector invariant (Fig. 26): established flows keep reaching
+    /// the replica that owns their state across ANY sequence of replica
+    /// offline/online events, as long as chains don't overflow.
+    #[test]
+    fn bucket_table_session_consistency(
+        events in scale_events(),
+        sports in proptest::collection::btree_set(1u16..u16::MAX, 1..64),
+    ) {
+        let mut table = BucketTable::new(256, &[0, 1, 2, 3, 4, 5, 6, 7], 8);
+        // Establish flows; record owners.
+        let owners: Vec<(FiveTuple, usize)> = sports
+            .iter()
+            .map(|&sp| {
+                let t = tup(sp);
+                (t, table.dispatch(&t, true, |_, _| false).replica)
+            })
+            .collect();
+        for ev in &events {
+            match *ev {
+                ScaleEvent::Offline { leaving, replacement } => {
+                    if leaving != replacement {
+                        table.replica_going_offline(leaving, replacement);
+                    }
+                }
+                ScaleEvent::Added { new_replica, take_every } => {
+                    table.replica_added(new_replica, take_every);
+                }
+            }
+        }
+        let oracle = owners.clone();
+        for (t, owner) in &owners {
+            let d = table.dispatch(t, false, |r, tpl| {
+                oracle.iter().any(|(t2, o2)| t2 == tpl && *o2 == r)
+            });
+            prop_assert_eq!(d.replica, *owner, "flow rerouted by scale events");
+        }
+    }
+
+    /// Nagle conserves bytes and never emits oversized segments.
+    #[test]
+    fn nagle_conserves_bytes(
+        writes in proptest::collection::vec((1usize..4000, 0u64..500), 1..100),
+    ) {
+        let mut buf = NagleBuffer::with_defaults();
+        let mut t = 0u64;
+        let mut total_in = 0usize;
+        for &(size, gap_us) in &writes {
+            t += gap_us;
+            buf.write(SimTime::from_micros(t), size);
+            total_in += size;
+        }
+        buf.flush(SimTime::from_micros(t + 10_000));
+        let total_out: usize = buf.segments().iter().map(|s| s.len).sum();
+        prop_assert_eq!(total_in, total_out);
+        prop_assert!(buf.segments().iter().all(|s| s.len <= 4000));
+        prop_assert_eq!(buf.pending(), 0);
+        // Segment timestamps are non-decreasing.
+        prop_assert!(buf.segments().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// Session tables never exceed capacity and account every outcome.
+    #[test]
+    fn session_table_capacity_and_accounting(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec((any::<u16>(), 0u64..1000, any::<bool>()), 1..200),
+    ) {
+        let mut st = SessionTable::new(capacity, SimDuration::from_secs(60));
+        let mut t_max = 0;
+        for &(sport, t, close) in &ops {
+            t_max = t_max.max(t);
+            let now = SimTime::from_secs(t_max); // monotonic time
+            if close {
+                st.close(&tup(sport), now);
+            } else {
+                let _ = st.establish(tup(sport), now);
+            }
+            prop_assert!(st.len() <= capacity);
+            let occ = st.occupancy();
+            prop_assert!((0.0..=1.0).contains(&occ));
+        }
+        let (accepted, rejected, expired) = st.stats();
+        prop_assert!(accepted as usize >= st.len());
+        let _ = (rejected, expired);
+    }
+
+    /// Token buckets never admit more than rate*time + burst.
+    #[test]
+    fn token_bucket_rate_bound(
+        rate in 1.0f64..1000.0,
+        burst in 1.0f64..100.0,
+        offered_per_ms in 1u64..20,
+        duration_ms in 10u64..2000,
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut admitted = 0u64;
+        for ms in 0..duration_ms {
+            for _ in 0..offered_per_ms {
+                if bucket.admit(SimTime::from_millis(ms)) {
+                    admitted += 1;
+                }
+            }
+        }
+        let bound = rate * (duration_ms as f64 / 1000.0) + burst + 1.0;
+        prop_assert!(admitted as f64 <= bound, "{admitted} > {bound}");
+    }
+
+    /// Shuffle-shard assignments are always unique and of the right size,
+    /// and no single service's combination covers another's.
+    #[test]
+    fn shuffle_shard_uniqueness(
+        seed in any::<u64>(),
+        pool in 6usize..24,
+        services in 2usize..20,
+    ) {
+        let shard = 3.min(pool);
+        let mut rng = SimRng::seed(seed);
+        let mut planner = ShuffleShardPlanner::new(pool, shard, shard - 1);
+        let mut combos = BTreeSet::new();
+        for i in 0..services {
+            let c = planner.assign(
+                GlobalServiceId::compose(TenantId(1), ServiceId(i as u32)),
+                &mut rng,
+            );
+            prop_assert_eq!(c.len(), shard);
+            prop_assert!(c.iter().all(|&b| b < pool));
+            prop_assert!(combos.insert(c), "duplicate combination");
+        }
+        prop_assert!(planner.max_pairwise_overlap() < shard);
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max, with
+    /// bucket-resolution relative error on lookups.
+    #[test]
+    fn histogram_quantiles_are_sound(
+        values in proptest::collection::vec(0.0f64..1e9, 1..500),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = h.quantile(q);
+            prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
+            prop_assert!(v >= h.min() - 1e-9 && v <= h.max() + 1e-9);
+            prev = v;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+}
