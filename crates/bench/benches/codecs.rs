@@ -3,69 +3,70 @@
 //! ChaCha20 (every encrypted record) and the DH handshake (every new mTLS
 //! connection).
 
+// Benchmark scaffolding, like tests, may assert via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use canal_bench::microbench::{bench, black_box, Group};
 use canal_crypto::chacha20::ChaCha20;
 use canal_crypto::dh::{DhKeyPair, DhParams};
 use canal_http::{Request, RequestParser};
 use canal_net::vxlan::VxlanFrame;
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_vxlan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vxlan");
+fn bench_vxlan() {
+    let mut g = Group::new("vxlan");
     let frame = VxlanFrame::new(0x0A00_0001, 0x0A00_0002, 41_000, 0x1234, vec![0xA5u8; 1400]);
-    g.throughput(Throughput::Bytes(frame.encoded_len() as u64));
-    g.bench_function("encode_1400B", |b| b.iter(|| black_box(frame.encode())));
+    g.throughput_bytes(frame.encoded_len() as u64);
+    g.bench("encode_1400B", || frame.encode());
     let wire = frame.encode();
-    g.bench_function("decode_1400B", |b| {
-        b.iter(|| VxlanFrame::decode(black_box(wire.clone())).unwrap())
+    g.bench("decode_1400B", || {
+        VxlanFrame::decode(black_box(wire.clone())).unwrap()
     });
-    g.finish();
 }
 
-fn bench_http(c: &mut Criterion) {
-    let mut g = c.benchmark_group("http");
+fn bench_http() {
+    let mut g = Group::new("http");
     let wire = Request::post("/api/v1/orders?id=123", vec![0x42u8; 512])
         .with_header("Host", "orders.tenant1.svc")
         .with_header("X-Trace-Id", "abcdef0123456789")
         .with_header("Cookie", "session=xyz; group=beta")
         .encode();
-    g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("parse_request", |b| {
-        b.iter(|| {
-            let mut p = RequestParser::new();
-            p.feed(black_box(&wire)).unwrap().unwrap()
-        })
+    g.throughput_bytes(wire.len() as u64);
+    g.bench("parse_request", || {
+        let mut p = RequestParser::new();
+        p.feed(black_box(&wire)).unwrap().unwrap()
     });
     let req = {
         let mut p = RequestParser::new();
         p.feed(&wire).unwrap().unwrap()
     };
-    g.bench_function("encode_request", |b| b.iter(|| black_box(req.encode())));
-    g.finish();
+    g.bench("encode_request", || req.encode());
 }
 
-fn bench_chacha20(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chacha20");
+fn bench_chacha20() {
     let cipher = ChaCha20::from_shared_secret(0xDEAD_BEEF);
     let nonce = [7u8; 12];
     for size in [64usize, 1460, 16 * 1024] {
         let data = vec![0x5Au8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("encrypt_{size}B"), |b| {
-            b.iter(|| cipher.encrypt(0, &nonce, black_box(&data)))
+        let mut g = Group::new("chacha20");
+        g.throughput_bytes(size as u64);
+        g.bench(&format!("encrypt_{size}B"), || {
+            cipher.encrypt(0, &nonce, black_box(&data))
         });
     }
-    g.finish();
 }
 
-fn bench_dh(c: &mut Criterion) {
+fn bench_dh() {
     let params = DhParams::DEFAULT;
     let alice = DhKeyPair::generate(params, 0xAAAA);
     let bob = DhKeyPair::generate(params, 0xBBBB);
-    c.bench_function("dh/keygen", |b| {
-        b.iter(|| DhKeyPair::generate(params, black_box(0x1234_5678)))
+    bench("dh/keygen", || {
+        DhKeyPair::generate(params, black_box(0x1234_5678))
     });
-    c.bench_function("dh/agree", |b| b.iter(|| alice.agree(black_box(bob.public))));
+    bench("dh/agree", || alice.agree(black_box(bob.public)));
 }
 
-criterion_group!(benches, bench_vxlan, bench_http, bench_chacha20, bench_dh);
-criterion_main!(benches);
+fn main() {
+    bench_vxlan();
+    bench_http();
+    bench_chacha20();
+    bench_dh();
+}

@@ -2,12 +2,14 @@
 //! per-packet redirector work the paper eBPF-accelerates), Nagle
 //! aggregation, session tables and tunnel encapsulation.
 
+// Benchmark scaffolding, like tests, may assert via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use canal_bench::microbench::{bench, black_box};
 use canal_gateway::redirector::BucketTable;
 use canal_gateway::tunnel::{SessionAggregator, TunnelConfig};
 use canal_net::nagle::NagleBuffer;
 use canal_net::{bucket_of, ecmp_select, Endpoint, FiveTuple, Packet, SessionTable, VpcAddr, VpcId};
 use canal_sim::{SimDuration, SimTime};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn tuple(sport: u16) -> FiveTuple {
     FiveTuple::tcp(
@@ -16,70 +18,58 @@ fn tuple(sport: u16) -> FiveTuple {
     )
 }
 
-fn bench_hashing(c: &mut Criterion) {
+fn bench_hashing() {
     let t = tuple(12_345);
-    c.bench_function("hash/ecmp_select", |b| {
-        b.iter(|| ecmp_select(black_box(&t), 16))
-    });
-    c.bench_function("hash/bucket_of", |b| {
-        b.iter(|| bucket_of(black_box(&t), 1024))
-    });
+    bench("hash/ecmp_select", || ecmp_select(black_box(&t), 16));
+    bench("hash/bucket_of", || bucket_of(black_box(&t), 1024));
 }
 
-fn bench_redirector(c: &mut Criterion) {
+fn bench_redirector() {
     let mut table = BucketTable::new(1024, &[0, 1, 2, 3], 4);
     table.replica_going_offline(1, 4); // chains of length 2 in a quarter
     let t = tuple(999);
-    c.bench_function("redirector/dispatch_syn", |b| {
-        b.iter(|| table.dispatch(black_box(&t), true, |_, _| false))
+    bench("redirector/dispatch_syn", || {
+        table.dispatch(black_box(&t), true, |_, _| false)
     });
-    c.bench_function("redirector/dispatch_established_chain_walk", |b| {
-        b.iter(|| table.dispatch(black_box(&t), false, |r, _| r == 1))
-    });
-}
-
-fn bench_nagle(c: &mut Criterion) {
-    c.bench_function("nagle/10k_small_writes", |b| {
-        b.iter(|| {
-            let mut buf = NagleBuffer::with_defaults();
-            for i in 0..10_000u64 {
-                buf.write(SimTime::from_micros(i), 64);
-            }
-            buf.flush(SimTime::from_secs(1));
-            black_box(buf.segments().len())
-        })
+    bench("redirector/dispatch_established_chain_walk", || {
+        table.dispatch(black_box(&t), false, |r, _| r == 1)
     });
 }
 
-fn bench_session_table(c: &mut Criterion) {
-    c.bench_function("session_table/establish_touch_close", |b| {
-        let mut st = SessionTable::new(1 << 20, SimDuration::from_secs(300));
-        let mut sport = 0u16;
-        b.iter(|| {
-            sport = sport.wrapping_add(1);
-            let k = tuple(sport);
-            let now = SimTime::from_micros(sport as u64);
-            st.establish(k, now).unwrap();
-            st.touch(&k, now);
-            st.close(&k, now);
-        })
+fn bench_nagle() {
+    bench("nagle/10k_small_writes", || {
+        let mut buf = NagleBuffer::with_defaults();
+        for i in 0..10_000u64 {
+            buf.write(SimTime::from_micros(i), 64);
+        }
+        buf.flush(SimTime::from_secs(1));
+        buf.segments().len()
     });
 }
 
-fn bench_tunnel(c: &mut Criterion) {
+fn bench_session_table() {
+    let mut st = SessionTable::new(1 << 20, SimDuration::from_secs(300));
+    let mut sport = 0u16;
+    bench("session_table/establish_touch_close", || {
+        sport = sport.wrapping_add(1);
+        let k = tuple(sport);
+        let now = SimTime::from_micros(sport as u64);
+        st.establish(k, now).unwrap();
+        st.touch(&k, now);
+        st.close(&k, now);
+    });
+}
+
+fn bench_tunnel() {
     let mut agg = SessionAggregator::new(TunnelConfig::for_cores(4), 0x0A63_0002, 77);
     let pkt = Packet::data(tuple(5_000), vec![0u8; 1024]);
-    c.bench_function("tunnel/encapsulate_1KiB", |b| {
-        b.iter(|| black_box(agg.encapsulate(&pkt)))
-    });
+    bench("tunnel/encapsulate_1KiB", || agg.encapsulate(&pkt));
 }
 
-criterion_group!(
-    benches,
-    bench_hashing,
-    bench_redirector,
-    bench_nagle,
-    bench_session_table,
-    bench_tunnel
-);
-criterion_main!(benches);
+fn main() {
+    bench_hashing();
+    bench_redirector();
+    bench_nagle();
+    bench_session_table();
+    bench_tunnel();
+}

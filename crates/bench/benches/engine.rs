@@ -2,6 +2,9 @@
 //! server submission, route matching, shuffle-shard assignment and the full
 //! per-request step-plan execution of each architecture.
 
+// Benchmark scaffolding, like tests, may assert via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use canal_bench::microbench::{bench, black_box};
 use canal_gateway::sharding::ShuffleShardPlanner;
 use canal_http::{Request, RoutePredicate, RouteRule, RouteTable, WeightedTarget};
 use canal_mesh::arch::{build, Architecture, RequestCtx};
@@ -9,7 +12,6 @@ use canal_mesh::path::PathExecutor;
 use canal_mesh::CostModel;
 use canal_net::{GlobalServiceId, ServiceId, TenantId};
 use canal_sim::{CpuServer, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 struct Nop;
 impl Model for Nop {
@@ -21,29 +23,25 @@ impl Model for Nop {
     }
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim/10k_chained_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            sim.schedule(SimTime::ZERO, 10_000u32);
-            sim.run(&mut Nop);
-            black_box(sim.events_fired())
-        })
+fn bench_event_queue() {
+    bench("sim/10k_chained_events", || {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, 10_000u32);
+        sim.run(&mut Nop);
+        sim.events_fired()
     });
 }
 
-fn bench_cpu_server(c: &mut Criterion) {
-    c.bench_function("sim/cpu_server_submit", |b| {
-        let mut s = CpuServer::new(8);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 10;
-            black_box(s.submit(SimTime::from_micros(t), SimDuration::from_micros(25)))
-        })
+fn bench_cpu_server() {
+    let mut s = CpuServer::new(8);
+    let mut t = 0u64;
+    bench("sim/cpu_server_submit", || {
+        t += 10;
+        s.submit(SimTime::from_micros(t), SimDuration::from_micros(25))
     });
 }
 
-fn bench_route_match(c: &mut Criterion) {
+fn bench_route_match() {
     let mut table = RouteTable::new();
     for i in 0..100 {
         table.push(RouteRule::new(
@@ -53,49 +51,41 @@ fn bench_route_match(c: &mut Criterion) {
         ));
     }
     let req = Request::get("/svc73/items?limit=5").with_header("Host", "h");
-    c.bench_function("route/match_100_rules", |b| {
-        b.iter(|| table.route(black_box(&req), 0.5))
+    bench("route/match_100_rules", || table.route(black_box(&req), 0.5));
+}
+
+fn bench_shuffle_shard() {
+    bench("sharding/assign_100_services", || {
+        let mut rng = SimRng::seed(7);
+        let mut p = ShuffleShardPlanner::new(32, 4, 2);
+        for i in 0..100u32 {
+            p.assign(
+                GlobalServiceId::compose(TenantId(i / 10), ServiceId(i % 10)),
+                &mut rng,
+            );
+        }
+        p.max_pairwise_overlap()
     });
 }
 
-fn bench_shuffle_shard(c: &mut Criterion) {
-    c.bench_function("sharding/assign_100_services", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::seed(7);
-            let mut p = ShuffleShardPlanner::new(32, 4, 2);
-            for i in 0..100u32 {
-                p.assign(
-                    GlobalServiceId::compose(TenantId(i / 10), ServiceId(i % 10)),
-                    &mut rng,
-                );
-            }
-            black_box(p.max_pairwise_overlap())
-        })
-    });
-}
-
-fn bench_request_paths(c: &mut Criterion) {
+fn bench_request_paths() {
     let ctx = RequestCtx::light();
     for kind in [Architecture::Sidecar, Architecture::Ambient, Architecture::Canal] {
         let arch = build(kind, CostModel::default());
         let steps = arch.request_steps(&ctx);
-        c.bench_function(&format!("path/{}_request", kind.name()), |b| {
-            let mut exec = PathExecutor::new(&arch.stage_cores());
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 1_000;
-                black_box(exec.run(SimTime::from_micros(t), &steps))
-            })
+        let mut exec = PathExecutor::new(&arch.stage_cores());
+        let mut t = 0u64;
+        bench(&format!("path/{}_request", kind.name()), || {
+            t += 1_000;
+            exec.run(SimTime::from_micros(t), &steps)
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cpu_server,
-    bench_route_match,
-    bench_shuffle_shard,
-    bench_request_paths
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_cpu_server();
+    bench_route_match();
+    bench_shuffle_shard();
+    bench_request_paths();
+}

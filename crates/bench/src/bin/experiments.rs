@@ -16,22 +16,27 @@ use canal_bench::{run_experiment, ExperimentReport, ALL_EXPERIMENTS};
 /// the output in presentation order.
 fn run_all(ids: &[String], seed: u64) -> Vec<(String, Option<ExperimentReport>)> {
     let mut results: Vec<(String, Option<ExperimentReport>)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .iter()
             .map(|id| {
                 let id = id.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let report = run_experiment(&id, seed);
                     (id, report)
                 })
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("experiment thread panicked"));
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    eprintln!("experiment thread panicked");
+                    std::process::exit(2);
+                }
+            }
         }
-    })
-    .expect("scope");
+    });
     results
 }
 
@@ -41,7 +46,13 @@ fn main() {
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         args.remove(pos);
         if pos < args.len() {
-            seed = args.remove(pos).parse().expect("--seed takes a u64");
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
         }
     }
     if args.iter().any(|a| a == "--list") {

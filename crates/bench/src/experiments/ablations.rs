@@ -168,7 +168,7 @@ pub fn abl_tunnels(_seed: u64) -> ExperimentReport {
         }
         let hit = core_load.iter().filter(|&&c| c > 0).count();
         let mean = sessions as f64 / cores as f64;
-        let imbalance = *core_load.iter().max().unwrap() as f64 / mean;
+        let imbalance = core_load.iter().copied().max().unwrap_or(0) as f64 / mean;
         if factor >= 10.0 {
             best_imbalance = best_imbalance.min(imbalance);
         }

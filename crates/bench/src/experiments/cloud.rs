@@ -437,7 +437,7 @@ pub fn fig20(seed: u64) -> ExperimentReport {
             table.row(&[
                 hour.to_string(),
                 num(hour_reqs as f64 / 36.0), // back to full-scale rps
-                num(*err_series.last().unwrap()),
+                num(err_series.last().copied().unwrap_or(0.0)),
                 if in_window.is_empty() { "-".into() } else { in_window.join("; ") },
             ]);
             hour_reqs = 0;

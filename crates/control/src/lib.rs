@@ -27,6 +27,8 @@
 //! * [`versioned`] — xDS-style versioned config distribution: debounced
 //!   update coalescing, per-target ack/nack tracking, fleet convergence.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod configure;

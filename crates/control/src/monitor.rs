@@ -108,7 +108,7 @@ impl WaterLevelMonitor {
                 if v.is_empty() {
                     0.0
                 } else {
-                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    v.sort_by(|a, b| a.total_cmp(b));
                     v[v.len() / 2]
                 }
             };

@@ -102,15 +102,15 @@ impl RootCauseAnalyzer {
                 return v;
             }
         }
-        let hottest = alerting
-            .iter()
-            .max_by(|a, b| {
-                let wa = a.water_level.last().copied().unwrap_or(0.0);
-                let wb = b.water_level.last().copied().unwrap_or(0.0);
-                wa.partial_cmp(&wb).unwrap()
-            })
-            .expect("non-empty");
-        self.basic(hottest)
+        let hottest = alerting.iter().max_by(|a, b| {
+            let wa = a.water_level.last().copied().unwrap_or(0.0);
+            let wb = b.water_level.last().copied().unwrap_or(0.0);
+            wa.total_cmp(&wb)
+        });
+        match hottest {
+            Some(h) => self.basic(h),
+            None => RcaVerdict::Inconclusive,
+        }
     }
 }
 

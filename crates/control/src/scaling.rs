@@ -132,7 +132,7 @@ impl ScalingEngine {
                     && gateway.placement().az_of(b) == Some(az)
                     && gateway.placement().backend_available(b)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|&(b, _)| b);
 
         let record = match reusable {

@@ -18,7 +18,7 @@ use crate::dh::{DhKeyPair, DhParams, SharedSecret};
 use crate::keystore::KeyStore;
 use canal_net::TenantId;
 use canal_sim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where the key server runs relative to the requester.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +86,7 @@ impl std::fmt::Display for KeyServerError {
 impl std::error::Error for KeyServerError {}
 
 /// Identifier of a verified requester (an on-node proxy or gateway backend).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequesterId(pub u64);
 
 /// An encrypted key-server response: the derived symmetric key sealed under
@@ -112,7 +112,7 @@ fn tag_of(channel_secret: u64, nonce: &[u8; 12], ct: &[u8]) -> u64 {
 pub struct KeyServer {
     cfg: KeyServerConfig,
     store: KeyStore,
-    channels: HashMap<RequesterId, u64>,
+    channels: BTreeMap<RequesterId, u64>,
     params: DhParams,
     nonce_counter: u64,
     requests_served: u64,
@@ -125,7 +125,7 @@ impl KeyServer {
         KeyServer {
             cfg,
             store: KeyStore::new(master_key_material),
-            channels: HashMap::new(),
+            channels: BTreeMap::new(),
             params: DhParams::DEFAULT,
             nonce_counter: 0,
             requests_served: 0,

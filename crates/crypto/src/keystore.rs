@@ -14,13 +14,13 @@
 
 use crate::chacha20::ChaCha20;
 use canal_net::TenantId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Encrypted-at-rest private key storage, keyed by tenant.
 pub struct KeyStore {
     master: ChaCha20,
     /// tenant -> (nonce, ciphertext of the 8-byte private key material).
-    encrypted: HashMap<TenantId, ([u8; 12], Vec<u8>)>,
+    encrypted: BTreeMap<TenantId, ([u8; 12], Vec<u8>)>,
     nonce_counter: u64,
 }
 
@@ -29,7 +29,7 @@ impl KeyStore {
     pub fn new(master_key_material: u64) -> Self {
         KeyStore {
             master: ChaCha20::from_shared_secret(master_key_material),
-            encrypted: HashMap::new(),
+            encrypted: BTreeMap::new(),
             nonce_counter: 0,
         }
     }

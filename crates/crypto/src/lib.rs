@@ -20,6 +20,8 @@
 //! * [`mtls`] — the handshake state machine gluing it together: asymmetric
 //!   negotiation through a backend, then ChaCha20 symmetric transport.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod accel;

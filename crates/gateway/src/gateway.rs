@@ -225,13 +225,12 @@ impl Gateway {
         for &b in &backends {
             self.placement.place(service, b);
             let replicas: Vec<usize> = (0..self.cfg.replicas_per_backend).collect();
-            self.redirectors
-                .get_mut(&b)
-                .expect("backend exists")
-                .install(
+            if let Some(r) = self.redirectors.get_mut(&b) {
+                r.install(
                     service,
                     BucketTable::new(self.cfg.buckets, &replicas, self.cfg.max_chain),
                 );
+            }
         }
         backends
     }
@@ -248,10 +247,12 @@ impl Gateway {
         }
         self.placement.place(service, backend);
         let replicas: Vec<usize> = (0..self.cfg.replicas_per_backend).collect();
-        self.redirectors.get_mut(&backend).expect("backend").install(
-            service,
-            BucketTable::new(self.cfg.buckets, &replicas, self.cfg.max_chain),
-        );
+        if let Some(r) = self.redirectors.get_mut(&backend) {
+            r.install(
+                service,
+                BucketTable::new(self.cfg.buckets, &replicas, self.cfg.max_chain),
+            );
+        }
         true
     }
 
@@ -302,7 +303,7 @@ impl Gateway {
         let decision = self
             .redirectors
             .get_mut(&backend)
-            .expect("backend")
+            .ok_or(GatewayError::Unavailable)?
             .dispatch(service, tuple, syn, |r, t| {
                 replicas
                     .get(&(backend, r))
@@ -318,7 +319,10 @@ impl Gateway {
             *live.first().ok_or(GatewayError::Unavailable)?
         };
 
-        let state = self.replicas.get_mut(&(backend, replica)).expect("replica");
+        let state = self
+            .replicas
+            .get_mut(&(backend, replica))
+            .ok_or(GatewayError::Unavailable)?;
         if syn || !state.sessions.contains(tuple) {
             if state.sessions.establish(*tuple, now).is_err() {
                 self.errors += 1;

@@ -21,6 +21,8 @@
 //!   CPU/session accounting, request dispatch, and the water-level signals
 //!   the control plane consumes.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod failure;

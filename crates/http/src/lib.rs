@@ -15,6 +15,8 @@
 //! The parser and serializer are exercised byte-for-byte by the data-plane
 //! simulation: every simulated L7 proxy visit really parses the request.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod message;

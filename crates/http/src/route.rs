@@ -181,6 +181,8 @@ impl RouteRule {
             }
             ticket -= t.weight as u64;
         }
+        #[allow(clippy::expect_used)]
+        // lint:allow(panic) reason=RouteRule::new requires a non-empty target list; an empty rule cannot route anything
         self.targets.last().expect("non-empty")
     }
 }

@@ -1,0 +1,10 @@
+// Fixture: ambient (unseeded) randomness must trip the `ambient-rng` rule —
+// all randomness flows through a seeded SimRng.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn flip() -> bool {
+    rand::random()
+}

@@ -1,0 +1,9 @@
+// Fixture: canal_sim is a leaf crate — referencing any other workspace
+// crate must trip the `layering` rule.
+use canal_gateway::Gateway;
+use bytes::Bytes;
+
+pub fn sim_should_not_know_gateways(gw: &Gateway) -> Bytes {
+    let _ = gw;
+    Bytes::new()
+}

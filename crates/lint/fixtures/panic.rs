@@ -1,0 +1,29 @@
+// Fixture: panicking constructs in library code outside #[cfg(test)] must
+// trip the `panic` rule.
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}
+
+pub fn must(s: &str) -> u64 {
+    s.parse().expect("not a number")
+}
+
+pub fn branch(x: u64) -> u64 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        3 => unimplemented!(),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test) the same constructs are fine.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

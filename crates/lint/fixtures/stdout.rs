@@ -1,0 +1,7 @@
+// Fixture: printing to stdout from library code must trip the `stdout`
+// rule (stdout belongs to canal-bench and binaries).
+pub fn report(value: u64) {
+    println!("value = {value}");
+    print!("no newline");
+    let _ = dbg!(value);
+}

@@ -1,0 +1,20 @@
+// Fixture: suppression hygiene. A lint:allow with no reason, with an
+// unknown rule id, or that suppresses nothing must trip the `suppression`
+// rule.
+pub fn no_reason(s: &str) -> u64 {
+    s.parse().unwrap() // lint:allow(panic)
+}
+
+pub fn unknown_rule(s: &str) -> u64 {
+    s.parse().unwrap() // lint:allow(made-up-rule) reason=not a real rule id
+}
+
+// lint:allow(wallclock) reason=this annotation suppresses nothing and must be flagged
+pub fn nothing_here() -> u64 {
+    42
+}
+
+// A correct suppression, for contrast: honoured and reported as suppressed.
+pub fn justified(s: &str) -> u64 {
+    s.parse().unwrap() // lint:allow(panic) reason=fixture demonstrating a well-formed exception
+}

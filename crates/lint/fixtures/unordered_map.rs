@@ -1,0 +1,9 @@
+// Fixture: hash-ordered collections in deterministic library code must trip
+// the `unordered-map` rule.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Table {
+    pub routes: HashMap<u32, String>,
+    pub seen: HashSet<u32>,
+}

@@ -1,0 +1,14 @@
+// Fixture: reading the wall clock in simulation-facing library code must
+// trip the `wallclock` rule. (Fixtures are scanned as canal_sim lib code;
+// they are never compiled.)
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn epoch() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,778 @@
+//! canal-lint: workspace determinism & invariant static analysis.
+//!
+//! A std-only, dependency-free scanner over every `.rs` file in the
+//! workspace (plus each crate's `Cargo.toml`), enforcing the determinism
+//! contract described in DESIGN.md:
+//!
+//! * **determinism** — simulation-facing crates may not read wall clocks
+//!   (`Instant::now`, `SystemTime::now`), draw ambient randomness
+//!   (`thread_rng`, `rand::random`, `OsRng`, ...) or use hash-ordered
+//!   collections (`HashMap`/`HashSet`) outside tests.
+//! * **layering** — crate references (`use canal_*`, `bytes::`) and manifest
+//!   dependencies must follow the DAG declared in [`rules::LAYERING_DAG`];
+//!   only `canal-bench` library code may write to stdout.
+//! * **panic policy** — no `unwrap()`/`expect()`/`panic!` family macros in
+//!   library code outside `#[cfg(test)]`.
+//!
+//! Deliberate exceptions are annotated in the source as
+//! `// lint:allow(<rule>) reason=<why>` on the offending line or the line
+//! above. A suppression with no reason, an unknown rule id, or one that
+//! suppresses nothing is itself a violation, so the annotations cannot rot.
+//!
+//! Two entry points: `cargo run -p canal-lint` (human report, nonzero exit
+//! on violations) and the root-crate integration test `tests/lint.rs`
+//! (so `cargo test` fails on violations too). [`scan_fixture_dir`] runs the
+//! same rules over `crates/lint/fixtures/` — known-bad snippets acting as a
+//! self-test that every rule still fires.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::LexedFile;
+use rules::{Pattern, TargetKind};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a concrete source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (one of [`rules::RULE_IDS`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of what was matched and why it is forbidden.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A suppressed (annotated) would-be violation, kept for reporting.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// Rule that would have fired.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The justification given in the annotation.
+    pub reason: String,
+}
+
+/// Outcome of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (file, line).
+    pub violations: Vec<Violation>,
+    /// Annotated exceptions that were honoured.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked against the layering DAG.
+    pub manifests_checked: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Distinct rule ids that fired (for the fixture self-test).
+    pub fn rules_fired(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self.violations.iter().map(|v| v.rule).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("error: {v}\n"));
+        }
+        out.push_str(&format!(
+            "canal-lint: {} file(s), {} manifest(s) scanned; {} violation(s), {} suppressed exception(s)\n",
+            self.files_scanned,
+            self.manifests_checked,
+            self.violations.len(),
+            self.suppressed.len(),
+        ));
+        if !self.suppressed.is_empty() {
+            out.push_str("suppressed exceptions:\n");
+            for s in &self.suppressed {
+                out.push_str(&format!(
+                    "  {}:{}: [{}] {}\n",
+                    s.file, s.line, s.rule, s.reason
+                ));
+            }
+        }
+        out
+    }
+
+    fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+}
+
+/// A candidate violation before suppression matching.
+struct Finding {
+    rule: &'static str,
+    line: usize,
+    message: String,
+}
+
+fn deps_of(ident: &str) -> Option<&'static [&'static str]> {
+    rules::LAYERING_DAG
+        .iter()
+        .find(|(n, _)| *n == ident)
+        .map(|(_, d)| *d)
+}
+
+fn test_only_deps_of(ident: &str) -> &'static [&'static str] {
+    rules::TEST_ONLY_DEPS
+        .iter()
+        .find(|(n, _)| *n == ident)
+        .map(|(_, d)| *d)
+        .unwrap_or(&[])
+}
+
+fn is_determinism_crate(ident: &str) -> bool {
+    rules::DETERMINISM_CRATES.contains(&ident)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extract internal-crate references (`canal_*` paths, `bytes::` paths)
+/// from one masked code line. A bare `canal_*` identifier only counts as a
+/// crate reference when it is used as a path root (`canal_sim::...`) or
+/// imported (`use canal_sim ...`, `extern crate canal_sim`); local
+/// variables that merely start with `canal_` do not.
+fn crate_refs(line: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    let trimmed = line.trim_start();
+    let is_import = trimmed.starts_with("use ")
+        || trimmed.starts_with("pub use ")
+        || trimmed.starts_with("pub(crate) use ")
+        || trimmed.starts_with("extern crate ");
+    // `canal_<name>` path roots.
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find("canal_") {
+        let at = from + rel;
+        let boundary = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let end = at
+            + line[at..]
+                .char_indices()
+                .find(|&(_, c)| !is_ident_char(c))
+                .map_or(line.len() - at, |(i, _)| i);
+        let qualified = line[..at].ends_with("::");
+        let is_path_root = line[end..].starts_with("::");
+        if boundary && !qualified && (is_path_root || is_import) {
+            refs.push(line[at..end].to_string());
+        }
+        from = end.max(at + 1);
+    }
+    // `bytes::` path prefixes (the crate, not a local variable). Skip
+    // `x::bytes::...` — that is a module path inside another crate.
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find("bytes::") {
+        let at = from + rel;
+        let before = &line[..at];
+        let boundary = before
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let qualified = before.ends_with("::");
+        if boundary && !qualified {
+            refs.push("bytes".to_string());
+        }
+        from = at + "bytes::".len();
+    }
+    refs
+}
+
+/// Run every applicable rule over one lexed source file.
+fn findings_for(lexed: &LexedFile, crate_ident: &str, kind: TargetKind) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let determinism = is_determinism_crate(crate_ident);
+
+    fn push_patterns(
+        findings: &mut Vec<Finding>,
+        rule: &'static str,
+        patterns: &[Pattern],
+        lineno: usize,
+        line: &str,
+        why: &str,
+    ) {
+        for pat in patterns {
+            for _ in rules::find_pattern(line, pat) {
+                findings.push(Finding {
+                    rule,
+                    line: lineno,
+                    message: format!("`{}` {}", pat.needle.trim_end_matches('('), why),
+                });
+            }
+        }
+    }
+
+    for (idx, line) in lexed.code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = lexed.in_test.get(idx).copied().unwrap_or(false);
+
+        // Determinism family: simulation-facing crates everywhere (tests
+        // included — reproducibility of the suites is the point), plus
+        // library code of every other crate.
+        if determinism || kind == TargetKind::Lib {
+            push_patterns(
+                &mut findings,
+                "wallclock",
+                rules::WALLCLOCK_PATTERNS,
+                lineno,
+                line,
+                "reads the wall clock; use canal_sim::SimTime virtual time",
+            );
+            push_patterns(
+                &mut findings,
+                "ambient-rng",
+                rules::AMBIENT_RNG_PATTERNS,
+                lineno,
+                line,
+                "draws ambient randomness; thread all randomness through a seeded canal_sim::SimRng",
+            );
+        }
+
+        // Unordered maps: deterministic library/binary code only. Tests may
+        // use them (e.g. to check Hash impls) since they do not feed
+        // simulation state.
+        if determinism
+            && !in_test
+            && matches!(
+                kind,
+                TargetKind::Lib | TargetKind::Bin | TargetKind::Example
+            )
+        {
+            push_patterns(
+                &mut findings,
+                "unordered-map",
+                rules::UNORDERED_MAP_PATTERNS,
+                lineno,
+                line,
+                "iterates in hasher order; use BTreeMap/BTreeSet for deterministic iteration",
+            );
+        }
+
+        // Layering: every crate reference must be an edge in the declared
+        // DAG; test code additionally gets TEST_ONLY_DEPS.
+        let test_scope = in_test
+            || matches!(
+                kind,
+                TargetKind::Test | TargetKind::Example | TargetKind::Bench
+            );
+        for r in crate_refs(line) {
+            if r == crate_ident {
+                continue;
+            }
+            let ok = deps_of(crate_ident).is_some_and(|deps| {
+                deps.contains(&r.as_str())
+                    || (test_scope && test_only_deps_of(crate_ident).contains(&r.as_str()))
+            });
+            if !ok {
+                findings.push(Finding {
+                    rule: "layering",
+                    line: lineno,
+                    message: format!(
+                        "`{crate_ident}` must not depend on `{r}` (not an edge in the declared DAG; see canal_lint::rules::LAYERING_DAG)"
+                    ),
+                });
+            }
+        }
+
+        // Stdout: only canal-bench library code and binary-like targets may
+        // print; everything else returns values or records metrics.
+        if kind == TargetKind::Lib && crate_ident != "canal_bench" && !in_test {
+            push_patterns(
+                &mut findings,
+                "stdout",
+                rules::STDOUT_PATTERNS,
+                lineno,
+                line,
+                "writes to stdout from library code; only canal-bench and binaries may print",
+            );
+        }
+
+        // Panic policy: library code returns errors.
+        if kind == TargetKind::Lib && !in_test {
+            push_patterns(
+                &mut findings,
+                "panic",
+                rules::PANIC_PATTERNS,
+                lineno,
+                line,
+                "can panic in library code; return a Result or restructure so the invariant is type-enforced",
+            );
+        }
+    }
+    findings
+}
+
+/// Apply `lint:allow` suppressions to raw findings and enforce suppression
+/// hygiene (reason present, rule id known, annotation actually used).
+fn apply_suppressions(lexed: &LexedFile, findings: Vec<Finding>, file: &str, report: &mut Report) {
+    let mut used = vec![false; lexed.suppressions.len()];
+    for f in findings {
+        let hit = lexed
+            .suppressions
+            .iter()
+            .position(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed.push(Suppressed {
+                    rule: f.rule,
+                    file: file.to_string(),
+                    line: f.line,
+                    reason: lexed.suppressions[i].reason.clone(),
+                });
+            }
+            None => report.violations.push(Violation {
+                rule: f.rule,
+                file: file.to_string(),
+                line: f.line,
+                message: f.message,
+            }),
+        }
+    }
+    for (i, s) in lexed.suppressions.iter().enumerate() {
+        if !rules::RULE_IDS.contains(&s.rule.as_str()) {
+            report.violations.push(Violation {
+                rule: "suppression",
+                file: file.to_string(),
+                line: s.line,
+                message: format!("unknown rule `{}` in lint:allow", s.rule),
+            });
+        } else if s.reason.is_empty() {
+            report.violations.push(Violation {
+                rule: "suppression",
+                file: file.to_string(),
+                line: s.line,
+                message: "lint:allow without reason=... — every exception needs a justification"
+                    .to_string(),
+            });
+        } else if !used[i] {
+            report.violations.push(Violation {
+                rule: "suppression",
+                file: file.to_string(),
+                line: s.line,
+                message: format!(
+                    "unused lint:allow({}) — nothing on this or the next line trips the rule; delete it",
+                    s.rule
+                ),
+            });
+        }
+    }
+}
+
+/// Scan one in-memory source file as `crate_ident`/`kind`.
+pub fn scan_source(
+    file: &str,
+    source: &str,
+    crate_ident: &str,
+    kind: TargetKind,
+    report: &mut Report,
+) {
+    let lexed = lexer::lex(source);
+    let findings = findings_for(&lexed, crate_ident, kind);
+    apply_suppressions(&lexed, findings, file, report);
+    report.files_scanned += 1;
+}
+
+/// Classify a workspace-relative path into (crate ident, target kind).
+/// Returns `None` for files the linter does not police (fixtures, docs).
+fn classify(rel: &Path) -> Option<(String, TargetKind)> {
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let (ident, rest): (String, &[&str]) = if comps.first() == Some(&"crates") {
+        let dir = comps.get(1)?;
+        let ident = match *dir {
+            "bytes" => "bytes".to_string(),
+            other => format!("canal_{}", other.replace('-', "_")),
+        };
+        (ident, comps.get(2..)?)
+    } else {
+        ("canal".to_string(), &comps[..])
+    };
+    let kind = match *rest.first()? {
+        "src" => {
+            if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            }
+        }
+        "tests" => TargetKind::Test,
+        "examples" => TargetKind::Example,
+        "benches" => TargetKind::Bench,
+        _ => return None, // fixtures/, docs, ...
+    };
+    Some((ident, kind))
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | ".git" | "fixtures") {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Normalize a dependency name from a manifest line (`canal-sim` →
+/// `canal_sim`).
+fn manifest_dep_name(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('[') {
+        return None;
+    }
+    let key = trimmed
+        .split(['=', '.', ' '])
+        .next()
+        .unwrap_or("")
+        .trim()
+        .trim_matches('"');
+    if key.is_empty() {
+        return None;
+    }
+    Some(key.replace('-', "_"))
+}
+
+/// Check one crate manifest's `[dependencies]`/`[dev-dependencies]` against
+/// the layering DAG. Only internal crates (`canal_*`, `bytes`) are policed;
+/// there are no external dependencies in this workspace by design.
+fn check_manifest(
+    path: &Path,
+    rel: &str,
+    crate_ident: &str,
+    report: &mut Report,
+) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    let mut section = "";
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            section = match trimmed {
+                "[dependencies]" => "deps",
+                "[dev-dependencies]" => "dev",
+                _ => "",
+            };
+            continue;
+        }
+        if section.is_empty() {
+            continue;
+        }
+        let Some(dep) = manifest_dep_name(line) else {
+            continue;
+        };
+        if dep != "bytes" && !dep.starts_with("canal_") {
+            continue;
+        }
+        if dep == crate_ident {
+            continue;
+        }
+        let allowed = deps_of(crate_ident).is_some_and(|deps| {
+            deps.contains(&dep.as_str())
+                || (section == "dev" && test_only_deps_of(crate_ident).contains(&dep.as_str()))
+        });
+        if !allowed {
+            report.violations.push(Violation {
+                rule: "layering",
+                file: rel.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "manifest dependency `{dep}` is not allowed for `{crate_ident}` by the declared DAG"
+                ),
+            });
+        }
+    }
+    report.manifests_checked += 1;
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root`: every `.rs` file under `src/`,
+/// `tests/`, `examples/`, `crates/*/{src,tests,examples,benches}`, plus
+/// every crate manifest.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    for sub in ["src", "tests", "examples", "crates"] {
+        walk_rs(&root.join(sub), &mut files)?;
+    }
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let Some((ident, kind)) = classify(rel) else {
+            continue;
+        };
+        let source = fs::read_to_string(path)?;
+        scan_source(
+            &rel.display().to_string(),
+            &source,
+            &ident,
+            kind,
+            &mut report,
+        );
+    }
+    // Manifests: the root package plus every crate.
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        check_manifest(&root_manifest, "Cargo.toml", "canal", &mut report)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let manifest = dir.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let ident = match name {
+                "bytes" => "bytes".to_string(),
+                other => format!("canal_{}", other.replace('-', "_")),
+            };
+            let rel = format!("crates/{name}/Cargo.toml");
+            check_manifest(&manifest, &rel, &ident, &mut report)?;
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Scan a directory of fixture snippets. Each `.rs` file is treated as
+/// library code of a simulation-facing crate (`canal_sim`), the strictest
+/// configuration, so every rule family can fire.
+pub fn scan_fixture_dir(dir: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    walk_fixtures(dir, &mut files)?;
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = path.strip_prefix(dir).unwrap_or(path).display().to_string();
+        scan_source(&rel, &source, "canal_sim", TargetKind::Lib, &mut report);
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn walk_fixtures(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_fixtures(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root from this crate's build-time manifest dir.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .components()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_one(src: &str, ident: &str, kind: TargetKind) -> Report {
+        let mut r = Report::default();
+        scan_source("mem.rs", src, ident, kind, &mut r);
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn wallclock_fires_in_sim_crates_and_lib_code() {
+        let r = scan_one("let t = Instant::now();", "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["wallclock"]);
+        // Also in tests of determinism crates...
+        let r = scan_one("let t = Instant::now();", "canal_net", TargetKind::Test);
+        assert_eq!(r.rules_fired(), vec!["wallclock"]);
+        // ...but not in bench targets of non-determinism crates.
+        let r = scan_one("let t = Instant::now();", "canal_bench", TargetKind::Bench);
+        assert!(r.clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unordered_map_exempts_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let r = scan_one(src, "canal_net", TargetKind::Lib);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn layering_rejects_undeclared_edges() {
+        let r = scan_one("use canal_gateway::Gateway;", "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["layering"]);
+        let r = scan_one("use canal_sim::SimRng;", "canal_net", TargetKind::Lib);
+        assert!(r.clean(), "{}", r.render());
+        // bytes:: path references count as crate references.
+        let r = scan_one(
+            "let b = bytes::Bytes::new();",
+            "canal_workload",
+            TargetKind::Lib,
+        );
+        assert_eq!(r.rules_fired(), vec!["layering"]);
+        // Local variables that merely start with `canal_` are not crate
+        // references, and neither are fields accessed as `x.bytes`.
+        let r = scan_one(
+            "let canal_bps = rate * 8; let b = pkt.bytes;",
+            "canal_net",
+            TargetKind::Lib,
+        );
+        assert!(r.clean(), "{}", r.render());
+        // Re-exports without `::` still count.
+        let r = scan_one(
+            "pub use canal_gateway as gateway;",
+            "canal_net",
+            TargetKind::Lib,
+        );
+        assert_eq!(r.rules_fired(), vec!["layering"]);
+    }
+
+    #[test]
+    fn test_only_deps_are_allowed_in_tests_only() {
+        let r = scan_one("use canal_lint::Report;", "canal", TargetKind::Test);
+        assert!(r.clean(), "{}", r.render());
+        let r = scan_one("use canal_lint::Report;", "canal", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["layering"]);
+    }
+
+    #[test]
+    fn stdout_is_bench_and_binaries_only() {
+        let r = scan_one("println!(\"x\");", "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["stdout"]);
+        assert!(scan_one("println!(\"x\");", "canal_bench", TargetKind::Lib).clean());
+        assert!(scan_one("println!(\"x\");", "canal_net", TargetKind::Bin).clean());
+        // eprintln is fine anywhere.
+        assert!(scan_one("eprintln!(\"x\");", "canal_net", TargetKind::Lib).clean());
+    }
+
+    #[test]
+    fn panic_policy_spares_tests_and_non_lib_targets() {
+        let r = scan_one("x.unwrap();", "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["panic"]);
+        assert!(scan_one("x.unwrap();", "canal_net", TargetKind::Test).clean());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(scan_one(in_test, "canal_net", TargetKind::Lib).clean());
+    }
+
+    #[test]
+    fn suppressions_silence_and_are_audited() {
+        let ok = "// lint:allow(panic) reason=checked two lines above\nx.unwrap();";
+        let r = scan_one(ok, "canal_net", TargetKind::Lib);
+        assert!(r.clean(), "{}", r.render());
+        assert_eq!(r.suppressed.len(), 1);
+
+        let no_reason = "x.unwrap(); // lint:allow(panic)";
+        let r = scan_one(no_reason, "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["suppression"]);
+
+        let unused = "let y = 1; // lint:allow(panic) reason=nothing here panics";
+        let r = scan_one(unused, "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["suppression"]);
+
+        let unknown = "x.unwrap(); // lint:allow(bogus-rule) reason=whatever";
+        let r = scan_one(unknown, "canal_net", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["panic", "suppression"]);
+    }
+
+    #[test]
+    fn classify_maps_paths_to_targets() {
+        let c = |p: &str| classify(Path::new(p));
+        assert_eq!(
+            c("crates/net/src/flow.rs"),
+            Some(("canal_net".to_string(), TargetKind::Lib))
+        );
+        assert_eq!(
+            c("crates/bench/src/bin/experiments.rs"),
+            Some(("canal_bench".to_string(), TargetKind::Bin))
+        );
+        assert_eq!(
+            c("crates/bench/benches/codecs.rs"),
+            Some(("canal_bench".to_string(), TargetKind::Bench))
+        );
+        assert_eq!(
+            c("tests/determinism.rs"),
+            Some(("canal".to_string(), TargetKind::Test))
+        );
+        assert_eq!(c("src/lib.rs"), Some(("canal".to_string(), TargetKind::Lib)));
+        assert_eq!(
+            c("crates/bytes/src/lib.rs"),
+            Some(("bytes".to_string(), TargetKind::Lib))
+        );
+        assert_eq!(c("crates/lint/fixtures/bad.rs"), None);
+    }
+
+    #[test]
+    fn manifest_dep_names_normalize() {
+        assert_eq!(
+            manifest_dep_name("canal-sim.workspace = true"),
+            Some("canal_sim".to_string())
+        );
+        assert_eq!(
+            manifest_dep_name("bytes = { path = \"crates/bytes\" }"),
+            Some("bytes".to_string())
+        );
+        assert_eq!(manifest_dep_name("# comment"), None);
+        assert_eq!(manifest_dep_name("[dependencies]"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! `cargo run -p canal-lint` — scan the workspace (or, with
+//! `--fixtures <dir>`, a fixture directory) and print a human report.
+//! Exits nonzero when any rule fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let result = match args.next().as_deref() {
+        None => canal_lint::scan_workspace(&canal_lint::workspace_root()),
+        Some("--fixtures") => match args.next() {
+            Some(dir) => canal_lint::scan_fixture_dir(&PathBuf::from(dir)),
+            None => {
+                eprintln!("usage: canal-lint [--fixtures <dir>]");
+                return ExitCode::from(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: canal-lint [--fixtures <dir>]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("canal-lint: i/o error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

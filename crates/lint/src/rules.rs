@@ -1,0 +1,276 @@
+//! Rule definitions: what is forbidden where.
+//!
+//! Three families (see DESIGN.md "Determinism contract & lint rules"):
+//!
+//! * **determinism** — simulation-facing crates must not read wall clocks,
+//!   ambient randomness, or iterate unordered maps; all of those make a
+//!   seeded run irreproducible.
+//! * **layering** — the crate-dependency DAG is declared here and checked
+//!   against both `use canal_*` statements and `Cargo.toml`; stdout belongs
+//!   to `canal-bench` and binaries only.
+//! * **panic policy** — library code must not `unwrap`/`expect`/`panic!`
+//!   outside `#[cfg(test)]`; deliberate exceptions carry a
+//!   `// lint:allow(panic) reason=...` annotation.
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Crate library source (`src/`, excluding `src/bin/` and `main.rs`).
+    Lib,
+    /// Binary source (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// `examples/`.
+    Example,
+    /// Integration tests (`tests/`).
+    Test,
+    /// `benches/`.
+    Bench,
+}
+
+/// Crates whose behaviour feeds the deterministic simulator. Wall clocks,
+/// ambient RNG and unordered-map iteration are forbidden here.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "canal_sim",
+    "canal_net",
+    "canal_http",
+    "canal_crypto",
+    "canal_cluster",
+    "canal_mesh",
+    "canal_gateway",
+    "canal_control",
+    "canal_workload",
+    "canal", // the root facade/testbed
+];
+
+/// The declared internal dependency DAG: `(crate, allowed internal deps)`.
+/// `canal-lint` depends on nothing; `canal-sim` and `bytes` are the only
+/// leaves everyone may sit on. Additions here are an architecture decision —
+/// keep the graph acyclic and shallow.
+pub const LAYERING_DAG: &[(&str, &[&str])] = &[
+    ("bytes", &[]),
+    ("canal_sim", &[]),
+    ("canal_lint", &[]),
+    ("canal_net", &["canal_sim", "bytes"]),
+    ("canal_http", &["bytes"]),
+    ("canal_crypto", &["canal_sim", "canal_net", "bytes"]),
+    ("canal_cluster", &["canal_sim", "canal_net"]),
+    ("canal_workload", &["canal_sim"]),
+    (
+        "canal_gateway",
+        &["canal_sim", "canal_net", "canal_cluster", "bytes"],
+    ),
+    (
+        "canal_mesh",
+        &[
+            "canal_sim",
+            "canal_net",
+            "canal_http",
+            "canal_crypto",
+            "canal_cluster",
+            "bytes",
+        ],
+    ),
+    (
+        "canal_control",
+        &[
+            "canal_sim",
+            "canal_net",
+            "canal_cluster",
+            "canal_gateway",
+            "canal_mesh",
+            "canal_workload",
+        ],
+    ),
+    (
+        "canal_bench",
+        &[
+            "canal_sim",
+            "canal_net",
+            "canal_http",
+            "canal_crypto",
+            "canal_cluster",
+            "canal_gateway",
+            "canal_mesh",
+            "canal_control",
+            "canal_workload",
+            "bytes",
+        ],
+    ),
+    (
+        "canal",
+        &[
+            "canal_sim",
+            "canal_net",
+            "canal_http",
+            "canal_crypto",
+            "canal_cluster",
+            "canal_gateway",
+            "canal_mesh",
+            "canal_control",
+            "canal_workload",
+            "bytes",
+        ],
+    ),
+];
+
+/// Internal deps additionally allowed in test targets (`tests/` dirs and
+/// `#[cfg(test)]`): the root crate's test suite drives the linter itself.
+pub const TEST_ONLY_DEPS: &[(&str, &[&str])] = &[("canal", &["canal_lint"])];
+
+/// All rule ids, used to validate suppression annotations.
+pub const RULE_IDS: &[&str] = &[
+    "wallclock",
+    "ambient-rng",
+    "unordered-map",
+    "layering",
+    "stdout",
+    "panic",
+    "suppression",
+];
+
+/// One textual pattern a rule searches for.
+pub struct Pattern {
+    /// Substring to find in masked code.
+    pub needle: &'static str,
+    /// Require a non-identifier character (or line start) before the match.
+    pub boundary_before: bool,
+    /// Require a non-identifier character (or line end) after the match.
+    pub boundary_after: bool,
+}
+
+const fn tok(needle: &'static str) -> Pattern {
+    Pattern {
+        needle,
+        boundary_before: true,
+        boundary_after: false,
+    }
+}
+
+const fn word(needle: &'static str) -> Pattern {
+    Pattern {
+        needle,
+        boundary_before: true,
+        boundary_after: true,
+    }
+}
+
+const fn method(needle: &'static str) -> Pattern {
+    Pattern {
+        needle,
+        boundary_before: false,
+        boundary_after: false,
+    }
+}
+
+/// Wall-clock reads: virtual time lives in `canal_sim::SimTime`.
+pub const WALLCLOCK_PATTERNS: &[Pattern] = &[
+    tok("Instant::now"),
+    tok("SystemTime::now"),
+    tok("std::time::Instant"),
+    tok("std::time::SystemTime"),
+];
+
+/// Ambient (unseeded) randomness: all randomness flows through `SimRng`.
+pub const AMBIENT_RNG_PATTERNS: &[Pattern] = &[
+    tok("thread_rng"),
+    tok("rand::random"),
+    tok("from_entropy"),
+    word("OsRng"),
+    tok("getrandom"),
+];
+
+/// Unordered collections whose iteration order depends on the hasher.
+pub const UNORDERED_MAP_PATTERNS: &[Pattern] = &[word("HashMap"), word("HashSet")];
+
+/// Stdout belongs to `canal-bench` and binary targets; library crates
+/// communicate through return values and metrics.
+pub const STDOUT_PATTERNS: &[Pattern] = &[tok("println!"), tok("print!"), tok("dbg!")];
+
+/// Panicking constructs forbidden in library code outside `#[cfg(test)]`.
+pub const PANIC_PATTERNS: &[Pattern] = &[
+    method(".unwrap()"),
+    method(".unwrap_err()"),
+    method(".expect("),
+    method(".expect_err("),
+    tok("panic!("),
+    tok("unreachable!("),
+    tok("todo!("),
+    tok("unimplemented!("),
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Find every occurrence of `pat` in `line` honouring boundary flags.
+/// Returns byte offsets.
+pub fn find_pattern(line: &str, pat: &Pattern) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(pat.needle) {
+        let at = from + rel;
+        let before_ok = !pat.boundary_before
+            || line[..at].chars().next_back().is_none_or(|c| !is_ident_char(c));
+        let end = at + pat.needle.len();
+        let after_ok =
+            !pat.boundary_after || line[end..].chars().next().is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + pat.needle.len();
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_reject_substrings_of_identifiers() {
+        // `eprintln!` must not trip the `print!`/`println!` patterns.
+        assert!(find_pattern("eprintln!(\"x\")", &tok("println!")).is_empty());
+        assert!(find_pattern("eprintln!(\"x\")", &tok("print!")).is_empty());
+        assert_eq!(find_pattern("println!(\"x\")", &tok("println!")), vec![0]);
+        // `print!` is not found inside `println!`.
+        assert!(find_pattern("println!(\"x\")", &tok("print!")).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_both_sides() {
+        assert!(find_pattern("MyHashMapLike", &word("HashMap")).is_empty());
+        assert_eq!(find_pattern("use x::HashMap;", &word("HashMap")).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(find_pattern("v.unwrap_or(0)", &method(".unwrap()")).is_empty());
+        assert_eq!(find_pattern("v.unwrap()", &method(".unwrap()")).len(), 1);
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_closed() {
+        // Every allowed dep must itself be declared, and a DFS from each
+        // node must never revisit it (acyclicity).
+        fn deps_of(name: &str) -> &'static [&'static str] {
+            LAYERING_DAG
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .unwrap_or(&[])
+        }
+        for (name, deps) in LAYERING_DAG {
+            for d in *deps {
+                assert!(
+                    LAYERING_DAG.iter().any(|(n, _)| n == d),
+                    "{name}: dep {d} not declared in DAG"
+                );
+            }
+            let mut stack: Vec<&str> = deps_of(name).to_vec();
+            while let Some(d) = stack.pop() {
+                assert_ne!(d, *name, "cycle through {name}");
+                stack.extend_from_slice(deps_of(d));
+            }
+        }
+    }
+}

@@ -26,6 +26,8 @@
 //! * [`proxyless`] — the Appendix B proxyless mode: DNS redirection,
 //!   ENI-based authentication, semi-managed encryption.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod arch;

@@ -251,8 +251,10 @@ mod tests {
 
 #[cfg(test)]
 mod prop_tests {
+    //! Seeded randomized tests (property-test style, driven by [`SimRng`]
+    //! so the cases are reproducible without an external framework).
     use super::*;
-    use proptest::prelude::*;
+    use canal_sim::SimRng;
 
     #[derive(Debug, Clone, Copy)]
     enum Ev {
@@ -264,62 +266,84 @@ mod prop_tests {
         Tick(u64),
     }
 
-    fn events() -> impl Strategy<Value = Vec<Ev>> {
-        proptest::collection::vec(
-            prop_oneof![
-                Just(Ev::SynAck),
-                Just(Ev::Establish),
-                Just(Ev::Data),
-                Just(Ev::Fin),
-                Just(Ev::Reset),
-                (1u64..120).prop_map(Ev::Tick),
-            ],
-            0..40,
-        )
+    fn random_events(rng: &mut SimRng) -> Vec<Ev> {
+        let n = rng.index(40);
+        (0..n)
+            .map(|_| match rng.index(6) {
+                0 => Ev::SynAck,
+                1 => Ev::Establish,
+                2 => Ev::Data,
+                3 => Ev::Fin,
+                4 => Ev::Reset,
+                _ => Ev::Tick(rng.int_range(1, 120)),
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Fuzz the state machine: no event sequence panics, state stays
-        /// in the alphabet, and Closed is absorbing (except nothing).
-        #[test]
-        fn random_event_sequences_are_safe(evs in events()) {
+    /// Fuzz the state machine: no event sequence panics, state stays
+    /// in the alphabet, and Closed is absorbing (except nothing).
+    #[test]
+    fn random_event_sequences_are_safe() {
+        let mut rng = SimRng::seed(0xC0FF_EE01);
+        for _ in 0..256 {
+            let evs = random_events(&mut rng);
             let mut c = TcpConn::syn(SimTime::ZERO);
             let mut now = 0u64;
             let mut was_closed = false;
-            for ev in evs {
-                match ev {
-                    Ev::SynAck => { let _ = c.syn_ack(SimTime::from_secs(now)); }
-                    Ev::Establish => { let _ = c.establish(SimTime::from_secs(now)); }
-                    Ev::Data => { let _ = c.data(SimTime::from_secs(now), 64, true); }
-                    Ev::Fin => { let _ = c.fin(SimTime::from_secs(now)); }
+            for ev in &evs {
+                match *ev {
+                    Ev::SynAck => {
+                        let _ = c.syn_ack(SimTime::from_secs(now));
+                    }
+                    Ev::Establish => {
+                        let _ = c.establish(SimTime::from_secs(now));
+                    }
+                    Ev::Data => {
+                        let _ = c.data(SimTime::from_secs(now), 64, true);
+                    }
+                    Ev::Fin => {
+                        let _ = c.fin(SimTime::from_secs(now));
+                    }
                     Ev::Reset => c.reset(SimTime::from_secs(now)),
                     Ev::Tick(dt) => now += dt,
                 }
                 let st = c.state_at(SimTime::from_secs(now));
                 if was_closed {
-                    prop_assert_eq!(st, TcpState::Closed, "Closed must be absorbing");
+                    assert_eq!(st, TcpState::Closed, "Closed must be absorbing: {evs:?}");
                 }
                 was_closed = st == TcpState::Closed;
             }
         }
+    }
 
-        /// Byte counters only grow and only in Established/FinWait.
-        #[test]
-        fn byte_counters_monotone(evs in events()) {
+    /// Byte counters only grow and only in Established/FinWait.
+    #[test]
+    fn byte_counters_monotone() {
+        let mut rng = SimRng::seed(0xC0FF_EE02);
+        for _ in 0..256 {
+            let evs = random_events(&mut rng);
             let mut c = TcpConn::syn(SimTime::ZERO);
             let mut prev = (0u64, 0u64);
             for (i, ev) in evs.iter().enumerate() {
                 let t = SimTime::from_secs(i as u64);
-                match ev {
-                    Ev::SynAck => { let _ = c.syn_ack(t); }
-                    Ev::Establish => { let _ = c.establish(t); }
-                    Ev::Data => { let _ = c.data(t, 10, i % 2 == 0); }
-                    Ev::Fin => { let _ = c.fin(t); }
+                match *ev {
+                    Ev::SynAck => {
+                        let _ = c.syn_ack(t);
+                    }
+                    Ev::Establish => {
+                        let _ = c.establish(t);
+                    }
+                    Ev::Data => {
+                        let _ = c.data(t, 10, i % 2 == 0);
+                    }
+                    Ev::Fin => {
+                        let _ = c.fin(t);
+                    }
                     Ev::Reset => c.reset(t),
                     Ev::Tick(_) => {}
                 }
                 let now = c.bytes();
-                prop_assert!(now.0 >= prev.0 && now.1 >= prev.1);
+                assert!(now.0 >= prev.0 && now.1 >= prev.1, "{evs:?}");
                 prev = now;
             }
         }

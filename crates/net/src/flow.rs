@@ -8,7 +8,7 @@
 
 use crate::packet::FiveTuple;
 use canal_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Key identifying a session (the five-tuple).
 pub type SessionKey = FiveTuple;
@@ -31,7 +31,7 @@ struct SessionEntry {
 pub struct SessionTable {
     capacity: usize,
     idle_timeout: SimDuration,
-    entries: HashMap<SessionKey, SessionEntry>,
+    entries: BTreeMap<SessionKey, SessionEntry>,
     /// Total sessions ever accepted.
     accepted: u64,
     /// Insertions refused because the table was full.
@@ -47,7 +47,7 @@ impl SessionTable {
         SessionTable {
             capacity,
             idle_timeout,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             accepted: 0,
             rejected: 0,
             expired: 0,

@@ -11,6 +11,8 @@
 //! Everything here is real data-path code operating on real bytes; only
 //! *time* comes from `canal-sim`.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod addr;

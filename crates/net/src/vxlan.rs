@@ -13,7 +13,7 @@
 use crate::ids::{GlobalServiceId, ServiceId, TenantId};
 use crate::packet::Packet;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// UDP destination port assigned to VXLAN.
 pub const VXLAN_PORT: u16 = 4789;
@@ -198,9 +198,9 @@ impl VxlanFrame {
 /// globally unique service id attached to the inner packet (§4.2).
 #[derive(Debug, Default)]
 pub struct VSwitch {
-    vni_to_tenant: HashMap<u32, TenantId>,
+    vni_to_tenant: BTreeMap<u32, TenantId>,
     /// (tenant, inner dst port) → per-tenant service.
-    service_by_port: HashMap<(TenantId, u16), ServiceId>,
+    service_by_port: BTreeMap<(TenantId, u16), ServiceId>,
 }
 
 impl VSwitch {

@@ -7,6 +7,7 @@
 //! directly, which keeps borrow scopes simple and the event order fully
 //! deterministic (ties broken by insertion sequence, FIFO).
 
+use crate::invariant::EventOrderMonitor;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -87,6 +88,7 @@ pub struct Simulation<E> {
     seq: u64,
     queue: BinaryHeap<QueuedEvent<E>>,
     events_fired: u64,
+    monitor: EventOrderMonitor,
 }
 
 impl<E> Default for Simulation<E> {
@@ -103,6 +105,7 @@ impl<E> Simulation<E> {
             seq: 0,
             queue: BinaryHeap::new(),
             events_fired: 0,
+            monitor: EventOrderMonitor::new(),
         }
     }
 
@@ -143,7 +146,9 @@ impl<E> Simulation<E> {
         let Some(next) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(next.time >= self.now, "event queue went back in time");
+        // Debug-asserts time monotonicity and the FIFO tie-break on every
+        // dispatch (the runtime half of the determinism contract).
+        self.monitor.observe(next.time, next.seq);
         self.now = next.time;
         self.events_fired += 1;
         let mut sched = Scheduler {

@@ -20,13 +20,19 @@
 //! * [`queueing`] — a multi-core FIFO server used to model proxy CPUs; both
 //!   queueing delay and CPU utilization fall out of busy-time integration
 //!   rather than closed-form approximations.
+//! * [`invariant`] — runtime determinism self-checks: the engine
+//!   debug-asserts event-order invariants on every dispatch, and [`Digest`]
+//!   folds run outcomes so double-run harnesses can demand bit-identical
+//!   results (see `tests/determinism.rs` and DESIGN.md).
 //!
 //! Design follows the event-driven, allocation-conscious style of embedded
 //! TCP/IP stacks: explicit state machines, no async runtime, no global state.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod invariant;
 pub mod metrics;
 pub mod output;
 pub mod queueing;
@@ -35,6 +41,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Model, Scheduler, Simulation};
+pub use invariant::{Digest, EventOrderMonitor};
 pub use metrics::{Counter, Gauge, Histogram, MetricSet, TimeSeries};
 pub use queueing::CpuServer;
 pub use rng::SimRng;

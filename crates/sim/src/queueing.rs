@@ -56,13 +56,15 @@ impl CpuServer {
     /// Submit a job arriving at `arrival` needing `demand` of CPU time.
     /// Returns when it started, finished and how long it queued.
     pub fn submit(&mut self, arrival: SimTime, demand: SimDuration) -> Served {
-        // Earliest-free core.
-        let (idx, &free) = self
-            .core_free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("at least one core");
+        // Earliest-free core (first wins on ties, like min_by_key).
+        let mut idx = 0usize;
+        let mut free = SimTime::ZERO;
+        for (i, &t) in self.core_free.iter().enumerate() {
+            if i == 0 || t < free {
+                idx = i;
+                free = t;
+            }
+        }
         let start = free.max(arrival);
         let finish = start + demand;
         self.core_free[idx] = finish;
@@ -83,7 +85,7 @@ impl CpuServer {
 
     /// Instant the most-loaded core frees up.
     pub fn drained_at(&self) -> SimTime {
-        *self.core_free.iter().max().expect("non-empty")
+        self.core_free.iter().copied().max().unwrap_or(SimTime::ZERO)
     }
 
     /// Total jobs served.

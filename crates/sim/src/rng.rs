@@ -5,19 +5,61 @@
 //! (inverse-CDF / Box–Muller / rejection-free Zipf) to avoid extra
 //! dependencies and to keep their behaviour stable across `rand` versions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// splitmix64 step — used only to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core (Blackman & Vigna). Implemented in-tree so the stream
+/// is owned by this workspace: no external crate version bump can ever shift
+/// experiment results.
+#[derive(Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
 
 /// Deterministic random source for one simulation run.
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
     /// Create from a 64-bit seed. The same seed always yields the same stream.
     pub fn seed(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
         }
     }
 
@@ -28,9 +70,9 @@ impl SimRng {
         SimRng::seed(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -38,15 +80,20 @@ impl SimRng {
         lo + (hi - lo) * self.f64()
     }
 
-    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    /// Uniform integer in `[0, n)` via Lemire's widening-multiply reduction.
+    /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over empty range");
-        self.inner.gen_range(0..n)
+        let wide = (self.inner.next_u64() as u128) * (n as u128);
+        (wide >> 64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "int_range over empty range");
+        let span = hi - lo;
+        let wide = (self.inner.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).

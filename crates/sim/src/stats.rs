@@ -29,7 +29,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -48,7 +48,7 @@ pub fn cdf_points(xs: &[f64], n_points: usize) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     (1..=n_points)
         .map(|i| {
             let frac = i as f64 / n_points as f64;
@@ -89,10 +89,7 @@ pub fn hwhm_window(xs: &[f64]) -> Option<(usize, usize)> {
     if xs.is_empty() {
         return None;
     }
-    let (peak_idx, &peak) = xs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    let (peak_idx, &peak) = xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
     let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
     let half = min + (peak - min) / 2.0;
     let mut lo = peak_idx;

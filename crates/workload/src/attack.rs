@@ -168,10 +168,12 @@ mod tests {
         let last = sc.timeline.last().unwrap().2 as f64;
         let growth = last / first;
         assert!((3.8..6.3).contains(&growth), "{growth}");
-        // Monotone-ish: second half clearly above first half.
+        // Monotone-ish: second half clearly above first half. The linear
+        // 1x→5x ramp makes the expected ratio exactly 2.0, so leave noise
+        // headroom rather than asserting a knife-edge bound.
         let h1: u64 = sc.timeline[..1800].iter().map(|&(_, _, r)| r).sum();
         let h2: u64 = sc.timeline[1800..].iter().map(|&(_, _, r)| r).sum();
-        assert!(h2 > h1 * 2);
+        assert!(h2 as f64 > h1 as f64 * 1.9, "{}", h2 as f64 / h1 as f64);
     }
 
     #[test]

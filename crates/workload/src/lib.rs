@@ -15,6 +15,8 @@
 //!   growth (the §6.2 Case #1 signature) and query-of-death demand
 //!   inflation.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod attack;

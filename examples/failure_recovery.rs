@@ -10,6 +10,8 @@
 //! cargo run --example failure_recovery
 //! ```
 
+// Examples, like tests, assert the scenario works via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use canal::cluster::dns::DnsView;
 use canal::gateway::failure::{FailureDomain, PlacementView};
 use canal::gateway::redirector::BucketTable;

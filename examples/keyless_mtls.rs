@@ -10,6 +10,8 @@
 //! cargo run --example keyless_mtls
 //! ```
 
+// Examples, like tests, assert the scenario works via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use canal::crypto::accel::{AsymmetricBackend, LocalBatchBackend, SoftwareBackend};
 use canal::crypto::dh::{DhKeyPair, DhParams};
 use canal::crypto::keyserver::{

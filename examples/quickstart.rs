@@ -6,6 +6,8 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples, like tests, assert the scenario works via unwrap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use canal::cluster::topology::{Cluster, ClusterSpec, Tenant};
 use canal::gateway::gateway::{Gateway, GatewayConfig};
 use canal::http::{Request, RoutePredicate, RouteRule, RouteTable, WeightedTarget};

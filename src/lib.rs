@@ -3,6 +3,8 @@
 //! behind a single handle for downstream users, examples and integration
 //! tests. See README.md for the architecture overview.
 
+#![forbid(unsafe_code)]
+
 pub mod testbed;
 
 pub use canal_cluster as cluster;

@@ -134,11 +134,13 @@ impl Testbed {
                 .push(WeightedTarget::new(target, weight));
         }
         for prefix in order {
-            table.push(RouteRule::new(
-                prefix,
-                RoutePredicate::prefix(prefix),
-                grouped.remove(prefix).expect("grouped"),
-            ));
+            if let Some(targets) = grouped.remove(prefix) {
+                table.push(RouteRule::new(
+                    prefix,
+                    RoutePredicate::prefix(prefix),
+                    targets,
+                ));
+            }
         }
         self.services.insert(
             gid,

@@ -1,57 +1,87 @@
-//! Property-based tests over the byte codecs and crypto: whatever the
-//! inputs, round trips are lossless, corruption is detected, and
-//! cryptographic agreements match.
+//! Randomized (property-style) tests over the byte codecs and crypto:
+//! whatever the inputs, round trips are lossless, corruption is detected,
+//! and cryptographic agreements match. Cases are generated from a seeded
+//! [`SimRng`] so every run explores the same reproducible inputs.
 
+use bytes::Bytes;
 use canal::crypto::chacha20::ChaCha20;
 use canal::crypto::dh::{DhKeyPair, DhParams};
 use canal::crypto::keystore::KeyStore;
 use canal::http::{HeaderMap, Method, Request, RequestParser, Response, ResponseParser, StatusCode};
-use canal::net::vxlan::{VxlanFrame, VxlanError, VXLAN_OVERHEAD};
+use canal::net::vxlan::{VxlanError, VxlanFrame, VXLAN_OVERHEAD};
 use canal::net::TenantId;
-use bytes::Bytes;
-use proptest::prelude::*;
+use canal::sim::SimRng;
 
-fn header_name() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,20}".prop_map(|s| s)
+const CASES: usize = 128;
+
+fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let n = rng.index(max_len.max(1));
+    (0..n).map(|_| rng.int_range(0, 256) as u8).collect()
 }
 
-fn header_value() -> impl Strategy<Value = String> {
-    "[ -~&&[^\r\n]]{0,40}".prop_filter("no colon-only names", |_| true)
+fn random_string(rng: &mut SimRng, alphabet: &[u8], min_len: usize, max_len: usize) -> String {
+    let n = min_len + rng.index(max_len - min_len + 1);
+    (0..n)
+        .map(|_| alphabet[rng.index(alphabet.len())] as char)
+        .collect()
 }
 
-proptest! {
-    /// VXLAN encode/decode is the identity for any VNI/ports/payload.
-    #[test]
-    fn vxlan_round_trip(
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        sport in any::<u16>(),
-        vni in 0u32..=0x00FF_FFFF,
-        payload in proptest::collection::vec(any::<u8>(), 0..1400),
-    ) {
+const HEADER_NAME_FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+const HEADER_NAME_REST: &[u8] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-";
+const PATH_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/_.-";
+
+fn header_name(rng: &mut SimRng) -> String {
+    let mut s = random_string(rng, HEADER_NAME_FIRST, 1, 1);
+    s.push_str(&random_string(rng, HEADER_NAME_REST, 0, 20));
+    s
+}
+
+fn header_value(rng: &mut SimRng) -> String {
+    // Printable ASCII without CR/LF.
+    let n = rng.index(41);
+    (0..n)
+        .map(|_| (0x20 + rng.index(0x7F - 0x20)) as u8 as char)
+        .collect()
+}
+
+/// VXLAN encode/decode is the identity for any VNI/ports/payload.
+#[test]
+fn vxlan_round_trip() {
+    let mut rng = SimRng::seed(0x0DEC_0001);
+    for _ in 0..CASES {
+        let src = rng.u64() as u32;
+        let dst = rng.u64() as u32;
+        let sport = rng.u64() as u16;
+        let vni = rng.int_range(0, 0x0100_0000) as u32;
+        let payload = random_bytes(&mut rng, 1400);
         let frame = VxlanFrame::new(src, dst, sport, vni, payload.clone());
         let wire = frame.encode();
-        prop_assert_eq!(wire.len(), VXLAN_OVERHEAD + payload.len());
+        assert_eq!(wire.len(), VXLAN_OVERHEAD + payload.len());
         let back = VxlanFrame::decode(wire).unwrap();
-        prop_assert_eq!(back, frame);
+        assert_eq!(back, frame);
     }
+}
 
-    /// Any single flipped byte in the IP header region is rejected (the
-    /// checksum covers the whole outer IP header).
-    #[test]
-    fn vxlan_header_corruption_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..256),
-        corrupt_at in 0usize..20,
-        xor in 1u8..=255,
-    ) {
+/// Any single flipped byte in the IP header region is rejected (the
+/// checksum covers the whole outer IP header).
+#[test]
+fn vxlan_header_corruption_detected() {
+    let mut rng = SimRng::seed(0x0DEC_0002);
+    for _ in 0..CASES {
+        let mut payload = random_bytes(&mut rng, 255);
+        payload.push(rng.int_range(0, 256) as u8); // 1..256 bytes
+        let corrupt_at = rng.index(20);
+        let xor = rng.int_range(1, 256) as u8;
         let frame = VxlanFrame::new(1, 2, 3, 42, payload);
         let mut wire = frame.encode().to_vec();
         wire[corrupt_at] ^= xor;
         let result = VxlanFrame::decode(Bytes::from(wire));
-        prop_assert!(result.is_err(), "corruption at {corrupt_at} accepted");
+        assert!(result.is_err(), "corruption at {corrupt_at} accepted");
         // Specifically, never mis-decoded into a *different valid* frame.
         if let Err(e) = result {
-            prop_assert!(matches!(
+            assert!(matches!(
                 e,
                 VxlanError::BadChecksum
                     | VxlanError::BadIpHeader
@@ -61,23 +91,33 @@ proptest! {
             ));
         }
     }
+}
 
-    /// HTTP requests round-trip through encode → incremental parse for any
-    /// method/path/headers/body, even fed one byte at a time.
-    #[test]
-    fn http_request_round_trip(
-        method_idx in 0usize..7,
-        path_suffix in "[a-zA-Z0-9/_.-]{0,30}",
-        headers in proptest::collection::vec((header_name(), header_value()), 0..5),
-        body in proptest::collection::vec(any::<u8>(), 0..512),
-        chunked_feed in any::<bool>(),
-    ) {
-        let methods = [
-            Method::Get, Method::Post, Method::Put, Method::Delete,
-            Method::Head, Method::Options, Method::Patch,
-        ];
+/// HTTP requests round-trip through encode → incremental parse for any
+/// method/path/headers/body, even fed one byte at a time.
+#[test]
+fn http_request_round_trip() {
+    let methods = [
+        Method::Get,
+        Method::Post,
+        Method::Put,
+        Method::Delete,
+        Method::Head,
+        Method::Options,
+        Method::Patch,
+    ];
+    let mut rng = SimRng::seed(0x0DEC_0003);
+    for _ in 0..CASES {
+        let method = methods[rng.index(methods.len())];
+        let path_suffix = random_string(&mut rng, PATH_CHARS, 0, 30);
+        let raw_headers: Vec<(String, String)> = (0..rng.index(5))
+            .map(|_| (header_name(&mut rng), header_value(&mut rng)))
+            .collect();
+        let body = random_bytes(&mut rng, 512);
+        let chunked_feed = rng.chance(0.5);
+
         let mut req = Request {
-            method: methods[method_idx],
+            method,
             path: format!("/{path_suffix}"),
             headers: HeaderMap::new(),
             body: Bytes::from(body.clone()),
@@ -86,7 +126,7 @@ proptest! {
         // map, but `get` returns the first — keep the oracle simple) and
         // avoid clashing with the serializer's Content-Length.
         let mut used = std::collections::BTreeSet::new();
-        let headers: Vec<(String, String)> = headers
+        let headers: Vec<(String, String)> = raw_headers
             .into_iter()
             .filter(|(n, _)| {
                 !n.eq_ignore_ascii_case("content-length")
@@ -110,69 +150,84 @@ proptest! {
         } else {
             parser.feed(&wire).unwrap().expect("complete message")
         };
-        prop_assert_eq!(parsed.method, req.method);
-        prop_assert_eq!(&parsed.path, &req.path);
-        prop_assert_eq!(parsed.body.as_ref(), body.as_slice());
+        assert_eq!(parsed.method, req.method);
+        assert_eq!(&parsed.path, &req.path);
+        assert_eq!(parsed.body.as_ref(), body.as_slice());
         for (n, v) in &headers {
-            prop_assert_eq!(parsed.headers.get(n), Some(v.trim()));
+            assert_eq!(parsed.headers.get(n), Some(v.trim()));
         }
     }
+}
 
-    /// HTTP responses round-trip for any status code and body.
-    #[test]
-    fn http_response_round_trip(
-        code in 100u16..=599,
-        body in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// HTTP responses round-trip for any status code and body.
+#[test]
+fn http_response_round_trip() {
+    let mut rng = SimRng::seed(0x0DEC_0004);
+    for _ in 0..CASES {
+        let code = rng.int_range(100, 600) as u16;
+        let body = random_bytes(&mut rng, 512);
         let resp = Response::new(StatusCode(code), body.clone());
         let parsed = ResponseParser::new().feed(&resp.encode()).unwrap().unwrap();
-        prop_assert_eq!(parsed.status, StatusCode(code));
-        prop_assert_eq!(parsed.body.as_ref(), body.as_slice());
+        assert_eq!(parsed.status, StatusCode(code));
+        assert_eq!(parsed.body.as_ref(), body.as_slice());
     }
+}
 
-    /// ChaCha20 apply is an involution for any key/nonce/counter/message.
-    #[test]
-    fn chacha20_involution(
-        secret in any::<u64>(),
-        counter in any::<u32>(),
-        nonce in any::<[u8; 12]>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) {
+/// ChaCha20 apply is an involution for any key/nonce/counter/message.
+#[test]
+fn chacha20_involution() {
+    let mut rng = SimRng::seed(0x0DEC_0005);
+    for _ in 0..CASES {
+        let secret = rng.u64();
+        let counter = rng.u64() as u32;
+        let mut nonce = [0u8; 12];
+        for b in &mut nonce {
+            *b = rng.int_range(0, 256) as u8;
+        }
+        let msg = random_bytes(&mut rng, 2048);
         let cipher = ChaCha20::from_shared_secret(secret);
         let ct = cipher.encrypt(counter, &nonce, &msg);
         let pt = cipher.encrypt(counter, &nonce, &ct);
-        prop_assert_eq!(pt, msg.clone());
+        assert_eq!(pt, msg.clone());
         if !msg.is_empty() {
-            prop_assert_ne!(ct, msg, "keystream must not be null");
+            assert_ne!(ct, msg, "keystream must not be null");
         }
     }
+}
 
-    /// DH agreement commutes for any private materials.
-    #[test]
-    fn dh_always_agrees(a in any::<u64>(), b in any::<u64>()) {
+/// DH agreement commutes for any private materials.
+#[test]
+fn dh_always_agrees() {
+    let mut rng = SimRng::seed(0x0DEC_0006);
+    for _ in 0..CASES {
+        let (a, b) = (rng.u64(), rng.u64());
         let params = DhParams::DEFAULT;
         let alice = DhKeyPair::generate(params, a);
         let bob = DhKeyPair::generate(params, b);
-        prop_assert_eq!(alice.agree(bob.public), bob.agree(alice.public));
+        assert_eq!(alice.agree(bob.public), bob.agree(alice.public));
     }
+}
 
-    /// The key store returns exactly what was stored, for any tenants and
-    /// key material, and never exposes plaintext at rest.
-    #[test]
-    fn keystore_round_trip(
-        master in any::<u64>(),
-        entries in proptest::collection::btree_map(any::<u32>(), any::<u64>(), 1..8),
-    ) {
+/// The key store returns exactly what was stored, for any tenants and
+/// key material, and never exposes plaintext at rest.
+#[test]
+fn keystore_round_trip() {
+    let mut rng = SimRng::seed(0x0DEC_0007);
+    for _ in 0..CASES {
+        let master = rng.u64();
+        let entries: std::collections::BTreeMap<u32, u64> = (0..1 + rng.index(7))
+            .map(|_| (rng.u64() as u32, rng.u64()))
+            .collect();
         let mut ks = KeyStore::new(master);
         for (&t, &k) in &entries {
             ks.store(TenantId(t), k);
         }
         for (&t, &k) in &entries {
-            prop_assert_eq!(ks.with_key(TenantId(t), |got| got), Some(k));
+            assert_eq!(ks.with_key(TenantId(t), |got| got), Some(k));
             let raw = ks.raw_stored_bytes(TenantId(t)).unwrap();
             // At-rest bytes never equal the plaintext key material.
             let plain = k.to_le_bytes();
-            prop_assert_ne!(raw, plain.as_slice());
+            assert_ne!(raw, plain.as_slice());
         }
     }
 }

@@ -1,7 +1,8 @@
-//! Property-based tests over the data-path state machines: bucket-table
-//! session consistency under arbitrary scale-event sequences, Nagle byte
-//! conservation, session-table invariants, token-bucket rate bounds,
-//! shuffle-shard uniqueness, and histogram quantile ordering.
+//! Randomized (property-style) tests over the data-path state machines:
+//! bucket-table session consistency under arbitrary scale-event sequences,
+//! Nagle byte conservation, session-table invariants, token-bucket rate
+//! bounds, shuffle-shard uniqueness, and histogram quantile ordering.
+//! Cases come from a seeded [`SimRng`] so runs are reproducible.
 
 use canal::gateway::redirector::BucketTable;
 use canal::gateway::sharding::ShuffleShardPlanner;
@@ -11,12 +12,16 @@ use canal::net::{
     VpcId,
 };
 use canal::sim::{Histogram, SimDuration, SimRng, SimTime};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+const CASES: usize = 128;
 
 fn tup(sport: u16) -> FiveTuple {
     FiveTuple::tcp(
-        Endpoint::new(VpcAddr::new(VpcId(1), 10, 0, (sport >> 8) as u8, sport as u8), sport),
+        Endpoint::new(
+            VpcAddr::new(VpcId(1), 10, 0, (sport >> 8) as u8, sport as u8),
+            sport,
+        ),
         Endpoint::new(VpcAddr::new(VpcId(1), 10, 8, 8, 8), 443),
     )
 }
@@ -28,31 +33,35 @@ enum ScaleEvent {
     Added { new_replica: usize, take_every: usize },
 }
 
-fn scale_events() -> impl Strategy<Value = Vec<ScaleEvent>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0usize..8, 8usize..16).prop_map(|(l, r)| ScaleEvent::Offline {
-                leaving: l,
-                replacement: r
-            }),
-            (8usize..16, 1usize..4).prop_map(|(n, t)| ScaleEvent::Added {
-                new_replica: n,
-                take_every: t
-            }),
-        ],
-        0..4,
-    )
+fn scale_events(rng: &mut SimRng) -> Vec<ScaleEvent> {
+    (0..rng.index(4))
+        .map(|_| {
+            if rng.chance(0.5) {
+                ScaleEvent::Offline {
+                    leaving: rng.index(8),
+                    replacement: 8 + rng.index(8),
+                }
+            } else {
+                ScaleEvent::Added {
+                    new_replica: 8 + rng.index(8),
+                    take_every: 1 + rng.index(3),
+                }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// THE redirector invariant (Fig. 26): established flows keep reaching
-    /// the replica that owns their state across ANY sequence of replica
-    /// offline/online events, as long as chains don't overflow.
-    #[test]
-    fn bucket_table_session_consistency(
-        events in scale_events(),
-        sports in proptest::collection::btree_set(1u16..u16::MAX, 1..64),
-    ) {
+/// THE redirector invariant (Fig. 26): established flows keep reaching
+/// the replica that owns their state across ANY sequence of replica
+/// offline/online events, as long as chains don't overflow.
+#[test]
+fn bucket_table_session_consistency() {
+    let mut rng = SimRng::seed(0x0DA7_0001);
+    for _ in 0..CASES {
+        let events = scale_events(&mut rng);
+        let sports: BTreeSet<u16> = (0..1 + rng.index(63))
+            .map(|_| rng.int_range(1, u16::MAX as u64) as u16)
+            .collect();
         let mut table = BucketTable::new(256, &[0, 1, 2, 3, 4, 5, 6, 7], 8);
         // Establish flows; record owners.
         let owners: Vec<(FiveTuple, usize)> = sports
@@ -64,12 +73,18 @@ proptest! {
             .collect();
         for ev in &events {
             match *ev {
-                ScaleEvent::Offline { leaving, replacement } => {
+                ScaleEvent::Offline {
+                    leaving,
+                    replacement,
+                } => {
                     if leaving != replacement {
                         table.replica_going_offline(leaving, replacement);
                     }
                 }
-                ScaleEvent::Added { new_replica, take_every } => {
+                ScaleEvent::Added {
+                    new_replica,
+                    take_every,
+                } => {
                     table.replica_added(new_replica, take_every);
                 }
             }
@@ -79,15 +94,19 @@ proptest! {
             let d = table.dispatch(t, false, |r, tpl| {
                 oracle.iter().any(|(t2, o2)| t2 == tpl && *o2 == r)
             });
-            prop_assert_eq!(d.replica, *owner, "flow rerouted by scale events");
+            assert_eq!(d.replica, *owner, "flow rerouted by scale events");
         }
     }
+}
 
-    /// Nagle conserves bytes and never emits oversized segments.
-    #[test]
-    fn nagle_conserves_bytes(
-        writes in proptest::collection::vec((1usize..4000, 0u64..500), 1..100),
-    ) {
+/// Nagle conserves bytes and never emits oversized segments.
+#[test]
+fn nagle_conserves_bytes() {
+    let mut rng = SimRng::seed(0x0DA7_0002);
+    for _ in 0..CASES {
+        let writes: Vec<(usize, u64)> = (0..1 + rng.index(99))
+            .map(|_| (1 + rng.index(3999), rng.int_range(0, 500)))
+            .collect();
         let mut buf = NagleBuffer::with_defaults();
         let mut t = 0u64;
         let mut total_in = 0usize;
@@ -98,19 +117,29 @@ proptest! {
         }
         buf.flush(SimTime::from_micros(t + 10_000));
         let total_out: usize = buf.segments().iter().map(|s| s.len).sum();
-        prop_assert_eq!(total_in, total_out);
-        prop_assert!(buf.segments().iter().all(|s| s.len <= 4000));
-        prop_assert_eq!(buf.pending(), 0);
+        assert_eq!(total_in, total_out);
+        assert!(buf.segments().iter().all(|s| s.len <= 4000));
+        assert_eq!(buf.pending(), 0);
         // Segment timestamps are non-decreasing.
-        prop_assert!(buf.segments().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(buf.segments().windows(2).all(|w| w[0].at <= w[1].at));
     }
+}
 
-    /// Session tables never exceed capacity and account every outcome.
-    #[test]
-    fn session_table_capacity_and_accounting(
-        capacity in 1usize..64,
-        ops in proptest::collection::vec((any::<u16>(), 0u64..1000, any::<bool>()), 1..200),
-    ) {
+/// Session tables never exceed capacity and account every outcome.
+#[test]
+fn session_table_capacity_and_accounting() {
+    let mut rng = SimRng::seed(0x0DA7_0003);
+    for _ in 0..CASES {
+        let capacity = 1 + rng.index(63);
+        let ops: Vec<(u16, u64, bool)> = (0..1 + rng.index(199))
+            .map(|_| {
+                (
+                    rng.u64() as u16,
+                    rng.int_range(0, 1000),
+                    rng.chance(0.5),
+                )
+            })
+            .collect();
         let mut st = SessionTable::new(capacity, SimDuration::from_secs(60));
         let mut t_max = 0;
         for &(sport, t, close) in &ops {
@@ -121,23 +150,25 @@ proptest! {
             } else {
                 let _ = st.establish(tup(sport), now);
             }
-            prop_assert!(st.len() <= capacity);
+            assert!(st.len() <= capacity);
             let occ = st.occupancy();
-            prop_assert!((0.0..=1.0).contains(&occ));
+            assert!((0.0..=1.0).contains(&occ));
         }
         let (accepted, rejected, expired) = st.stats();
-        prop_assert!(accepted as usize >= st.len());
+        assert!(accepted as usize >= st.len());
         let _ = (rejected, expired);
     }
+}
 
-    /// Token buckets never admit more than rate*time + burst.
-    #[test]
-    fn token_bucket_rate_bound(
-        rate in 1.0f64..1000.0,
-        burst in 1.0f64..100.0,
-        offered_per_ms in 1u64..20,
-        duration_ms in 10u64..2000,
-    ) {
+/// Token buckets never admit more than rate*time + burst.
+#[test]
+fn token_bucket_rate_bound() {
+    let mut rng = SimRng::seed(0x0DA7_0004);
+    for _ in 0..64 {
+        let rate = rng.uniform(1.0, 1000.0);
+        let burst = rng.uniform(1.0, 100.0);
+        let offered_per_ms = rng.int_range(1, 20);
+        let duration_ms = rng.int_range(10, 2000);
         let mut bucket = TokenBucket::new(rate, burst);
         let mut admitted = 0u64;
         for ms in 0..duration_ms {
@@ -148,39 +179,45 @@ proptest! {
             }
         }
         let bound = rate * (duration_ms as f64 / 1000.0) + burst + 1.0;
-        prop_assert!(admitted as f64 <= bound, "{admitted} > {bound}");
+        assert!(admitted as f64 <= bound, "{admitted} > {bound}");
     }
+}
 
-    /// Shuffle-shard assignments are always unique and of the right size,
-    /// and no single service's combination covers another's.
-    #[test]
-    fn shuffle_shard_uniqueness(
-        seed in any::<u64>(),
-        pool in 6usize..24,
-        services in 2usize..20,
-    ) {
+/// Shuffle-shard assignments are always unique and of the right size,
+/// and no single service's combination covers another's.
+#[test]
+fn shuffle_shard_uniqueness() {
+    let mut rng = SimRng::seed(0x0DA7_0005);
+    for _ in 0..CASES {
+        let seed = rng.u64();
+        let pool = 6 + rng.index(18);
+        let services = 2 + rng.index(18);
         let shard = 3.min(pool);
-        let mut rng = SimRng::seed(seed);
+        let mut shard_rng = SimRng::seed(seed);
         let mut planner = ShuffleShardPlanner::new(pool, shard, shard - 1);
         let mut combos = BTreeSet::new();
         for i in 0..services {
             let c = planner.assign(
                 GlobalServiceId::compose(TenantId(1), ServiceId(i as u32)),
-                &mut rng,
+                &mut shard_rng,
             );
-            prop_assert_eq!(c.len(), shard);
-            prop_assert!(c.iter().all(|&b| b < pool));
-            prop_assert!(combos.insert(c), "duplicate combination");
+            assert_eq!(c.len(), shard);
+            assert!(c.iter().all(|&b| b < pool));
+            assert!(combos.insert(c), "duplicate combination");
         }
-        prop_assert!(planner.max_pairwise_overlap() < shard);
+        assert!(planner.max_pairwise_overlap() < shard);
     }
+}
 
-    /// Histogram quantiles are monotone in q and bounded by min/max, with
-    /// bucket-resolution relative error on lookups.
-    #[test]
-    fn histogram_quantiles_are_sound(
-        values in proptest::collection::vec(0.0f64..1e9, 1..500),
-    ) {
+/// Histogram quantiles are monotone in q and bounded by min/max, with
+/// bucket-resolution relative error on lookups.
+#[test]
+fn histogram_quantiles_are_sound() {
+    let mut rng = SimRng::seed(0x0DA7_0006);
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..1 + rng.index(499))
+            .map(|_| rng.uniform(0.0, 1e9))
+            .collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -189,10 +226,10 @@ proptest! {
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = h.quantile(q);
-            prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
-            prop_assert!(v >= h.min() - 1e-9 && v <= h.max() + 1e-9);
+            assert!(v >= prev - 1e-9, "quantiles must be monotone");
+            assert!(v >= h.min() - 1e-9 && v <= h.max() + 1e-9);
             prev = v;
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
     }
 }

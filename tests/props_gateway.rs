@@ -1,13 +1,16 @@
-//! Property-based tests over the assembled gateway and L7 routing: flow
-//! stickiness across arbitrary traffic, isolation under arbitrary failure
-//! sequences, and route-table determinism.
+//! Randomized (property-style) tests over the assembled gateway and L7
+//! routing: flow stickiness across arbitrary traffic, isolation under
+//! arbitrary failure sequences, and route-table determinism. Cases come
+//! from a seeded [`SimRng`] so runs are reproducible.
 
 use canal::gateway::failure::FailureDomain;
 use canal::gateway::gateway::{Gateway, GatewayConfig, GatewayError};
 use canal::http::{PathPredicate, Request, RoutePredicate, RouteRule, RouteTable, WeightedTarget};
 use canal::net::{Endpoint, FiveTuple, GlobalServiceId, ServiceId, TenantId, VpcAddr, VpcId};
 use canal::sim::{SimRng, SimTime};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CASES: usize = 64;
 
 fn svc(i: u32) -> GlobalServiceId {
     GlobalServiceId::compose(TenantId(1 + i / 8), ServiceId(i % 8))
@@ -15,26 +18,37 @@ fn svc(i: u32) -> GlobalServiceId {
 
 fn tup(sport: u16) -> FiveTuple {
     FiveTuple::tcp(
-        Endpoint::new(VpcAddr::new(VpcId(1), 10, 5, (sport >> 8) as u8, sport as u8), sport),
+        Endpoint::new(
+            VpcAddr::new(VpcId(1), 10, 5, (sport >> 8) as u8, sport as u8),
+            sport,
+        ),
         Endpoint::new(VpcAddr::new(VpcId(1), 10, 9, 1, 1), 8443),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn lowercase(rng: &mut SimRng, min_len: usize, max_len: usize) -> String {
+    let n = min_len + rng.index(max_len - min_len + 1);
+    (0..n)
+        .map(|_| (b'a' + rng.index(26) as u8) as char)
+        .collect()
+}
 
-    /// Established flows stay on their (backend, replica) across any
-    /// follow-up traffic from other flows.
-    #[test]
-    fn gateway_flows_are_sticky(
-        seed in any::<u64>(),
-        flows in proptest::collection::btree_set(1u16..20_000, 2..40),
-        interleave in proptest::collection::vec(any::<u16>(), 0..100),
-    ) {
-        let mut rng = SimRng::seed(seed);
+/// Established flows stay on their (backend, replica) across any
+/// follow-up traffic from other flows.
+#[test]
+fn gateway_flows_are_sticky() {
+    let mut rng = SimRng::seed(0x6A7E_0001);
+    for _ in 0..CASES {
+        let seed = rng.u64();
+        let flows: BTreeSet<u16> = (0..2 + rng.index(38))
+            .map(|_| rng.int_range(1, 20_000) as u16)
+            .collect();
+        let interleave: Vec<u16> = (0..rng.index(100)).map(|_| rng.u64() as u16).collect();
+
+        let mut gw_rng = SimRng::seed(seed);
         let mut gw = Gateway::new(GatewayConfig::default());
         let service = svc(0);
-        gw.register_service(service, &mut rng);
+        gw.register_service(service, &mut gw_rng);
 
         // Establish each flow and record where it landed.
         let mut owners = Vec::new();
@@ -56,25 +70,34 @@ proptest! {
         // Every original flow still resolves to its owner.
         for (i, &(sport, backend, replica)) in owners.iter().enumerate() {
             let again = gw
-                .handle_request(SimTime::from_millis(5000 + i as u64), service, &tup(sport), false)
+                .handle_request(
+                    SimTime::from_millis(5000 + i as u64),
+                    service,
+                    &tup(sport),
+                    false,
+                )
                 .unwrap();
-            prop_assert_eq!(again.backend, backend);
-            prop_assert_eq!(again.replica, replica);
+            assert_eq!(again.backend, backend);
+            assert_eq!(again.replica, replica);
         }
     }
+}
 
-    /// Under ANY sequence of backend failures/recoveries, a service is
-    /// serveable iff one of its backends is available — and serving never
-    /// panics either way.
-    #[test]
-    fn gateway_availability_matches_placement(
-        seed in any::<u64>(),
-        events in proptest::collection::vec((0u32..8, any::<bool>()), 0..30),
-    ) {
-        let mut rng = SimRng::seed(seed);
+/// Under ANY sequence of backend failures/recoveries, a service is
+/// serveable iff one of its backends is available — and serving never
+/// panics either way.
+#[test]
+fn gateway_availability_matches_placement() {
+    let mut rng = SimRng::seed(0x6A7E_0002);
+    for _ in 0..CASES {
+        let seed = rng.u64();
+        let events: Vec<(u32, bool)> = (0..rng.index(30))
+            .map(|_| (rng.index(8) as u32, rng.chance(0.5)))
+            .collect();
+        let mut gw_rng = SimRng::seed(seed);
         let mut gw = Gateway::new(GatewayConfig::default());
         let service = svc(1);
-        gw.register_service(service, &mut rng);
+        gw.register_service(service, &mut gw_rng);
         let mut sport = 1u16;
         for (i, &(backend, fail)) in events.iter().enumerate() {
             if fail {
@@ -87,28 +110,29 @@ proptest! {
                 .iter()
                 .any(|&b| gw.placement().backend_available(b));
             sport = sport.wrapping_add(1).max(1);
-            let outcome = gw.handle_request(
-                SimTime::from_millis(i as u64),
-                service,
-                &tup(sport),
-                true,
-            );
+            let outcome =
+                gw.handle_request(SimTime::from_millis(i as u64), service, &tup(sport), true);
             if any_up {
-                prop_assert!(outcome.is_ok());
+                assert!(outcome.is_ok());
             } else {
-                prop_assert_eq!(outcome.unwrap_err(), GatewayError::Unavailable);
+                assert_eq!(outcome.unwrap_err(), GatewayError::Unavailable);
             }
         }
     }
+}
 
-    /// Route tables are deterministic (same request + draw → same answer)
-    /// and first-match-wins: prepending a catch-all rule shadows everything.
-    #[test]
-    fn route_table_determinism_and_ordering(
-        prefixes in proptest::collection::vec("[a-z]{1,8}", 1..20),
-        path in "[a-z]{1,8}",
-        draw in 0.0f64..1.0,
-    ) {
+/// Route tables are deterministic (same request + draw → same answer)
+/// and first-match-wins: prepending a catch-all rule shadows everything.
+#[test]
+fn route_table_determinism_and_ordering() {
+    let mut rng = SimRng::seed(0x6A7E_0003);
+    for _ in 0..CASES {
+        let prefixes: Vec<String> = (0..1 + rng.index(19))
+            .map(|_| lowercase(&mut rng, 1, 8))
+            .collect();
+        let path = lowercase(&mut rng, 1, 8);
+        let draw = rng.f64();
+
         let mut table = RouteTable::new();
         for (i, p) in prefixes.iter().enumerate() {
             table.push(RouteRule::new(
@@ -121,16 +145,20 @@ proptest! {
             ));
         }
         let req = Request::get(&format!("/{path}/x"));
-        let a = table.route(&req, draw).map(|(r, t)| (r.to_string(), t.to_string()));
-        let b = table.route(&req, draw).map(|(r, t)| (r.to_string(), t.to_string()));
-        prop_assert_eq!(&a, &b, "same inputs, same route");
+        let a = table
+            .route(&req, draw)
+            .map(|(r, t)| (r.to_string(), t.to_string()));
+        let b = table
+            .route(&req, draw)
+            .map(|(r, t)| (r.to_string(), t.to_string()));
+        assert_eq!(&a, &b, "same inputs, same route");
         // If anything matched, it must be the FIRST matching prefix.
         if let Some((rule, _)) = &a {
             let first_match = prefixes
                 .iter()
                 .position(|p| format!("/{path}/x").starts_with(&format!("/{p}")))
                 .map(|i| format!("r{i}"));
-            prop_assert_eq!(Some(rule.clone()), first_match);
+            assert_eq!(Some(rule.clone()), first_match);
         }
         // Prepend a catch-all: now everything routes to it.
         let mut shadowed = RouteTable::new();
@@ -150,13 +178,18 @@ proptest! {
             ));
         }
         let (rule, _) = shadowed.route(&req, draw).unwrap();
-        prop_assert_eq!(rule, "catch-all");
+        assert_eq!(rule, "catch-all");
     }
+}
 
-    /// Weighted selection is exact over a uniform grid of draws: the target
-    /// shares converge to weight proportions for any weight pair.
-    #[test]
-    fn weighted_split_proportions(w1 in 1u32..100, w2 in 1u32..100) {
+/// Weighted selection is exact over a uniform grid of draws: the target
+/// shares converge to weight proportions for any weight pair.
+#[test]
+fn weighted_split_proportions() {
+    let mut rng = SimRng::seed(0x6A7E_0004);
+    for _ in 0..CASES {
+        let w1 = rng.int_range(1, 100) as u32;
+        let w2 = rng.int_range(1, 100) as u32;
         let rule = RouteRule::new(
             "split",
             RoutePredicate::any(),
@@ -167,6 +200,6 @@ proptest! {
             .filter(|i| rule.select_target(*i as f64 / n as f64).name == "a")
             .count() as f64;
         let expect = w1 as f64 / (w1 + w2) as f64;
-        prop_assert!((a_hits / n as f64 - expect).abs() < 0.01);
+        assert!((a_hits / n as f64 - expect).abs() < 0.01);
     }
 }
