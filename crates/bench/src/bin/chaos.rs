@@ -1,0 +1,60 @@
+//! CLI driver for the Fig. 8 chaos experiment.
+//!
+//! ```text
+//! chaos                # full 120 s recovery timeline
+//! chaos --fast         # compressed smoke run (scripts/check.sh)
+//! chaos --seed 7       # different seed
+//! ```
+//!
+//! Exit code is non-zero if the availability invariant is violated (a
+//! request failed while ground truth had a live replica in a live AZ) or
+//! any paper-vs-measured check missed.
+
+use canal_bench::experiments::chaos::{report_for, run_chaos, ChaosParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast {
+        ChaosParams::fast()
+    } else {
+        ChaosParams::full()
+    };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    // The hard invariant, independent of the report's bands: with the fault
+    // plan active and retries on, a service with >=1 live replica in a live
+    // AZ serves every request.
+    let outcome = run_chaos(seed, &params);
+    let canal_violations = outcome
+        .arch("canal")
+        .map(|a| a.invariant_violations)
+        .unwrap_or(u64::MAX);
+    println!("digest: {:#018x}", outcome.digest());
+    if canal_violations != 0 {
+        eprintln!("FAIL: canal availability invariant violated ({canal_violations} requests)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} fig8 checks missed");
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,7 @@
 //! paper table or figure (DESIGN.md §3 maps ids to modules).
 
 pub mod ablations;
+pub mod chaos;
 pub mod cloud;
 pub mod control;
 pub mod costs;

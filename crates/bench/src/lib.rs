@@ -21,6 +21,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", // motivation
     "fig10", "fig11", "fig12", "fig13", // performance & resources
     "fig14", "fig15", // control plane
+    "fig8", // chaos recovery timeline
     "fig16", "fig17", "fig18", "fig19", "fig20", "tab4", // cloud infra
     "tab5", // deployment costs
     "tab6", "tab7", // health checks
@@ -47,6 +48,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentReport> {
         "fig13" => resource::fig13(seed),
         "fig14" => control::fig14(seed),
         "fig15" => control::fig15(seed),
+        "fig8" => chaos::fig8(seed),
         "fig16" => cloud::fig16(seed),
         "fig17" => cloud::fig17(seed),
         "fig18" => cloud::fig18(seed),

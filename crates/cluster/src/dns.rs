@@ -6,6 +6,7 @@
 //! name → [(az, address, healthy)] record set.
 
 use canal_net::{AzId, VpcAddr};
+use canal_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// One A-record target with health status.
@@ -85,6 +86,65 @@ impl DnsView {
     }
 }
 
+#[derive(Debug, Clone, Copy)]
+struct CachedAnswer {
+    answer: Option<DnsTarget>,
+    fetched: SimTime,
+}
+
+/// A TTL-bounded client-side resolver cache over a [`DnsView`].
+///
+/// During cascading failures this is what bounds failover speed: a health
+/// flip published into the view only reaches a client once its cached
+/// answer ages past the TTL — so recovery is observed "within the
+/// configured TTL", never instantly.
+#[derive(Debug, Clone)]
+pub struct CachingResolver {
+    ttl: SimDuration,
+    cache: BTreeMap<(String, AzId), CachedAnswer>,
+}
+
+impl CachingResolver {
+    /// A resolver caching answers for `ttl`.
+    pub fn new(ttl: SimDuration) -> Self {
+        CachingResolver {
+            ttl,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Resolve through the cache: serve the cached answer while it is
+    /// fresh (< TTL old), otherwise re-query `view` and re-cache. Negative
+    /// answers are cached too.
+    pub fn resolve(
+        &mut self,
+        now: SimTime,
+        view: &DnsView,
+        name: &str,
+        client_az: AzId,
+    ) -> Option<DnsTarget> {
+        let key = (name.to_string(), client_az);
+        if let Some(hit) = self.cache.get(&key) {
+            if now.since(hit.fetched) < self.ttl {
+                return hit.answer;
+            }
+        }
+        let answer = view.resolve(name, client_az);
+        self.cache.insert(key, CachedAnswer { answer, fetched: now });
+        answer
+    }
+
+    /// Drop every cached answer (e.g. a client restart).
+    pub fn flush(&mut self) {
+        self.cache.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +209,98 @@ mod tests {
         assert!(v.resolve("nope", AzId(0)).is_none());
         assert!(v.resolve_all("nope", AzId(0)).is_empty());
         assert!(!v.set_health("gw.mesh", addr(99), false));
+    }
+
+    const TTL: SimDuration = SimDuration::from_secs(5);
+
+    #[test]
+    fn cache_serves_stale_answer_until_ttl() {
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(TTL);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr, addr(1));
+        // Backend ejected: the view flips immediately, the client does not.
+        v.set_health("gw.mesh", addr(1), false);
+        let mid = t0 + SimDuration::from_secs(2);
+        assert_eq!(
+            r.resolve(mid, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(1),
+            "stale answer inside TTL"
+        );
+        // One TTL after the original fetch the flip is visible.
+        let expired = t0 + TTL;
+        assert_eq!(
+            r.resolve(expired, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(2),
+            "failover observed within the configured TTL"
+        );
+    }
+
+    #[test]
+    fn cascading_failure_flips_cross_az_then_recovery_flips_back() {
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(TTL);
+        let mut t = SimTime::ZERO;
+        assert_eq!(r.resolve(t, &v, "gw.mesh", AzId(0)).unwrap().az, AzId(0));
+        // Cascade: both local backends ejected in turn.
+        v.set_health("gw.mesh", addr(1), false);
+        t += TTL;
+        assert_eq!(r.resolve(t, &v, "gw.mesh", AzId(0)).unwrap().addr, addr(2));
+        v.set_health("gw.mesh", addr(2), false);
+        t += TTL;
+        let spilled = r.resolve(t, &v, "gw.mesh", AzId(0)).unwrap();
+        assert_eq!(spilled.az, AzId(1), "whole local AZ ejected: cross-AZ spill");
+        // Recovery: the answer flips back local within one TTL.
+        v.set_health("gw.mesh", addr(1), true);
+        assert_eq!(
+            r.resolve(t + SimDuration::from_secs(1), &v, "gw.mesh", AzId(0))
+                .unwrap()
+                .az,
+            AzId(1),
+            "recovery not yet visible inside TTL"
+        );
+        t += TTL;
+        assert_eq!(
+            r.resolve(t, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(1),
+            "recovery flips back within the configured TTL"
+        );
+    }
+
+    #[test]
+    fn negative_answers_are_cached_and_flush_clears() {
+        let mut v = two_az_view();
+        for a in [1, 2, 3] {
+            v.set_health("gw.mesh", addr(a), false);
+        }
+        let mut r = CachingResolver::new(TTL);
+        let t0 = SimTime::ZERO;
+        assert!(r.resolve(t0, &v, "gw.mesh", AzId(0)).is_none());
+        v.set_health("gw.mesh", addr(1), true);
+        assert!(
+            r.resolve(t0 + SimDuration::from_secs(1), &v, "gw.mesh", AzId(0)).is_none(),
+            "negative answer cached inside TTL"
+        );
+        r.flush();
+        assert_eq!(
+            r.resolve(t0 + SimDuration::from_secs(1), &v, "gw.mesh", AzId(0))
+                .unwrap()
+                .addr,
+            addr(1),
+            "flush forces a fresh lookup"
+        );
+    }
+
+    #[test]
+    fn per_az_cache_entries_are_independent() {
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(TTL);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(1)).unwrap().addr, addr(3));
+        v.set_health("gw.mesh", addr(3), false);
+        // AZ-0 clients never cached AZ-1's answer; their first lookup is
+        // fresh even while AZ-1 clients still hold the stale record.
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr, addr(1));
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(1)).unwrap().addr, addr(3));
     }
 }

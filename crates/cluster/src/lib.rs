@@ -24,6 +24,6 @@ pub mod dns;
 pub mod probe;
 pub mod topology;
 
-pub use dns::DnsView;
+pub use dns::{CachingResolver, DnsTarget, DnsView};
 pub use probe::{HealthState, ProbeTracker};
 pub use topology::{Cluster, ClusterSpec, Pod, Service, Tenant};

@@ -161,6 +161,20 @@ impl ConfigPlane {
         }
     }
 
+    /// [`ConfigPlane::push_update`] under a fault-injected control-plane
+    /// stall: a chaos plan's `config-push degrade` adds `extra` wall-clock
+    /// delay to the push (controller partition, southbound congestion).
+    /// Build CPU is unaffected — the controller still computes; only
+    /// delivery stalls.
+    pub fn push_update_delayed(&self, shape: &ClusterShape, extra: SimDuration) -> PushReport {
+        let report = self.push_update(shape);
+        PushReport {
+            push_time: report.push_time + extra,
+            total_time: report.total_time + extra,
+            ..report
+        }
+    }
+
     /// An *incremental* configuration round: only the entries that changed
     /// are pushed (`changed_entries` of them), instead of the full config.
     /// The paper notes "incremental update would be preferable, \[but\] Istio
@@ -408,6 +422,23 @@ mod tests {
         let istio = ConfigPlane::new(Architecture::Sidecar).push_incremental(&shape, 3);
         let canal = ConfigPlane::new(Architecture::Canal).push_incremental(&shape, 3);
         assert!(istio.southbound_bytes > canal.southbound_bytes * 100);
+    }
+
+    #[test]
+    fn delayed_push_adds_exactly_the_injected_stall() {
+        let plane = ConfigPlane::new(Architecture::Canal);
+        let s = shape(300);
+        let healthy = plane.push_update(&s);
+        let stall = SimDuration::from_secs(5);
+        let delayed = plane.push_update_delayed(&s, stall);
+        assert_eq!(delayed.total_time, healthy.total_time + stall);
+        assert_eq!(delayed.push_time, healthy.push_time + stall);
+        assert_eq!(delayed.build_cpu, healthy.build_cpu);
+        assert_eq!(delayed.southbound_bytes, healthy.southbound_bytes);
+        assert_eq!(
+            plane.push_update_delayed(&s, SimDuration::ZERO).total_time,
+            healthy.total_time
+        );
     }
 
     #[test]

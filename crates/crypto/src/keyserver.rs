@@ -223,6 +223,10 @@ pub struct RemoteKeyServerBackend {
     pub cfg: KeyServerConfig,
     /// Node CPU per op: marshalling the RPC only.
     pub node_cpu: SimDuration,
+    /// Fault-injected extra wait per op (a degraded-but-alive key server:
+    /// every handshake eats a timeout before the answer lands). `None` when
+    /// healthy; set by chaos runs via [`RemoteKeyServerBackend::inject_timeout`].
+    pub injected_timeout: Option<SimDuration>,
 }
 
 impl RemoteKeyServerBackend {
@@ -234,18 +238,26 @@ impl RemoteKeyServerBackend {
                 ..Default::default()
             },
             node_cpu: SimDuration::from_micros(150),
+            injected_timeout: None,
         }
+    }
+
+    /// Inject (or with `None`, clear) a per-op timeout — the fault hook
+    /// chaos plans drive for `key-server degrade` events.
+    pub fn inject_timeout(&mut self, timeout: Option<SimDuration>) {
+        self.injected_timeout = timeout;
     }
 }
 
 impl AsymmetricBackend for RemoteKeyServerBackend {
     fn completion(&self, _concurrency: usize) -> SimDuration {
+        let injected = self.injected_timeout.unwrap_or(SimDuration::ZERO);
         if self.cfg.has_accel_hardware {
             // Multi-tenant aggregation keeps batches full: no flush bubble.
-            self.cfg.placement.rtt() + self.cfg.accel.per_batch_cost
+            self.cfg.placement.rtt() + self.cfg.accel.per_batch_cost + injected
         } else {
             // <5% of AZs: software fallback on the server.
-            self.cfg.placement.rtt() + SimDuration::from_millis(2)
+            self.cfg.placement.rtt() + SimDuration::from_millis(2) + injected
         }
     }
 
@@ -434,6 +446,16 @@ mod tests {
         // Recovery restores the fast path.
         be.set_primary_health(true);
         assert_eq!(be.completion(8), SimDuration::from_micros(1700));
+    }
+
+    #[test]
+    fn injected_timeout_inflates_completion_until_cleared() {
+        let mut be = RemoteKeyServerBackend::new(KeyServerPlacement::LocalAz);
+        let healthy = be.completion(8);
+        be.inject_timeout(Some(SimDuration::from_millis(15)));
+        assert_eq!(be.completion(8), healthy + SimDuration::from_millis(15));
+        be.inject_timeout(None);
+        assert_eq!(be.completion(8), healthy);
     }
 
     #[test]

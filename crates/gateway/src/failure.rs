@@ -9,12 +9,28 @@
 
 use canal_net::{AzId, GlobalServiceId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// Identifier of a gateway backend (a group of replica VMs).
 pub type BackendKey = u32;
 
-/// A failure (or recovery) target.
+/// A fault plan referenced a domain the topology does not contain —
+/// unknown backend key, replica index out of range, or an AZ with no
+/// registered backend. Surfaced as an error (rather than a silent no-op)
+/// so fault plans cannot drift from the topology unnoticed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownDomain(pub FailureDomain);
+
+impl fmt::Display for UnknownDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown failure domain {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownDomain {}
+
+/// A failure (or recovery) target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FailureDomain {
     /// One replica VM of a backend.
     Replica(BackendKey, usize),
@@ -75,14 +91,31 @@ impl PlacementView {
         self.placements.get(&service).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Mark a domain failed.
-    pub fn fail(&mut self, domain: FailureDomain) {
+    /// Whether the domain exists in the registered topology.
+    fn check_domain(&self, domain: FailureDomain) -> Result<(), UnknownDomain> {
+        let known = match domain {
+            FailureDomain::Replica(b, r) => {
+                self.backends.get(&b).is_some_and(|be| r < be.replicas)
+            }
+            FailureDomain::Backend(b) => self.backends.contains_key(&b),
+            FailureDomain::Az(az) => self.backends.values().any(|be| be.az == az),
+        };
+        if known {
+            Ok(())
+        } else {
+            Err(UnknownDomain(domain))
+        }
+    }
+
+    /// Mark a domain failed. Failing an already-failed domain is an
+    /// idempotent `Ok`; targeting a domain outside the topology is an
+    /// [`UnknownDomain`] error.
+    pub fn fail(&mut self, domain: FailureDomain) -> Result<(), UnknownDomain> {
+        self.check_domain(domain)?;
         match domain {
             FailureDomain::Replica(b, r) => {
                 if let Some(be) = self.backends.get_mut(&b) {
-                    if r < be.replicas {
-                        be.failed_replicas.insert(r);
-                    }
+                    be.failed_replicas.insert(r);
                 }
             }
             FailureDomain::Backend(b) => {
@@ -94,10 +127,15 @@ impl PlacementView {
                 self.failed_azs.insert(az);
             }
         }
+        Ok(())
     }
 
-    /// Mark a domain recovered.
-    pub fn recover(&mut self, domain: FailureDomain) {
+    /// Mark a domain recovered. Recovering a healthy domain is an
+    /// idempotent `Ok`; targeting a domain outside the topology is an
+    /// [`UnknownDomain`] error. Backend recovery clears replica failures
+    /// too (the whole group is redeployed).
+    pub fn recover(&mut self, domain: FailureDomain) -> Result<(), UnknownDomain> {
+        self.check_domain(domain)?;
         match domain {
             FailureDomain::Replica(b, r) => {
                 if let Some(be) = self.backends.get_mut(&b) {
@@ -114,6 +152,7 @@ impl PlacementView {
                 self.failed_azs.remove(&az);
             }
         }
+        Ok(())
     }
 
     /// Whether a backend can serve: its AZ is up, it isn't failed, and at
@@ -196,12 +235,12 @@ mod tests {
     #[test]
     fn replica_failure_does_not_take_backend_down() {
         let mut v = fig8();
-        v.fail(FailureDomain::Replica(1, 0));
-        v.fail(FailureDomain::Replica(1, 1));
+        v.fail(FailureDomain::Replica(1, 0)).unwrap();
+        v.fail(FailureDomain::Replica(1, 1)).unwrap();
         assert!(v.backend_available(1));
         assert_eq!(v.live_replicas(1), vec![2]);
         // Last replica gone: backend down.
-        v.fail(FailureDomain::Replica(1, 2));
+        v.fail(FailureDomain::Replica(1, 2)).unwrap();
         assert!(!v.backend_available(1));
         assert!(v.service_available(svc_a()), "backend2/3 still carry A");
     }
@@ -209,9 +248,9 @@ mod tests {
     #[test]
     fn backend_failure_falls_back_within_az_then_cross_az() {
         let mut v = fig8();
-        v.fail(FailureDomain::Backend(1));
+        v.fail(FailureDomain::Backend(1)).unwrap();
         assert!(v.service_available_in_az(svc_a(), AzId(1)), "backend2 holds");
-        v.fail(FailureDomain::Backend(2));
+        v.fail(FailureDomain::Backend(2)).unwrap();
         assert!(!v.service_available_in_az(svc_a(), AzId(1)));
         assert!(v.service_available(svc_a()), "AZ2's backend3 holds");
         assert!(v.service_available_in_az(svc_a(), AzId(2)));
@@ -220,13 +259,13 @@ mod tests {
     #[test]
     fn az_failure_is_survivable_with_cross_az_placement() {
         let mut v = fig8();
-        v.fail(FailureDomain::Az(AzId(1)));
+        v.fail(FailureDomain::Az(AzId(1))).unwrap();
         assert!(!v.backend_available(1));
         assert!(!v.backend_available(2));
         assert!(v.service_available(svc_a()), "cross-AZ replica saves A");
         // Service B is AZ1-only: gone.
         assert!(!v.service_available(svc_b()));
-        v.recover(FailureDomain::Az(AzId(1)));
+        v.recover(FailureDomain::Az(AzId(1))).unwrap();
         assert!(v.service_available(svc_b()));
     }
 
@@ -236,7 +275,7 @@ mod tests {
         // a subset, so B keeps Backend4.
         let mut v = fig8();
         for b in [1, 2, 3] {
-            v.fail(FailureDomain::Backend(b));
+            v.fail(FailureDomain::Backend(b)).unwrap();
         }
         assert!(!v.service_available(svc_a()));
         assert!(v.service_available(svc_b()));
@@ -245,10 +284,10 @@ mod tests {
     #[test]
     fn recovery_clears_replica_failures() {
         let mut v = fig8();
-        v.fail(FailureDomain::Replica(1, 0));
-        v.fail(FailureDomain::Backend(1));
+        v.fail(FailureDomain::Replica(1, 0)).unwrap();
+        v.fail(FailureDomain::Backend(1)).unwrap();
         assert!(!v.backend_available(1));
-        v.recover(FailureDomain::Backend(1));
+        v.recover(FailureDomain::Backend(1)).unwrap();
         assert!(v.backend_available(1));
         assert_eq!(v.live_replicas(1).len(), 3, "replica failures cleared too");
     }
@@ -261,6 +300,31 @@ mod tests {
         let ghost = GlobalServiceId::compose(TenantId(9), ServiceId(9));
         assert!(!v.service_available(ghost));
         assert!(v.backends_of(ghost).is_empty());
+    }
+
+    #[test]
+    fn unknown_domains_are_errors_not_silent_noops() {
+        let mut v = fig8();
+        assert_eq!(
+            v.fail(FailureDomain::Backend(99)),
+            Err(UnknownDomain(FailureDomain::Backend(99)))
+        );
+        assert_eq!(
+            v.fail(FailureDomain::Replica(1, 3)),
+            Err(UnknownDomain(FailureDomain::Replica(1, 3))),
+            "replica index out of range"
+        );
+        assert_eq!(
+            v.recover(FailureDomain::Az(AzId(7))),
+            Err(UnknownDomain(FailureDomain::Az(AzId(7)))),
+            "AZ with no registered backend"
+        );
+        // Idempotence: re-failing / re-recovering known domains stays Ok.
+        v.fail(FailureDomain::Backend(1)).unwrap();
+        v.fail(FailureDomain::Backend(1)).unwrap();
+        v.recover(FailureDomain::Backend(1)).unwrap();
+        v.recover(FailureDomain::Backend(1)).unwrap();
+        assert!(v.backend_available(1));
     }
 
     #[test]

@@ -177,14 +177,15 @@ impl Gateway {
         &self.placement
     }
 
-    /// Mutable failure injection.
-    pub fn fail(&mut self, domain: FailureDomain) {
-        self.placement.fail(domain);
+    /// Mutable failure injection. Errors if the domain is outside the
+    /// registered topology, so fault plans cannot silently drift.
+    pub fn fail(&mut self, domain: FailureDomain) -> Result<(), crate::failure::UnknownDomain> {
+        self.placement.fail(domain)
     }
 
-    /// Recovery.
-    pub fn recover(&mut self, domain: FailureDomain) {
-        self.placement.recover(domain);
+    /// Recovery. Errors if the domain is outside the registered topology.
+    pub fn recover(&mut self, domain: FailureDomain) -> Result<(), crate::failure::UnknownDomain> {
+        self.placement.recover(domain)
     }
 
     fn create_backend(&mut self, az: canal_net::AzId) -> BackendId {
@@ -276,6 +277,23 @@ impl Gateway {
         tuple: &FiveTuple,
         syn: bool,
     ) -> Result<GatewayServed, GatewayError> {
+        self.handle_request_avoiding(now, service, tuple, syn, &[])
+    }
+
+    /// [`Gateway::handle_request`] with a retry steer: backends listed in
+    /// `avoid` (ejected by an outlier detector, or already tried this
+    /// request) are skipped *as a preference* — if avoiding them would
+    /// leave no backend at all, the gateway degrades gracefully and falls
+    /// back to the full available set (fail-open) rather than rejecting a
+    /// servable request.
+    pub fn handle_request_avoiding(
+        &mut self,
+        now: SimTime,
+        service: GlobalServiceId,
+        tuple: &FiveTuple,
+        syn: bool,
+        avoid: &[BackendId],
+    ) -> Result<GatewayServed, GatewayError> {
         if !self.sandbox.admit(now, service) {
             self.errors += 1;
             return Err(GatewayError::Throttled);
@@ -294,7 +312,13 @@ impl Gateway {
             self.errors += 1;
             return Err(GatewayError::Unavailable);
         }
-        let backend = available[canal_net::ecmp_select(tuple, available.len())];
+        let preferred: Vec<BackendId> = available
+            .iter()
+            .copied()
+            .filter(|b| !avoid.contains(b))
+            .collect();
+        let pool = if preferred.is_empty() { &available } else { &preferred };
+        let backend = pool[canal_net::ecmp_select(tuple, pool.len())];
         let live = self.placement.live_replicas(backend);
 
         // Bucket-table dispatch with the replica session tables as the
@@ -417,17 +441,24 @@ impl Gateway {
     /// redirector), then recover it. Returns whether every service placed
     /// on the backend stayed available during the step.
     pub fn rolling_upgrade_step(&mut self, backend: BackendId, replica: usize) -> bool {
-        self.placement
-            .fail(crate::failure::FailureDomain::Replica(backend, replica));
+        if self
+            .placement
+            .fail(crate::failure::FailureDomain::Replica(backend, replica))
+            .is_err()
+        {
+            return false;
+        }
         let still_up = self.placement.backend_available(backend);
         // Upgrade happens here (image swap); then the replica rejoins with
         // a cleared session table.
         if let Some(st) = self.replicas.get_mut(&(backend, replica)) {
             st.sessions.expire_idle(SimTime::MAX - SimDuration::from_secs(1));
         }
-        self.placement
-            .recover(crate::failure::FailureDomain::Replica(backend, replica));
-        still_up
+        let recovered = self
+            .placement
+            .recover(crate::failure::FailureDomain::Replica(backend, replica))
+            .is_ok();
+        still_up && recovered
     }
 }
 
@@ -495,7 +526,7 @@ mod tests {
         let other = svc(2);
         gw.register_service(other, &mut rng);
         for b in gw.backends_of(s) {
-            gw.fail(FailureDomain::Backend(b));
+            gw.fail(FailureDomain::Backend(b)).unwrap();
         }
         assert_eq!(
             gw.handle_request(T(0), s, &tuple(1), true),
@@ -515,7 +546,7 @@ mod tests {
         let (mut gw, s) = gateway_with_service();
         let t1 = tuple(7);
         let first = gw.handle_request(T(0), s, &t1, true).unwrap();
-        gw.fail(FailureDomain::Replica(first.backend, first.replica));
+        gw.fail(FailureDomain::Replica(first.backend, first.replica)).unwrap();
         // The flow's replica died: the session breaks briefly and is
         // reconstructed on another live replica of the same backend.
         let again = gw.handle_request(T(1), s, &t1, false).unwrap();

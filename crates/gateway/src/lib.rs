@@ -15,6 +15,10 @@
 //!   (service → core → replica levels, Tables 6/7).
 //! * [`failure`] — hierarchical failure recovery: replica → backend →
 //!   AZ (Fig. 8), with availability queries.
+//! * [`resilience`] — the resilient request path: per-request deadlines,
+//!   capped exponential backoff with deterministic jitter, hedged retries,
+//!   per-backend outlier ejection, and DNS-failover degradation — the
+//!   datapath half of the Fig. 8 recovery story.
 //! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
 //!   redirector-level throttling (§6.2).
 //! * [`gateway`] — the assembled gateway: service placement, per-backend
@@ -29,14 +33,19 @@ pub mod failure;
 pub mod gateway;
 pub mod health;
 pub mod redirector;
+pub mod resilience;
 pub mod sandbox;
 pub mod sharding;
 pub mod tunnel;
 
-pub use failure::{FailureDomain, PlacementView};
+pub use failure::{FailureDomain, PlacementView, UnknownDomain};
 pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
 pub use health::HealthCheckPlan;
 pub use redirector::{BucketTable, DispatchDecision, Redirector};
+pub use resilience::{
+    AttemptError, DispatchOutcome, OutlierDetector, ResilienceConfig, ResilienceStats,
+    ResilientDispatcher,
+};
 pub use sandbox::{MigrationKind, Sandbox};
 pub use sharding::ShuffleShardPlanner;
 pub use tunnel::{SessionAggregator, TunnelConfig};

@@ -1,0 +1,639 @@
+//! Datapath resilience: deadlines, retries, hedging, outlier ejection,
+//! DNS degradation (§4.2 / Fig. 8).
+//!
+//! The paper's availability story is that Canal's *datapath* masks faults
+//! in O(retry) time while the control plane's detection/push loop is still
+//! catching up. This module is that layer: a [`ResilientDispatcher`] wraps
+//! a single dispatch attempt (normally `Gateway::handle_request_avoiding`)
+//! in a per-request deadline, capped exponential backoff with
+//! deterministic jitter, optional hedged retries steered away from the
+//! backend that just failed, a per-backend outlier-ejection circuit
+//! breaker ([`OutlierDetector`]), and graceful degradation onto the
+//! `canal_cluster::dns` failover path when a whole backend is ejected.
+//!
+//! Every knob lives in [`ResilienceConfig`] so sidecar/ambient baselines
+//! can run the *same fault plan* with their own policies. All randomness
+//! (jitter) comes from a caller-supplied `SimRng` — the dispatcher never
+//! seeds its own, per the determinism contract.
+//!
+//! Retries happen in *virtual time*: the dispatcher advances a local
+//! attempt clock by the backoff/hedge interval and hands it to the attempt
+//! closure, so a chaos run can overlay ground-truth fault state at the
+//! exact instant of each attempt.
+
+use crate::gateway::{BackendId, GatewayError, GatewayServed};
+use canal_cluster::dns::DnsView;
+use canal_net::VpcAddr;
+use canal_sim::{SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Tunable resilience policy. Each field is one knob so baselines compare
+/// under identical fault plans.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Total per-request budget; attempts stop once it is exhausted.
+    pub request_deadline: SimDuration,
+    /// Maximum attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles each attempt.
+    pub base_backoff: SimDuration,
+    /// Backoff cap.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction `j` in `[0, 1)`: each backoff is scaled by a
+    /// deterministic draw from `[1-j, 1]`.
+    pub jitter: f64,
+    /// Hedge delay: when set and shorter than the backoff, the retry fires
+    /// after this long instead (against a different backend), trading
+    /// duplicate work for tail latency.
+    pub hedge_after: Option<SimDuration>,
+    /// Whether the per-backend outlier-ejection circuit breaker runs.
+    pub outlier_ejection: bool,
+    /// Consecutive failures that trip ejection.
+    pub eject_consecutive_failures: u32,
+    /// Size of the sliding outcome window per backend.
+    pub eject_window: u32,
+    /// Minimum success rate over a full window; below it the backend is
+    /// ejected even without a consecutive-failure burst.
+    pub eject_min_success_rate: f64,
+    /// How long an ejected backend stays out before probing again.
+    pub ejection_duration: SimDuration,
+    /// Whether ejections are published to the DNS failover path
+    /// ([`ResilientDispatcher::sync_dns`]).
+    pub dns_failover: bool,
+}
+
+impl ResilienceConfig {
+    /// Canal's paper-default policy: tight deadline, fast retries with
+    /// hedging, ejection wired into DNS failover.
+    pub fn paper_canal() -> Self {
+        ResilienceConfig {
+            request_deadline: SimDuration::from_secs(1),
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(160),
+            jitter: 0.5,
+            hedge_after: Some(SimDuration::from_millis(30)),
+            outlier_ejection: true,
+            eject_consecutive_failures: 5,
+            eject_window: 20,
+            eject_min_success_rate: 0.5,
+            ejection_duration: SimDuration::from_secs(10),
+            dns_failover: true,
+        }
+    }
+
+    /// Ambient-style baseline: retries with backoff but no hedging, no
+    /// outlier ejection, no DNS degradation — recovery waits on the
+    /// control plane.
+    pub fn ambient_baseline() -> Self {
+        ResilienceConfig {
+            hedge_after: None,
+            outlier_ejection: false,
+            dns_failover: false,
+            ..Self::paper_canal()
+        }
+    }
+
+    /// Sidecar-style baseline: a single attempt per request; masking a
+    /// fault requires the control plane to detect it and push new config.
+    pub fn sidecar_baseline() -> Self {
+        ResilienceConfig {
+            max_attempts: 1,
+            ..Self::ambient_baseline()
+        }
+    }
+
+    /// Everything off (one attempt, no breaker) — the null policy.
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            max_attempts: 1,
+            hedge_after: None,
+            outlier_ejection: false,
+            dns_failover: false,
+            ..Self::paper_canal()
+        }
+    }
+}
+
+/// Per-backend sliding-window circuit breaker (consecutive-failure and
+/// success-rate trips, timed ejection).
+#[derive(Debug, Clone, Default)]
+pub struct OutlierDetector {
+    window: VecDeque<bool>,
+    consecutive_failures: u32,
+    ejected_until: Option<SimTime>,
+    ejections: u64,
+}
+
+impl OutlierDetector {
+    /// Whether the backend is currently ejected.
+    pub fn is_ejected(&self, now: SimTime) -> bool {
+        self.ejected_until.is_some_and(|until| now < until)
+    }
+
+    /// Times this backend has been ejected.
+    pub fn ejections(&self) -> u64 {
+        self.ejections
+    }
+
+    fn push_outcome(&mut self, ok: bool, window: u32) {
+        self.window.push_back(ok);
+        while self.window.len() > window as usize {
+            self.window.pop_front();
+        }
+    }
+
+    fn record_success(&mut self, cfg: &ResilienceConfig) {
+        self.consecutive_failures = 0;
+        self.push_outcome(true, cfg.eject_window);
+    }
+
+    /// Record a failure; returns true when this trips a fresh ejection.
+    fn record_failure(&mut self, now: SimTime, cfg: &ResilienceConfig) -> bool {
+        self.consecutive_failures += 1;
+        self.push_outcome(false, cfg.eject_window);
+        if self.is_ejected(now) {
+            return false;
+        }
+        let burst = self.consecutive_failures >= cfg.eject_consecutive_failures;
+        let full = self.window.len() >= cfg.eject_window as usize;
+        let rate_ok = if full {
+            let ok = self.window.iter().filter(|&&b| b).count() as f64;
+            ok / self.window.len() as f64 >= cfg.eject_min_success_rate
+        } else {
+            true
+        };
+        if burst || !rate_ok {
+            self.ejected_until = Some(now + cfg.ejection_duration);
+            self.ejections += 1;
+            self.consecutive_failures = 0;
+            self.window.clear();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Why one dispatch attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptError {
+    /// The gateway refused the request outright (nothing reached a
+    /// backend, so no breaker bookkeeping applies).
+    Rejected(GatewayError),
+    /// The attempt reached this backend and the backend failed it (crash,
+    /// packet loss, timeout) — feeds the backend's outlier detector.
+    BackendFailure(BackendId),
+}
+
+/// The result of a resilient dispatch: what was served (if anything) and
+/// how hard the dispatcher had to work for it.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchOutcome {
+    /// The successful attempt, if one landed before the deadline.
+    pub served: Option<GatewayServed>,
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Virtual time at which the final attempt resolved.
+    pub completed_at: SimTime,
+    /// Whether a hedge fired (retry accelerated below the backoff).
+    pub hedged: bool,
+    /// Whether the request died on its deadline rather than max-attempts.
+    pub deadline_exceeded: bool,
+}
+
+/// Lifetime counters for the dispatcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilienceStats {
+    /// Requests dispatched.
+    pub requests: u64,
+    /// Total attempts (≥ requests; the ratio is retry amplification).
+    pub attempts: u64,
+    /// Retries (attempts beyond the first per request).
+    pub retries: u64,
+    /// Hedged retries (fired early on the hedge timer).
+    pub hedges: u64,
+    /// Requests that ultimately succeeded.
+    pub successes: u64,
+    /// Requests that ultimately failed.
+    pub failures: u64,
+    /// Failures caused by deadline exhaustion.
+    pub deadline_exceeded: u64,
+    /// Circuit-breaker ejections tripped.
+    pub ejections: u64,
+    /// DNS health transitions published via [`ResilientDispatcher::sync_dns`].
+    pub dns_flips: u64,
+}
+
+/// The resilient request path: wraps per-attempt dispatch in deadlines,
+/// retries, hedging and outlier ejection.
+pub struct ResilientDispatcher {
+    cfg: ResilienceConfig,
+    rng: SimRng,
+    detectors: BTreeMap<BackendId, OutlierDetector>,
+    dns_health: BTreeMap<BackendId, bool>,
+    stats: ResilienceStats,
+}
+
+impl ResilientDispatcher {
+    /// Build a dispatcher. `rng` is the caller's seeded stream (jitter
+    /// draws); the dispatcher never constructs randomness of its own.
+    pub fn new(cfg: ResilienceConfig, rng: SimRng) -> Self {
+        ResilientDispatcher {
+            cfg,
+            rng,
+            detectors: BTreeMap::new(),
+            dns_health: BTreeMap::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> ResilienceConfig {
+        self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Whether a backend is currently ejected by its circuit breaker.
+    pub fn is_ejected(&self, now: SimTime, backend: BackendId) -> bool {
+        self.detectors
+            .get(&backend)
+            .is_some_and(|d| d.is_ejected(now))
+    }
+
+    /// All currently-ejected backends.
+    pub fn ejected_backends(&self, now: SimTime) -> Vec<BackendId> {
+        self.detectors
+            .iter()
+            .filter(|(_, d)| d.is_ejected(now))
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    fn backoff_before_attempt(&mut self, attempt: u32) -> (SimDuration, bool) {
+        // attempt is the index of the attempt about to be made (2nd, 3rd…).
+        let exp = attempt.saturating_sub(2).min(16);
+        let mut backoff = self.cfg.base_backoff.times(1u64 << exp);
+        if backoff > self.cfg.max_backoff {
+            backoff = self.cfg.max_backoff;
+        }
+        let jittered = backoff.scale(self.rng.uniform(1.0 - self.cfg.jitter, 1.0));
+        match self.cfg.hedge_after {
+            Some(h) if h < jittered => (h, true),
+            _ => (jittered, false),
+        }
+    }
+
+    /// Dispatch one request resiliently. `attempt` is called once per
+    /// attempt with the virtual attempt time and the backends to avoid
+    /// (currently-ejected ones plus backends that already failed this
+    /// request); it normally wraps `Gateway::handle_request_avoiding`.
+    pub fn dispatch(
+        &mut self,
+        now: SimTime,
+        mut attempt: impl FnMut(SimTime, &BTreeSet<BackendId>) -> Result<GatewayServed, AttemptError>,
+    ) -> DispatchOutcome {
+        self.stats.requests += 1;
+        let deadline = now + self.cfg.request_deadline;
+        let mut avoid: BTreeSet<BackendId> = if self.cfg.outlier_ejection {
+            self.ejected_backends(now).into_iter().collect()
+        } else {
+            BTreeSet::new()
+        };
+        let mut t = now;
+        let mut attempts = 0u32;
+        let mut hedged = false;
+        let mut failed_here: BTreeSet<BackendId> = BTreeSet::new();
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+            }
+            match attempt(t, &avoid) {
+                Ok(served) => {
+                    if self.cfg.outlier_ejection {
+                        self.detectors
+                            .entry(served.backend)
+                            .or_default()
+                            .record_success(&self.cfg);
+                    }
+                    self.stats.successes += 1;
+                    return DispatchOutcome {
+                        served: Some(served),
+                        attempts,
+                        completed_at: t,
+                        hedged,
+                        deadline_exceeded: false,
+                    };
+                }
+                Err(AttemptError::BackendFailure(b)) => {
+                    if self.cfg.outlier_ejection {
+                        let det = self.detectors.entry(b).or_default();
+                        if det.record_failure(t, &self.cfg) {
+                            self.stats.ejections += 1;
+                        }
+                    }
+                    let was_avoided = avoid.contains(&b);
+                    failed_here.insert(b);
+                    // Steer the next attempt elsewhere (different backend,
+                    // and — since shards span zones — often a different AZ).
+                    avoid.insert(b);
+                    if was_avoided {
+                        // The balancer handed us a backend we were already
+                        // avoiding: the avoid list covers its whole pool, so
+                        // it has started ignoring it. Ejections must yield to
+                        // availability — fall back to avoiding only what this
+                        // request has actually seen fail, so the next attempt
+                        // can reach pool members blocked solely by a stale
+                        // ejection.
+                        avoid = failed_here.clone();
+                    }
+                }
+                Err(AttemptError::Rejected(GatewayError::UnknownService)) => {
+                    // No placement anywhere: retrying cannot help.
+                    self.stats.failures += 1;
+                    return DispatchOutcome {
+                        served: None,
+                        attempts,
+                        completed_at: t,
+                        hedged,
+                        deadline_exceeded: false,
+                    };
+                }
+                Err(AttemptError::Rejected(GatewayError::Unavailable)) if !avoid.is_empty() => {
+                    // Every non-avoided backend is (detected) down: degrade
+                    // gracefully — drop the steer and let the gateway
+                    // fail-open over whatever it still considers alive.
+                    avoid.clear();
+                }
+                Err(AttemptError::Rejected(_)) => {
+                    // Throttled / exhausted / unavailable with nothing to
+                    // un-avoid: back off and retry until the budget dies.
+                }
+            }
+            if attempts >= self.cfg.max_attempts {
+                break;
+            }
+            let (wait, is_hedge) = self.backoff_before_attempt(attempts + 1);
+            let next = t + wait;
+            if next > deadline {
+                self.stats.failures += 1;
+                self.stats.deadline_exceeded += 1;
+                return DispatchOutcome {
+                    served: None,
+                    attempts,
+                    completed_at: deadline,
+                    hedged,
+                    deadline_exceeded: true,
+                };
+            }
+            if is_hedge {
+                self.stats.hedges += 1;
+                hedged = true;
+            }
+            t = next;
+        }
+        self.stats.failures += 1;
+        DispatchOutcome {
+            served: None,
+            attempts,
+            completed_at: t,
+            hedged,
+            deadline_exceeded: false,
+        }
+    }
+
+    /// Publish breaker state onto the DNS failover path: for each backend
+    /// with an address, flip its `DnsView` health record whenever its
+    /// ejection state changed since the last sync. No-op unless
+    /// `dns_failover` is enabled. Returns the number of flips.
+    pub fn sync_dns(
+        &mut self,
+        now: SimTime,
+        view: &mut DnsView,
+        name: &str,
+        addr_of: &BTreeMap<BackendId, VpcAddr>,
+    ) -> u32 {
+        if !self.cfg.dns_failover {
+            return 0;
+        }
+        let mut flips = 0;
+        for (&backend, &addr) in addr_of {
+            let healthy = !self.is_ejected(now, backend);
+            let prev = self.dns_health.get(&backend).copied().unwrap_or(true);
+            if healthy != prev && view.set_health(name, addr, healthy) {
+                self.dns_health.insert(backend, healthy);
+                self.stats.dns_flips += 1;
+                flips += 1;
+            }
+        }
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn served(backend: BackendId, at: SimTime) -> GatewayServed {
+        GatewayServed {
+            backend,
+            replica: 0,
+            finish: at,
+            redirect_hops: 0,
+        }
+    }
+
+    fn dispatcher(cfg: ResilienceConfig) -> ResilientDispatcher {
+        ResilientDispatcher::new(cfg, SimRng::seed(7))
+    }
+
+    #[test]
+    fn first_attempt_success_is_zero_overhead() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let out = d.dispatch(SimTime::ZERO, |t, avoid| {
+            assert!(avoid.is_empty());
+            Ok(served(1, t))
+        });
+        assert_eq!(out.attempts, 1);
+        assert!(out.served.is_some());
+        assert_eq!(out.completed_at, SimTime::ZERO);
+        assert_eq!(d.stats().retries, 0);
+    }
+
+    #[test]
+    fn retry_steers_away_from_failed_backend() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let out = d.dispatch(SimTime::ZERO, |t, avoid| {
+            if avoid.contains(&1) {
+                Ok(served(2, t))
+            } else {
+                Err(AttemptError::BackendFailure(1))
+            }
+        });
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.served.unwrap().backend, 2);
+        assert!(out.completed_at > SimTime::ZERO, "retry took virtual time");
+        assert!(
+            out.completed_at <= SimTime::ZERO + SimDuration::from_millis(30),
+            "hedge caps the retry delay"
+        );
+    }
+
+    #[test]
+    fn sidecar_baseline_never_retries() {
+        let mut d = dispatcher(ResilienceConfig::sidecar_baseline());
+        let out = d.dispatch(SimTime::ZERO, |_, _| {
+            Err(AttemptError::BackendFailure(1))
+        });
+        assert_eq!(out.attempts, 1);
+        assert!(out.served.is_none());
+        assert_eq!(d.stats().failures, 1);
+    }
+
+    #[test]
+    fn consecutive_failures_trip_ejection_and_time_out() {
+        let cfg = ResilienceConfig::paper_canal();
+        let mut d = dispatcher(cfg);
+        for i in 0..cfg.eject_consecutive_failures {
+            let now = SimTime::from_millis(i as u64);
+            // Single-attempt probe against backend 9 that always fails.
+            let mut first = true;
+            d.dispatch(now, |_, _| {
+                if first {
+                    first = false;
+                    Err(AttemptError::BackendFailure(9))
+                } else {
+                    Ok(served(0, now))
+                }
+            });
+        }
+        let now = SimTime::from_millis(10);
+        assert!(d.is_ejected(now, 9));
+        assert_eq!(d.ejected_backends(now), vec![9]);
+        assert_eq!(d.stats().ejections, 1);
+        // After the ejection duration the backend is probe-able again.
+        let later = now + cfg.ejection_duration + SimDuration::from_secs(1);
+        assert!(!d.is_ejected(later, 9));
+    }
+
+    #[test]
+    fn ejected_backends_prepopulate_avoid_set() {
+        let cfg = ResilienceConfig::paper_canal();
+        let mut d = dispatcher(cfg);
+        for _ in 0..cfg.eject_consecutive_failures {
+            d.dispatch(SimTime::ZERO, |_, avoid| {
+                if avoid.contains(&3) {
+                    Err(AttemptError::Rejected(GatewayError::Unavailable))
+                } else {
+                    Err(AttemptError::BackendFailure(3))
+                }
+            });
+        }
+        assert!(d.is_ejected(SimTime::ZERO, 3));
+        let out = d.dispatch(SimTime::from_millis(1), |t, avoid| {
+            assert!(avoid.contains(&3), "breaker pre-steers away");
+            Ok(served(4, t))
+        });
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn unavailable_with_steer_degrades_to_fail_open() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let mut cleared = false;
+        let out = d.dispatch(SimTime::ZERO, |t, avoid| {
+            if avoid.is_empty() && cleared {
+                return Ok(served(5, t));
+            }
+            if avoid.is_empty() {
+                return Err(AttemptError::BackendFailure(5));
+            }
+            cleared = true;
+            Err(AttemptError::Rejected(GatewayError::Unavailable))
+        });
+        assert_eq!(
+            out.served.unwrap().backend,
+            5,
+            "steer dropped, fail-open served"
+        );
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_budget() {
+        let cfg = ResilienceConfig {
+            request_deadline: SimDuration::from_millis(25),
+            max_attempts: 100,
+            hedge_after: None,
+            ..ResilienceConfig::paper_canal()
+        };
+        let mut d = dispatcher(cfg);
+        let out = d.dispatch(SimTime::ZERO, |_, _| {
+            Err(AttemptError::BackendFailure(1))
+        });
+        assert!(out.deadline_exceeded);
+        assert!(out.attempts < 100);
+        assert_eq!(out.completed_at, SimTime::ZERO + cfg.request_deadline);
+        assert_eq!(d.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn unknown_service_is_terminal() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let out = d.dispatch(SimTime::ZERO, |_, _| {
+            Err(AttemptError::Rejected(GatewayError::UnknownService))
+        });
+        assert_eq!(out.attempts, 1);
+        assert!(!out.deadline_exceeded);
+    }
+
+    #[test]
+    fn same_seed_same_backoff_schedule() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut d = ResilientDispatcher::new(
+                ResilienceConfig {
+                    hedge_after: None,
+                    ..ResilienceConfig::paper_canal()
+                },
+                SimRng::seed(seed),
+            );
+            let mut times = Vec::new();
+            d.dispatch(SimTime::ZERO, |t, _| {
+                times.push(t.as_nanos());
+                Err(AttemptError::BackendFailure(1))
+            });
+            times
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "jitter is seed-sensitive");
+    }
+
+    #[test]
+    fn sync_dns_publishes_ejections_and_recovery() {
+        use canal_net::{VpcAddr, VpcId};
+        let cfg = ResilienceConfig::paper_canal();
+        let mut d = dispatcher(cfg);
+        let mut view = DnsView::new();
+        let addr = VpcAddr::new(VpcId(1), 10, 0, 0, 1);
+        view.add("svc", canal_net::AzId(0), addr);
+        let addrs: BTreeMap<BackendId, VpcAddr> = [(3, addr)].into_iter().collect();
+        for _ in 0..cfg.eject_consecutive_failures {
+            d.dispatch(SimTime::ZERO, |_, _| Err(AttemptError::BackendFailure(3)));
+        }
+        let t1 = SimTime::from_millis(1);
+        assert_eq!(d.sync_dns(t1, &mut view, "svc", &addrs), 1);
+        assert!(view.resolve("svc", canal_net::AzId(0)).is_none(), "ejected");
+        // Re-sync without change: no flip.
+        assert_eq!(d.sync_dns(t1, &mut view, "svc", &addrs), 0);
+        let t2 = t1 + cfg.ejection_duration + SimDuration::from_secs(1);
+        assert_eq!(d.sync_dns(t2, &mut view, "svc", &addrs), 1);
+        assert!(view.resolve("svc", canal_net::AzId(0)).is_some(), "recovered");
+        assert_eq!(d.stats().dns_flips, 2);
+    }
+}

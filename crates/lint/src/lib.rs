@@ -7,7 +7,9 @@
 //! * **determinism** — simulation-facing crates may not read wall clocks
 //!   (`Instant::now`, `SystemTime::now`), draw ambient randomness
 //!   (`thread_rng`, `rand::random`, `OsRng`, ...) or use hash-ordered
-//!   collections (`HashMap`/`HashSet`) outside tests.
+//!   collections (`HashMap`/`HashSet`) outside tests; faults-facing
+//!   modules (`fault*`/`resilience*`) additionally may not seed a private
+//!   `SimRng` — fault injection takes its randomness from the caller.
 //! * **layering** — crate references (`use canal_*`, `bytes::`) and manifest
 //!   dependencies must follow the DAG declared in [`rules::LAYERING_DAG`];
 //!   only `canal-bench` library code may write to stdout.
@@ -214,10 +216,19 @@ fn crate_refs(line: &str) -> Vec<String> {
     refs
 }
 
+/// Whether a workspace-relative path names a faults-facing module — one
+/// whose file name starts with `fault`/`resilience` (e.g. `faults.rs`,
+/// `resilience.rs`). Those are held to the stricter `fault-seed` rule.
+fn is_faults_facing(file: &str) -> bool {
+    let base = file.rsplit(['/', '\\']).next().unwrap_or(file);
+    base.starts_with("fault") || base.starts_with("resilience")
+}
+
 /// Run every applicable rule over one lexed source file.
-fn findings_for(lexed: &LexedFile, crate_ident: &str, kind: TargetKind) -> Vec<Finding> {
+fn findings_for(lexed: &LexedFile, file: &str, crate_ident: &str, kind: TargetKind) -> Vec<Finding> {
     let mut findings = Vec::new();
     let determinism = is_determinism_crate(crate_ident);
+    let faults_facing = is_faults_facing(file);
 
     fn push_patterns(
         findings: &mut Vec<Finding>,
@@ -261,6 +272,21 @@ fn findings_for(lexed: &LexedFile, crate_ident: &str, kind: TargetKind) -> Vec<F
                 lineno,
                 line,
                 "draws ambient randomness; thread all randomness through a seeded canal_sim::SimRng",
+            );
+        }
+
+        // Fault-seed: faults-facing library code must accept its SimRng /
+        // SimTime from the caller rather than seeding a private stream —
+        // fault plans and resilience jitter must stay steerable by the one
+        // experiment seed. Tests may seed freely (they *are* the caller).
+        if determinism && faults_facing && kind == TargetKind::Lib && !in_test {
+            push_patterns(
+                &mut findings,
+                "fault-seed",
+                rules::FAULT_SEED_PATTERNS,
+                lineno,
+                line,
+                "seeds a private RNG in faults-facing library code; take a caller-supplied SimRng so fault plans stay steered by the experiment seed",
             );
         }
 
@@ -404,7 +430,7 @@ pub fn scan_source(
     report: &mut Report,
 ) {
     let lexed = lexer::lex(source);
-    let findings = findings_for(&lexed, crate_ident, kind);
+    let findings = findings_for(&lexed, file, crate_ident, kind);
     apply_suppressions(&lexed, findings, file, report);
     report.files_scanned += 1;
 }
@@ -733,6 +759,45 @@ mod tests {
         let unknown = "x.unwrap(); // lint:allow(bogus-rule) reason=whatever";
         let r = scan_one(unknown, "canal_net", TargetKind::Lib);
         assert_eq!(r.rules_fired(), vec!["panic", "suppression"]);
+    }
+
+    #[test]
+    fn fault_seed_fires_only_in_faults_facing_lib_code() {
+        let src = "let rng = SimRng::seed(42);";
+        let fire = |file: &str, ident: &str, kind: TargetKind| {
+            let mut r = Report::default();
+            scan_source(file, src, ident, kind, &mut r);
+            r.sort();
+            r
+        };
+        let r = fire("crates/sim/src/faults.rs", "canal_sim", TargetKind::Lib);
+        assert_eq!(r.rules_fired(), vec!["fault-seed"]);
+        let r = fire(
+            "crates/gateway/src/resilience.rs",
+            "canal_gateway",
+            TargetKind::Lib,
+        );
+        assert_eq!(r.rules_fired(), vec!["fault-seed"]);
+        // Other modules, tests, and non-determinism crates may seed freely.
+        assert!(fire("crates/sim/src/rng.rs", "canal_sim", TargetKind::Lib).clean());
+        assert!(fire("crates/sim/src/faults.rs", "canal_sim", TargetKind::Test).clean());
+        assert!(fire(
+            "crates/bench/src/experiments/chaos.rs",
+            "canal_bench",
+            TargetKind::Lib
+        )
+        .clean());
+        // #[cfg(test)] modules inside faults-facing lib files are exempt.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let r = SimRng::seed(7); }\n}\n";
+        let mut r = Report::default();
+        scan_source(
+            "crates/sim/src/faults.rs",
+            in_test,
+            "canal_sim",
+            TargetKind::Lib,
+            &mut r,
+        );
+        assert!(r.clean(), "{}", r.render());
     }
 
     #[test]

@@ -126,6 +126,7 @@ pub const RULE_IDS: &[&str] = &[
     "stdout",
     "panic",
     "suppression",
+    "fault-seed",
 ];
 
 /// One textual pattern a rule searches for.
@@ -185,6 +186,12 @@ pub const UNORDERED_MAP_PATTERNS: &[Pattern] = &[word("HashMap"), word("HashSet"
 /// Stdout belongs to `canal-bench` and binary targets; library crates
 /// communicate through return values and metrics.
 pub const STDOUT_PATTERNS: &[Pattern] = &[tok("println!"), tok("print!"), tok("dbg!")];
+
+/// Faults-facing library code (`fault*`/`resilience*` modules in
+/// determinism crates) must take its `SimRng`/`SimTime` from the caller,
+/// never seed a stream of its own — otherwise a fault plan stops being
+/// steered by the experiment's single seed and chaos runs drift apart.
+pub const FAULT_SEED_PATTERNS: &[Pattern] = &[tok("SimRng::seed")];
 
 /// Panicking constructs forbidden in library code outside `#[cfg(test)]`.
 pub const PANIC_PATTERNS: &[Pattern] = &[

@@ -20,6 +20,7 @@ pub mod conn;
 pub mod ecmp;
 pub mod flow;
 pub mod ids;
+pub mod link;
 pub mod nagle;
 pub mod packet;
 pub mod ratelimit;
@@ -30,6 +31,7 @@ pub use conn::{TcpConn, TcpState};
 pub use ecmp::{bucket_of, ecmp_select, hash_five_tuple};
 pub use flow::{SessionKey, SessionTable};
 pub use ids::{AzId, GlobalServiceId, NodeId, PodId, ServiceId, TenantId, VpcId};
+pub use link::Link;
 pub use nagle::NagleBuffer;
 pub use ratelimit::TokenBucket;
 pub use packet::{FiveTuple, Packet, Proto};

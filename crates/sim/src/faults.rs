@@ -1,0 +1,879 @@
+//! Deterministic fault injection (§4.2 / Fig. 8).
+//!
+//! A [`FaultPlan`] is an explicit, seed-reproducible list of typed
+//! [`FaultEvent`]s: replica/backend/AZ crashes and recoveries, config-push
+//! stalls, key-server outages and timeout spikes, and per-link packet
+//! loss/latency degradation. Plans come from two sources:
+//!
+//! * **Scripted outages** — a one-line-per-event scenario DSL
+//!   ([`FaultPlan::parse`]), e.g. `at 30s fail az 1` / `at 90s recover az 1`,
+//!   so a Fig. 8-style walkthrough is versionable text.
+//! * **Random plans** — [`FaultPlan::random`] draws exponential MTTF/MTTR
+//!   up/down cycles per domain from a caller-supplied [`SimRng`], honouring
+//!   the determinism contract: no wall clocks, no ambient randomness, and a
+//!   plan folds into a [`Digest`] so double-run harnesses can demand
+//!   bit-identical fault schedules.
+//!
+//! Plans schedule into a [`Simulation`] via [`FaultPlan::schedule_into`];
+//! [`FaultState`] is the ground-truth bookkeeping a chaos model keeps while
+//! events fire (who is *actually* down, independent of what the control
+//! plane has detected so far — the gap between the two is exactly what the
+//! resilience layer gets measured on).
+
+use crate::engine::Simulation;
+use crate::invariant::Digest;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What a fault event targets. Identifiers are plain integers (backend key,
+/// AZ index) because `canal-sim` is a leaf crate: the gateway layers map
+/// them onto their own `BackendKey`/`AzId` types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultTarget {
+    /// One replica VM of a backend.
+    Replica {
+        /// Owning backend key.
+        backend: u32,
+        /// Replica index within the backend.
+        index: usize,
+    },
+    /// A whole backend (all replicas).
+    Backend(u32),
+    /// A whole availability zone (power-loss scenario).
+    Az(u32),
+    /// The control plane's config-push path (`control::configure`).
+    ConfigPush,
+    /// The multi-tenant key server (`crypto::keyserver`).
+    KeyServer,
+    /// The inter-AZ link between two zones (undirected).
+    Link {
+        /// One endpoint AZ.
+        a: u32,
+        /// The other endpoint AZ.
+        b: u32,
+    },
+}
+
+/// What happens to the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Hard outage: the target stops serving entirely.
+    Crash,
+    /// The target returns to full health (clears crashes *and* degradation).
+    Recover,
+    /// Partial degradation with a magnitude: `loss` is a packet-loss
+    /// probability (links), `extra` is added latency (links), push delay
+    /// (config path) or timeout (key server).
+    Degrade {
+        /// Packet-loss probability in `[0, 1]` (links only; 0 elsewhere).
+        loss: f64,
+        /// Added latency / stall duration, by target.
+        extra: SimDuration,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// What it hits.
+    pub target: FaultTarget,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A parse error from the scenario DSL, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line in the script.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault script line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Mean time to failure / mean time to recovery for one domain class.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRates {
+    /// Mean up-time before a crash (exponentially distributed).
+    pub mttf: SimDuration,
+    /// Mean down-time before recovery (exponentially distributed).
+    pub mttr: SimDuration,
+}
+
+/// Which domain classes a random plan crashes, and how often.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomFaultProfile {
+    /// Per-replica crash/recover cycling.
+    pub replica: Option<FaultRates>,
+    /// Per-backend crash/recover cycling.
+    pub backend: Option<FaultRates>,
+    /// Per-AZ crash/recover cycling.
+    pub az: Option<FaultRates>,
+}
+
+/// One backend of the simulated topology (for random plans and
+/// [`FaultState`] liveness queries).
+#[derive(Debug, Clone, Copy)]
+pub struct BackendSpec {
+    /// Backend key.
+    pub id: u32,
+    /// AZ the backend lives in.
+    pub az: u32,
+    /// Replica count.
+    pub replicas: usize,
+}
+
+/// The failure-domain topology a plan runs against.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTopology {
+    /// All backends, with AZ and replica count.
+    pub backends: Vec<BackendSpec>,
+}
+
+impl FaultTopology {
+    /// The distinct AZ indices present, ascending.
+    pub fn azs(&self) -> Vec<u32> {
+        let set: BTreeSet<u32> = self.backends.iter().map(|b| b.az).collect();
+        set.into_iter().collect()
+    }
+}
+
+/// An ordered, reproducible fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+fn parse_duration(s: &str) -> Option<SimDuration> {
+    // Suffix order matters: try the longer units first so "ms" is not read
+    // as "m"+"s" and "us"/"ns" are not read as "s".
+    for (suffix, to_ns) in [("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9)] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            // "10us" must not match the "s" arm with num="10u".
+            let value: f64 = num.parse().ok()?;
+            if value < 0.0 {
+                return None;
+            }
+            return Some(SimDuration::from_nanos((value * to_ns).round() as u64));
+        }
+    }
+    None
+}
+
+fn parse_loss(s: &str) -> Option<f64> {
+    let v: f64 = if let Some(pct) = s.strip_suffix('%') {
+        pct.parse::<f64>().ok()? / 100.0
+    } else {
+        s.parse().ok()?
+    };
+    (0.0..=1.0).contains(&v).then_some(v)
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ScriptError {
+    ScriptError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result<FaultTarget, ScriptError> {
+    let what = words
+        .next()
+        .ok_or_else(|| err(lineno, "missing target after action"))?;
+    match *what {
+        "replica" => {
+            let spec = words
+                .next()
+                .ok_or_else(|| err(lineno, "replica needs <backend>/<index>"))?;
+            let (b, r) = spec
+                .split_once('/')
+                .ok_or_else(|| err(lineno, format!("bad replica spec `{spec}` (want b/r)")))?;
+            let backend = b
+                .parse()
+                .map_err(|_| err(lineno, format!("bad backend id `{b}`")))?;
+            let index = r
+                .parse()
+                .map_err(|_| err(lineno, format!("bad replica index `{r}`")))?;
+            Ok(FaultTarget::Replica { backend, index })
+        }
+        "backend" => {
+            let id = words
+                .next()
+                .ok_or_else(|| err(lineno, "backend needs an id"))?;
+            Ok(FaultTarget::Backend(id.parse().map_err(|_| {
+                err(lineno, format!("bad backend id `{id}`"))
+            })?))
+        }
+        "az" => {
+            let id = words.next().ok_or_else(|| err(lineno, "az needs an id"))?;
+            Ok(FaultTarget::Az(id.parse().map_err(|_| {
+                err(lineno, format!("bad az id `{id}`"))
+            })?))
+        }
+        "config-push" => Ok(FaultTarget::ConfigPush),
+        "key-server" => Ok(FaultTarget::KeyServer),
+        "link" => {
+            let spec = words
+                .next()
+                .ok_or_else(|| err(lineno, "link needs <azA>-<azB>"))?;
+            let (a, b) = spec
+                .split_once('-')
+                .ok_or_else(|| err(lineno, format!("bad link spec `{spec}` (want a-b)")))?;
+            let a = a
+                .parse()
+                .map_err(|_| err(lineno, format!("bad az id `{a}`")))?;
+            let b = b
+                .parse()
+                .map_err(|_| err(lineno, format!("bad az id `{b}`")))?;
+            Ok(FaultTarget::Link { a, b })
+        }
+        other => Err(err(lineno, format!("unknown target `{other}`"))),
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event (kept; ordering is normalized lazily).
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        // Stable sort: same-instant events keep insertion order, matching
+        // the engine's FIFO tie-break.
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Parse the scenario DSL. One event per line:
+    ///
+    /// ```text
+    /// # AZ-1 power loss at t=30s, recover at t=90s
+    /// at 30s fail az 1
+    /// at 90s recover az 1
+    /// at 10s fail replica 2/0
+    /// at 40s fail backend 3
+    /// at 20s degrade link 0-1 loss 5% extra 2ms
+    /// at 50s degrade config-push extra 5s
+    /// at 60s degrade key-server extra 15ms
+    /// ```
+    ///
+    /// Durations take `ns`/`us`/`ms`/`s` suffixes; loss takes a fraction or
+    /// a percentage. `fail` is a hard crash; `degrade` needs `loss` and/or
+    /// `extra`; `recover` clears both.
+    pub fn parse(script: &str) -> Result<Self, ScriptError> {
+        let mut plan = FaultPlan::new();
+        for (idx, raw) in script.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            let mut it = words.iter();
+            match it.next() {
+                Some(&"at") => {}
+                _ => return Err(err(lineno, "line must start with `at <time>`")),
+            }
+            let at_str = it.next().ok_or_else(|| err(lineno, "missing time"))?;
+            let offset = parse_duration(at_str)
+                .ok_or_else(|| err(lineno, format!("bad time `{at_str}`")))?;
+            let at = SimTime::ZERO + offset;
+            let action = *it.next().ok_or_else(|| err(lineno, "missing action"))?;
+            let target = parse_target(&mut it, lineno)?;
+            let kind = match action {
+                "fail" => FaultKind::Crash,
+                "recover" => FaultKind::Recover,
+                "degrade" => {
+                    let mut loss = 0.0;
+                    let mut extra = SimDuration::ZERO;
+                    let mut saw_any = false;
+                    while let Some(key) = it.next() {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| err(lineno, format!("`{key}` needs a value")))?;
+                        match *key {
+                            "loss" => {
+                                loss = parse_loss(value).ok_or_else(|| {
+                                    err(lineno, format!("bad loss `{value}`"))
+                                })?;
+                            }
+                            "extra" => {
+                                extra = parse_duration(value).ok_or_else(|| {
+                                    err(lineno, format!("bad duration `{value}`"))
+                                })?;
+                            }
+                            other => {
+                                return Err(err(lineno, format!("unknown key `{other}`")))
+                            }
+                        }
+                        saw_any = true;
+                    }
+                    if !saw_any {
+                        return Err(err(lineno, "degrade needs `loss ...` and/or `extra ...`"));
+                    }
+                    FaultKind::Degrade { loss, extra }
+                }
+                other => return Err(err(lineno, format!("unknown action `{other}`"))),
+            };
+            if it.next().is_some() {
+                return Err(err(lineno, "trailing tokens"));
+            }
+            plan.events.push(FaultEvent { at, target, kind });
+        }
+        plan.events.sort_by_key(|e| e.at);
+        Ok(plan)
+    }
+
+    /// Draw a random plan: each domain in `profile` cycles up (mean `mttf`)
+    /// and down (mean `mttr`) independently until `horizon`. All randomness
+    /// comes from the caller's `rng`; the same rng state always yields the
+    /// same plan.
+    pub fn random(
+        topo: &FaultTopology,
+        profile: &RandomFaultProfile,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut plan = FaultPlan::new();
+        let mut cycle = |target: FaultTarget, rates: FaultRates, rng: &mut SimRng| {
+            let mut t = SimDuration::ZERO;
+            loop {
+                t += SimDuration::from_secs_f64(rng.exponential(rates.mttf.as_secs_f64()));
+                if t >= horizon {
+                    break;
+                }
+                plan.events.push(FaultEvent {
+                    at: SimTime::ZERO + t,
+                    target,
+                    kind: FaultKind::Crash,
+                });
+                t += SimDuration::from_secs_f64(rng.exponential(rates.mttr.as_secs_f64()));
+                let recover_at = t.min(horizon);
+                plan.events.push(FaultEvent {
+                    at: SimTime::ZERO + recover_at,
+                    target,
+                    kind: FaultKind::Recover,
+                });
+                if t >= horizon {
+                    break;
+                }
+            }
+        };
+        // Iterate domains in a fixed order (backends as listed, then AZs
+        // ascending) so plans are insensitive to caller-side reordering of
+        // unrelated draws.
+        if let Some(rates) = profile.replica {
+            for be in &topo.backends {
+                for r in 0..be.replicas {
+                    cycle(
+                        FaultTarget::Replica {
+                            backend: be.id,
+                            index: r,
+                        },
+                        rates,
+                        rng,
+                    );
+                }
+            }
+        }
+        if let Some(rates) = profile.backend {
+            for be in &topo.backends {
+                cycle(FaultTarget::Backend(be.id), rates, rng);
+            }
+        }
+        if let Some(rates) = profile.az {
+            for az in topo.azs() {
+                cycle(FaultTarget::Az(az), rates, rng);
+            }
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+
+    /// Merge another plan into this one (e.g. a scripted outage on top of
+    /// background MTTF noise), preserving per-instant insertion order.
+    pub fn merge(&mut self, other: &FaultPlan) {
+        self.events.extend(other.events.iter().copied());
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The events, ascending by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule every event into a simulation, wrapping each in the model's
+    /// own event type. `wrap` receives the plan index so the model can look
+    /// the event back up when it fires.
+    pub fn schedule_into<E>(
+        &self,
+        sim: &mut Simulation<E>,
+        mut wrap: impl FnMut(usize, &FaultEvent) -> E,
+    ) {
+        for (i, ev) in self.events.iter().enumerate() {
+            sim.schedule(ev.at, wrap(i, ev));
+        }
+    }
+
+    /// Fold the full schedule into a digest (time, target, kind — floats by
+    /// bit pattern), so chaos harnesses can demand bit-identical plans.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        for ev in &self.events {
+            d.write_u64(ev.at.as_nanos());
+            match ev.target {
+                FaultTarget::Replica { backend, index } => {
+                    d.write_u64(1).write_u64(backend as u64).write_u64(index as u64);
+                }
+                FaultTarget::Backend(b) => {
+                    d.write_u64(2).write_u64(b as u64);
+                }
+                FaultTarget::Az(a) => {
+                    d.write_u64(3).write_u64(a as u64);
+                }
+                FaultTarget::ConfigPush => {
+                    d.write_u64(4);
+                }
+                FaultTarget::KeyServer => {
+                    d.write_u64(5);
+                }
+                FaultTarget::Link { a, b } => {
+                    d.write_u64(6).write_u64(a as u64).write_u64(b as u64);
+                }
+            }
+            match ev.kind {
+                FaultKind::Crash => {
+                    d.write_u64(10);
+                }
+                FaultKind::Recover => {
+                    d.write_u64(11);
+                }
+                FaultKind::Degrade { loss, extra } => {
+                    d.write_u64(12).write_f64(loss).write_u64(extra.as_nanos());
+                }
+            }
+        }
+    }
+}
+
+/// Per-link degradation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    crashed: bool,
+    loss: f64,
+    extra: SimDuration,
+}
+
+/// Ground-truth fault bookkeeping while a plan's events fire.
+///
+/// This is what is *actually* down — the control plane's detected view
+/// (e.g. `PlacementView`) lags behind it by the detection delay, and the
+/// resilience layer's job is to mask that gap.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    az_of: BTreeMap<u32, u32>,
+    replicas: BTreeMap<u32, usize>,
+    down_replicas: BTreeSet<(u32, usize)>,
+    down_backends: BTreeSet<u32>,
+    down_azs: BTreeSet<u32>,
+    config_blocked: bool,
+    config_extra: SimDuration,
+    key_server_down: bool,
+    key_server_extra: SimDuration,
+    links: BTreeMap<(u32, u32), LinkState>,
+}
+
+fn link_key(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+impl FaultState {
+    /// Fresh state (everything healthy) over a topology.
+    pub fn new(topo: &FaultTopology) -> Self {
+        FaultState {
+            az_of: topo.backends.iter().map(|b| (b.id, b.az)).collect(),
+            replicas: topo.backends.iter().map(|b| (b.id, b.replicas)).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Apply one fired event.
+    pub fn apply(&mut self, ev: &FaultEvent) {
+        match (ev.target, ev.kind) {
+            (FaultTarget::Replica { backend, index }, FaultKind::Crash) => {
+                self.down_replicas.insert((backend, index));
+            }
+            (FaultTarget::Replica { backend, index }, FaultKind::Recover) => {
+                self.down_replicas.remove(&(backend, index));
+            }
+            (FaultTarget::Backend(b), FaultKind::Crash) => {
+                self.down_backends.insert(b);
+            }
+            (FaultTarget::Backend(b), FaultKind::Recover) => {
+                self.down_backends.remove(&b);
+                self.down_replicas.retain(|&(be, _)| be != b);
+            }
+            (FaultTarget::Az(a), FaultKind::Crash) => {
+                self.down_azs.insert(a);
+            }
+            (FaultTarget::Az(a), FaultKind::Recover) => {
+                self.down_azs.remove(&a);
+            }
+            (FaultTarget::ConfigPush, FaultKind::Crash) => self.config_blocked = true,
+            (FaultTarget::ConfigPush, FaultKind::Recover) => {
+                self.config_blocked = false;
+                self.config_extra = SimDuration::ZERO;
+            }
+            (FaultTarget::ConfigPush, FaultKind::Degrade { extra, .. }) => {
+                self.config_extra = extra;
+            }
+            (FaultTarget::KeyServer, FaultKind::Crash) => self.key_server_down = true,
+            (FaultTarget::KeyServer, FaultKind::Recover) => {
+                self.key_server_down = false;
+                self.key_server_extra = SimDuration::ZERO;
+            }
+            (FaultTarget::KeyServer, FaultKind::Degrade { extra, .. }) => {
+                self.key_server_extra = extra;
+            }
+            (FaultTarget::Link { a, b }, FaultKind::Crash) => {
+                self.links.entry(link_key(a, b)).or_default().crashed = true;
+            }
+            (FaultTarget::Link { a, b }, FaultKind::Recover) => {
+                self.links.remove(&link_key(a, b));
+            }
+            (FaultTarget::Link { a, b }, FaultKind::Degrade { loss, extra }) => {
+                let st = self.links.entry(link_key(a, b)).or_default();
+                st.loss = loss;
+                st.extra = extra;
+            }
+            // Degrading a compute domain has no defined magnitude semantics;
+            // treat it as a no-op rather than guessing.
+            (
+                FaultTarget::Replica { .. } | FaultTarget::Backend(_) | FaultTarget::Az(_),
+                FaultKind::Degrade { .. },
+            ) => {}
+        }
+    }
+
+    /// Whether an AZ is up.
+    pub fn az_up(&self, az: u32) -> bool {
+        !self.down_azs.contains(&az)
+    }
+
+    /// Whether one replica is actually serving (itself, its backend and its
+    /// AZ are all up).
+    pub fn replica_up(&self, backend: u32, index: usize) -> bool {
+        !self.down_replicas.contains(&(backend, index))
+            && !self.down_backends.contains(&backend)
+            && self.az_of.get(&backend).is_none_or(|az| self.az_up(*az))
+    }
+
+    /// Whether a backend has at least one live replica (and is itself up,
+    /// in an up AZ).
+    pub fn backend_up(&self, backend: u32) -> bool {
+        let n = self.replicas.get(&backend).copied().unwrap_or(0);
+        (0..n).any(|r| self.replica_up(backend, r))
+    }
+
+    /// Live replica count of a backend.
+    pub fn live_replicas(&self, backend: u32) -> usize {
+        let n = self.replicas.get(&backend).copied().unwrap_or(0);
+        (0..n).filter(|&r| self.replica_up(backend, r)).count()
+    }
+
+    /// Packet-loss probability on the (undirected) AZ link. A crashed link
+    /// loses everything.
+    pub fn link_loss(&self, a: u32, b: u32) -> f64 {
+        match self.links.get(&link_key(a, b)) {
+            Some(st) if st.crashed => 1.0,
+            Some(st) => st.loss,
+            None => 0.0,
+        }
+    }
+
+    /// Added latency on the (undirected) AZ link.
+    pub fn link_extra(&self, a: u32, b: u32) -> SimDuration {
+        self.links.get(&link_key(a, b)).map(|s| s.extra).unwrap_or_default()
+    }
+
+    /// Whether config pushes are fully blocked.
+    pub fn config_blocked(&self) -> bool {
+        self.config_blocked
+    }
+
+    /// Added config-push delay (zero when healthy).
+    pub fn config_extra(&self) -> SimDuration {
+        self.config_extra
+    }
+
+    /// Whether the key server is hard-down (fallback path takes over).
+    pub fn key_server_down(&self) -> bool {
+        self.key_server_down
+    }
+
+    /// Added key-server timeout per handshake (zero when healthy).
+    pub fn key_server_extra(&self) -> SimDuration {
+        self.key_server_extra
+    }
+
+    /// Whether any compute domain (replica/backend/AZ) is crashed.
+    pub fn any_crash_active(&self) -> bool {
+        !self.down_replicas.is_empty()
+            || !self.down_backends.is_empty()
+            || !self.down_azs.is_empty()
+    }
+
+    /// Whether anything at all is degraded or down.
+    pub fn any_active(&self) -> bool {
+        self.any_crash_active()
+            || self.config_blocked
+            || self.config_extra > SimDuration::ZERO
+            || self.key_server_down
+            || self.key_server_extra > SimDuration::ZERO
+            || !self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> FaultTopology {
+        FaultTopology {
+            backends: vec![
+                BackendSpec { id: 0, az: 0, replicas: 2 },
+                BackendSpec { id: 1, az: 0, replicas: 2 },
+                BackendSpec { id: 2, az: 1, replicas: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn dsl_round_trip_core_forms() {
+        let plan = FaultPlan::parse(
+            "# scripted Fig. 8 outage\n\
+             at 10s fail replica 2/0\n\
+             at 12s recover replica 2/0\n\
+             at 30s fail az 1   # power loss\n\
+             at 90s recover az 1\n\
+             at 20s degrade link 0-1 loss 5% extra 2ms\n\
+             at 25s recover link 0-1\n\
+             at 50s degrade config-push extra 5s\n\
+             at 60s degrade key-server extra 15ms\n\
+             at 70s fail key-server\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 9);
+        // Sorted by time regardless of script order.
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        let link = plan
+            .events()
+            .iter()
+            .find(|e| matches!(e.target, FaultTarget::Link { .. }))
+            .unwrap();
+        assert_eq!(
+            link.kind,
+            FaultKind::Degrade {
+                loss: 0.05,
+                extra: SimDuration::from_millis(2)
+            }
+        );
+    }
+
+    #[test]
+    fn dsl_rejects_malformed_lines() {
+        for (script, fragment) in [
+            ("fail az 1", "must start with"),
+            ("at xyz fail az 1", "bad time"),
+            ("at 1s explode az 1", "unknown action"),
+            ("at 1s fail moon 1", "unknown target"),
+            ("at 1s fail replica 1", "bad replica spec"),
+            ("at 1s degrade link 0-1", "degrade needs"),
+            ("at 1s degrade link 0-1 loss 150%", "bad loss"),
+            ("at 1s fail az 1 junk", "trailing tokens"),
+        ] {
+            let e = FaultPlan::parse(script).unwrap_err();
+            assert!(
+                e.msg.contains(fragment),
+                "script `{script}`: got `{}`, wanted `{fragment}`",
+                e.msg
+            );
+            assert_eq!(e.line, 1);
+        }
+    }
+
+    #[test]
+    fn duration_and_loss_parsers() {
+        assert_eq!(parse_duration("1.5s"), Some(SimDuration::from_millis(1500)));
+        assert_eq!(parse_duration("250ms"), Some(SimDuration::from_micros(250_000)));
+        assert_eq!(parse_duration("10us"), Some(SimDuration::from_micros(10)));
+        assert_eq!(parse_duration("7ns"), Some(SimDuration::from_nanos(7)));
+        assert_eq!(parse_duration("7"), None);
+        assert_eq!(parse_loss("5%"), Some(0.05));
+        assert_eq!(parse_loss("0.25"), Some(0.25));
+        assert_eq!(parse_loss("1.5"), None);
+    }
+
+    #[test]
+    fn random_plan_is_seed_reproducible_and_well_formed() {
+        let profile = RandomFaultProfile {
+            backend: Some(FaultRates {
+                mttf: SimDuration::from_secs(20),
+                mttr: SimDuration::from_secs(5),
+            }),
+            ..Default::default()
+        };
+        let horizon = SimDuration::from_secs(300);
+        let a = FaultPlan::random(&topo(), &profile, horizon, &mut SimRng::seed(7));
+        let b = FaultPlan::random(&topo(), &profile, horizon, &mut SimRng::seed(7));
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        a.fold_digest(&mut da);
+        b.fold_digest(&mut db);
+        assert_eq!(da.value(), db.value(), "same seed, same plan");
+        let c = FaultPlan::random(&topo(), &profile, horizon, &mut SimRng::seed(8));
+        let mut dc = Digest::new();
+        c.fold_digest(&mut dc);
+        assert_ne!(da.value(), dc.value(), "different seed, different plan");
+        // Every crash is paired with a later-or-equal recover of the same
+        // target, and nothing exceeds the horizon.
+        let mut down: BTreeSet<FaultTarget> = BTreeSet::new();
+        for ev in a.events() {
+            assert!(ev.at.as_nanos() <= horizon.as_nanos());
+            match ev.kind {
+                FaultKind::Crash => assert!(down.insert(ev.target), "double crash"),
+                FaultKind::Recover => assert!(down.remove(&ev.target), "orphan recover"),
+                FaultKind::Degrade { .. } => {}
+            }
+        }
+        assert!(down.is_empty(), "every crash recovers by the horizon");
+    }
+
+    #[test]
+    fn fault_state_tracks_hierarchy() {
+        let mut st = FaultState::new(&topo());
+        assert!(st.replica_up(0, 0) && st.backend_up(0));
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Replica { backend: 0, index: 0 },
+            kind: FaultKind::Crash,
+        });
+        assert!(!st.replica_up(0, 0) && st.backend_up(0));
+        assert_eq!(st.live_replicas(0), 1);
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Az(0),
+            kind: FaultKind::Crash,
+        });
+        assert!(!st.backend_up(0) && !st.backend_up(1), "AZ takes both down");
+        assert!(st.backend_up(2), "other AZ unaffected");
+        assert!(st.any_crash_active());
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Az(0),
+            kind: FaultKind::Recover,
+        });
+        // Backend recovery clears lingering replica crashes.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Backend(0),
+            kind: FaultKind::Recover,
+        });
+        assert_eq!(st.live_replicas(0), 2);
+        assert!(!st.any_crash_active());
+    }
+
+    #[test]
+    fn fault_state_tracks_degradations() {
+        let mut st = FaultState::new(&topo());
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Link { a: 1, b: 0 },
+            kind: FaultKind::Degrade {
+                loss: 0.1,
+                extra: SimDuration::from_millis(2),
+            },
+        });
+        // Undirected: both orders answer.
+        assert_eq!(st.link_loss(0, 1), 0.1);
+        assert_eq!(st.link_extra(1, 0), SimDuration::from_millis(2));
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Link { a: 0, b: 1 },
+            kind: FaultKind::Crash,
+        });
+        assert_eq!(st.link_loss(0, 1), 1.0, "crashed link loses all");
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Link { a: 0, b: 1 },
+            kind: FaultKind::Recover,
+        });
+        assert_eq!(st.link_loss(0, 1), 0.0);
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::KeyServer,
+            kind: FaultKind::Degrade {
+                loss: 0.0,
+                extra: SimDuration::from_millis(15),
+            },
+        });
+        assert_eq!(st.key_server_extra(), SimDuration::from_millis(15));
+        assert!(st.any_active() && !st.any_crash_active());
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::KeyServer,
+            kind: FaultKind::Recover,
+        });
+        assert!(!st.any_active());
+    }
+
+    #[test]
+    fn schedule_into_preserves_order() {
+        use crate::engine::{Model, Scheduler};
+        struct Recorder(Vec<usize>);
+        impl Model for Recorder {
+            type Event = usize;
+            fn handle(&mut self, _now: SimTime, ev: usize, _s: &mut Scheduler<usize>) {
+                self.0.push(ev);
+            }
+        }
+        let plan = FaultPlan::parse(
+            "at 30s fail az 1\nat 10s fail backend 0\nat 20s recover backend 0\n",
+        )
+        .unwrap();
+        let mut sim = Simulation::new();
+        plan.schedule_into(&mut sim, |i, _| i);
+        let mut m = Recorder(Vec::new());
+        sim.run(&mut m);
+        // Plan indices are already time-ordered after parse.
+        assert_eq!(m.0, vec![0, 1, 2]);
+        assert_eq!(
+            plan.events()[0].target,
+            FaultTarget::Backend(0),
+            "earliest event first after normalization"
+        );
+    }
+}

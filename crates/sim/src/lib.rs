@@ -20,6 +20,10 @@
 //! * [`queueing`] — a multi-core FIFO server used to model proxy CPUs; both
 //!   queueing delay and CPU utilization fall out of busy-time integration
 //!   rather than closed-form approximations.
+//! * [`faults`] — deterministic fault injection: seed-reproducible
+//!   [`FaultPlan`]s (scenario DSL + MTTF/MTTR random plans) scheduling typed
+//!   fault events into a simulation, with [`FaultState`] ground-truth
+//!   bookkeeping for chaos experiments (Fig. 8).
 //! * [`invariant`] — runtime determinism self-checks: the engine
 //!   debug-asserts event-order invariants on every dispatch, and [`Digest`]
 //!   folds run outcomes so double-run harnesses can demand bit-identical
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod invariant;
 pub mod metrics;
 pub mod output;
@@ -41,6 +46,10 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Model, Scheduler, Simulation};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultRates, FaultState, FaultTarget, FaultTopology,
+    RandomFaultProfile,
+};
 pub use invariant::{Digest, EventOrderMonitor};
 pub use metrics::{Counter, Gauge, Histogram, MetricSet, TimeSeries};
 pub use queueing::CpuServer;

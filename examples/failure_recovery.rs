@@ -37,29 +37,29 @@ fn main() {
     view.place(svc_b, 4);
 
     println!("--- replica level ---");
-    view.fail(FailureDomain::Replica(1, 0));
-    view.fail(FailureDomain::Replica(1, 1));
+    view.fail(FailureDomain::Replica(1, 0)).unwrap();
+    view.fail(FailureDomain::Replica(1, 1)).unwrap();
     println!(
         "two replicas of backend1 down; backend1 available: {}",
         view.backend_available(1)
     );
 
     println!("\n--- backend level ---");
-    view.fail(FailureDomain::Backend(1));
+    view.fail(FailureDomain::Backend(1)).unwrap();
     println!(
         "backend1 down; service A available in AZ1: {} (backend2 holds)",
         view.service_available_in_az(svc_a, AzId(1))
     );
 
     println!("\n--- AZ level ---");
-    view.fail(FailureDomain::Az(AzId(1)));
+    view.fail(FailureDomain::Az(AzId(1))).unwrap();
     println!(
         "AZ1 down; service A available: {} (cross-AZ backend3), service B available: {}",
         view.service_available(svc_a),
         view.service_available(svc_b)
     );
-    view.recover(FailureDomain::Az(AzId(1)));
-    view.recover(FailureDomain::Backend(1));
+    view.recover(FailureDomain::Az(AzId(1))).unwrap();
+    view.recover(FailureDomain::Backend(1)).unwrap();
 
     // --- DNS failover prefers the local AZ and spills only when empty. ---
     println!("\n--- AZ-aware DNS ---");

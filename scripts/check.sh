@@ -13,6 +13,12 @@ cargo test --workspace -q
 echo "==> canal-lint (determinism / layering / panic-policy)"
 cargo run -q -p canal-lint
 
+# Chaos smoke: a compressed fault-injection run. The binary exits nonzero
+# if the availability invariant breaks (a service with >=1 live replica in
+# a live AZ must serve 100% on the resilient datapath).
+echo "==> chaos smoke (availability invariant under fault injection)"
+cargo run -q --release -p canal-bench --bin chaos -- --fast >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.

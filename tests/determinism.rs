@@ -64,10 +64,10 @@ fn run_scenario(seed: u64) -> u64 {
         // Mid-run churn: fail and recover backends so failover paths are
         // digested too.
         if i == REQUESTS / 4 {
-            tb.gateway_mut().fail(FailureDomain::Backend(0));
+            tb.gateway_mut().fail(FailureDomain::Backend(0)).expect("known backend");
         }
         if i == REQUESTS / 2 {
-            tb.gateway_mut().recover(FailureDomain::Backend(0));
+            tb.gateway_mut().recover(FailureDomain::Backend(0)).expect("known backend");
         }
         tb.advance(SimDuration::from_millis(driver.int_range(1, 5)));
     }

@@ -159,27 +159,27 @@ fn hierarchical_failover_keeps_service_up() {
     let first = gw.handle_request(SimTime::ZERO, svc, &t, true).unwrap();
 
     // Kill the serving replica: the flow reconstructs on a sibling.
-    gw.fail(FailureDomain::Replica(first.backend, first.replica));
+    gw.fail(FailureDomain::Replica(first.backend, first.replica)).unwrap();
     let second = gw.handle_request(SimTime::from_secs(1), svc, &t, false).unwrap();
     assert_eq!(second.backend, first.backend);
     assert_ne!(second.replica, first.replica);
 
     // Kill the whole backend: traffic moves to the other shard members.
-    gw.fail(FailureDomain::Backend(first.backend));
+    gw.fail(FailureDomain::Backend(first.backend)).unwrap();
     let third = gw.handle_request(SimTime::from_secs(2), svc, &t, true).unwrap();
     assert_ne!(third.backend, first.backend);
     assert!(backends.contains(&third.backend));
 
     // Kill everything: unavailable...
     for &b in &backends {
-        gw.fail(FailureDomain::Backend(b));
+        gw.fail(FailureDomain::Backend(b)).unwrap();
     }
     assert_eq!(
         gw.handle_request(SimTime::from_secs(3), svc, &t, true),
         Err(GatewayError::Unavailable)
     );
     // ...until recovery.
-    gw.recover(FailureDomain::Backend(backends[0]));
+    gw.recover(FailureDomain::Backend(backends[0])).unwrap();
     assert!(gw.handle_request(SimTime::from_secs(4), svc, &t, true).is_ok());
 }
 

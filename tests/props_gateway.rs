@@ -101,9 +101,9 @@ fn gateway_availability_matches_placement() {
         let mut sport = 1u16;
         for (i, &(backend, fail)) in events.iter().enumerate() {
             if fail {
-                gw.fail(FailureDomain::Backend(backend));
+                gw.fail(FailureDomain::Backend(backend)).unwrap();
             } else {
-                gw.recover(FailureDomain::Backend(backend));
+                gw.recover(FailureDomain::Backend(backend)).unwrap();
             }
             let any_up = gw
                 .backends_of(service)
@@ -118,6 +118,66 @@ fn gateway_availability_matches_placement() {
                 assert_eq!(outcome.unwrap_err(), GatewayError::Unavailable);
             }
         }
+    }
+}
+
+/// Failures are always recoverable: after ANY sequence of replica/backend/AZ
+/// failures (with arbitrary interleaved traffic), recovering every failed
+/// domain restores exactly the initial availability — every placed backend
+/// serves again and requests succeed.
+#[test]
+fn gateway_fail_then_recover_restores_availability() {
+    let mut rng = SimRng::seed(0x6A7E_0005);
+    for _ in 0..CASES {
+        let seed = rng.u64();
+        let mut gw_rng = SimRng::seed(seed);
+        let mut gw = Gateway::new(GatewayConfig::default());
+        let cfg = gw.config();
+        let service = svc(2);
+        gw.register_service(service, &mut gw_rng);
+        let initial: Vec<bool> = gw
+            .backends_of(service)
+            .iter()
+            .map(|&b| gw.placement().backend_available(b))
+            .collect();
+        assert!(initial.iter().all(|&a| a), "everything starts healthy");
+
+        // Arbitrary valid failure sequence across all three domain levels.
+        let mut failed: BTreeSet<FailureDomain> = BTreeSet::new();
+        let n_backends = (cfg.azs * cfg.backends_per_az) as u32;
+        let mut sport = 1u16;
+        for i in 0..rng.index(25) {
+            let backend = rng.index(n_backends as usize) as u32;
+            let domain = match rng.index(3) {
+                0 => FailureDomain::Replica(backend, rng.index(cfg.replicas_per_backend)),
+                1 => FailureDomain::Backend(backend),
+                _ => FailureDomain::Az(canal::net::AzId(rng.index(cfg.azs) as u32)),
+            };
+            gw.fail(domain).unwrap();
+            failed.insert(domain);
+            // Traffic in the degraded state must never panic.
+            sport = sport.wrapping_add(1).max(1);
+            let _ = gw.handle_request(SimTime::from_millis(i as u64), service, &tup(sport), true);
+        }
+
+        // Recover exactly the failed domains (any order — the set suffices,
+        // since backend recovery also clears that backend's replica marks).
+        for &domain in &failed {
+            gw.recover(domain).unwrap();
+        }
+
+        let after: Vec<bool> = gw
+            .backends_of(service)
+            .iter()
+            .map(|&b| gw.placement().backend_available(b))
+            .collect();
+        assert_eq!(initial, after, "recovery restores the initial availability");
+        sport = sport.wrapping_add(1).max(1);
+        assert!(
+            gw.handle_request(SimTime::from_secs(99), service, &tup(sport), true)
+                .is_ok(),
+            "a fully recovered gateway serves again"
+        );
     }
 }
 
