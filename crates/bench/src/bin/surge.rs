@@ -1,0 +1,55 @@
+//! CLI driver for the gateway overload-control surge experiment.
+//!
+//! ```text
+//! surge                # full 30 s-per-pass run
+//! surge --fast         # compressed smoke run (scripts/check.sh)
+//! surge --seed 7       # different seed
+//! ```
+//!
+//! Exit code is non-zero unless the isolation invariant holds: under the
+//! canal placement, well-behaved tenants keep their no-surge P99 within a
+//! bounded factor and their goodput intact, while the surging tenant's
+//! goodput degrades gracefully (shed engages, goodput stays above the
+//! floor). At full scale every report check gates too.
+
+use canal_bench::experiments::overload::{report_for, run_surge, SurgeParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast {
+        SurgeParams::fast()
+    } else {
+        SurgeParams::full()
+    };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let outcome = run_surge(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+    if !outcome.isolation_ok() {
+        eprintln!("FAIL: tenant-isolation invariant violated under surge");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} overload checks missed");
+        std::process::exit(1);
+    }
+}

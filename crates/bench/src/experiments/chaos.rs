@@ -29,6 +29,7 @@ use canal_crypto::accel::AsymmetricBackend;
 use canal_crypto::keyserver::{KeyServerPlacement, RemoteKeyServerBackend};
 use canal_gateway::failure::FailureDomain;
 use canal_gateway::gateway::{BackendId, Gateway, GatewayConfig, GatewayError, GatewayServed};
+use canal_gateway::overload::{AttemptKind, RetryBudget};
 use canal_gateway::resilience::{AttemptError, ResilienceConfig, ResilientDispatcher};
 use canal_mesh::arch::{Architecture, ClusterShape};
 use canal_net::{AzId, Endpoint, FiveTuple, GlobalServiceId, ServiceId, TenantId, VpcAddr, VpcId};
@@ -50,6 +51,9 @@ const CLIENT_AZ: u32 = 0;
 const FAULT_AZ: u32 = 1;
 /// DNS name the service publishes health under.
 const DNS_NAME: &str = "svc.mesh";
+/// The arrival stream models one client population, so the retry budget
+/// keys every attempt under a single client id.
+const BUDGET_CLIENT: u64 = 1;
 
 /// Chaos run parameters.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +63,16 @@ pub struct ChaosParams {
     pub time_scale: f64,
     /// Offered load (requests/s).
     pub rps: f64,
+    /// Append a total-outage retry-storm window to the scripted plan:
+    /// every placed backend goes down at ~106 s and recovers at ~114 s.
+    /// With no live replica anywhere, failures in the window cannot
+    /// violate the availability invariant — every attempt beyond the first
+    /// is pure retry amplification, which is what the retry budget kills.
+    pub storm: bool,
+    /// Per-client retry-budget admission `(ratio, cap)` enforced on the
+    /// attempt path ([`GatewayError::RetryBudgetExhausted`] is terminal in
+    /// the dispatcher). `None` disables the budget.
+    pub retry_budget: Option<(f64, f64)>,
 }
 
 impl ChaosParams {
@@ -67,6 +81,8 @@ impl ChaosParams {
         ChaosParams {
             time_scale: 1.0,
             rps: 200.0,
+            storm: false,
+            retry_budget: None,
         }
     }
 
@@ -75,7 +91,21 @@ impl ChaosParams {
         ChaosParams {
             time_scale: 0.25,
             rps: 80.0,
+            storm: false,
+            retry_budget: None,
         }
+    }
+
+    /// Enable the total-outage retry-storm window.
+    pub fn with_storm(mut self) -> Self {
+        self.storm = true;
+        self
+    }
+
+    /// Enable retry-budget admission with the given earn ratio and cap.
+    pub fn with_retry_budget(mut self, ratio: f64, cap: f64) -> Self {
+        self.retry_budget = Some((ratio, cap));
+        self
     }
 
     /// Scenario horizon (scaled).
@@ -125,6 +155,9 @@ pub struct ArchOutcome {
     pub dns_flips: u64,
     /// Requests that died on their deadline.
     pub deadline_exceeded: u64,
+    /// Retry/hedge attempts refused by the retry budget (0 unless
+    /// [`ChaosParams::retry_budget`] is set).
+    pub budget_rejected: u64,
     /// p99 latency outside fault windows (ms).
     pub calm_p99_ms: f64,
     /// p99 latency inside fault windows (ms).
@@ -163,6 +196,7 @@ impl ArchOutcome {
             .write_u64(self.ejections)
             .write_u64(self.dns_flips)
             .write_u64(self.deadline_exceeded)
+            .write_u64(self.budget_rejected)
             .write_f64(self.calm_p99_ms)
             .write_f64(self.fault_p99_ms)
             .write_f64(self.fault_p999_ms);
@@ -232,11 +266,20 @@ struct ArchProfile {
     fail_open: bool,
 }
 
-fn profiles(scale: f64) -> Vec<ArchProfile> {
+fn canal_profile(scale: f64) -> ArchProfile {
     // Compress the breaker's control-loop timescale along with the fault
     // timeline, or a --fast ejection outlives whole fault windows.
     let mut canal = ResilienceConfig::paper_canal();
     canal.ejection_duration = canal.ejection_duration.scale(scale);
+    ArchProfile {
+        arch: Architecture::Canal,
+        resilience: canal,
+        probe_interval: SimDuration::from_millis(500).scale(scale),
+        fail_open: true,
+    }
+}
+
+fn profiles(scale: f64) -> Vec<ArchProfile> {
     vec![
         ArchProfile {
             arch: Architecture::Sidecar,
@@ -250,21 +293,20 @@ fn profiles(scale: f64) -> Vec<ArchProfile> {
             probe_interval: SimDuration::from_secs(2).scale(scale),
             fail_open: true,
         },
-        ArchProfile {
-            arch: Architecture::Canal,
-            resilience: canal,
-            probe_interval: SimDuration::from_millis(500).scale(scale),
-            fail_open: true,
-        },
+        canal_profile(scale),
     ]
 }
 
 /// Build the scripted Fig. 8 scenario against the *actual* placement, so
 /// every target exists in the topology (unknown domains are hard errors
 /// downstream). Times are nominal seconds on the 120 s timeline, scaled.
-fn scripted_plan(local_backend: BackendId, scale: f64) -> Result<FaultPlan, ScriptError> {
+fn scripted_plan(
+    local_backend: BackendId,
+    storm_backends: &[BackendId],
+    scale: f64,
+) -> Result<FaultPlan, ScriptError> {
     let s = |t: f64| format!("{}ms", (t * 1000.0 * scale) as u64);
-    let script = format!(
+    let mut script = format!(
         "# Fig. 8 recovery timeline (times x{scale})\n\
          at {t10} fail replica {b}/0          # replica VM crash\n\
          at {t18} recover replica {b}/0\n\
@@ -295,6 +337,18 @@ fn scripted_plan(local_backend: BackendId, scale: f64) -> Result<FaultPlan, Scri
         t95 = s(95.0),
         t103 = s(103.0),
     );
+    if !storm_backends.is_empty() {
+        // Retry-storm appendix: every placed backend down at once. With no
+        // live replica anywhere the availability invariant is vacuous, so
+        // each attempt past the first is pure retry amplification.
+        script.push_str("# retry-storm appendix: total outage\n");
+        for &b in storm_backends {
+            script.push_str(&format!("at {} fail backend {b}\n", s(106.0)));
+        }
+        for &b in storm_backends {
+            script.push_str(&format!("at {} recover backend {b}\n", s(114.0)));
+        }
+    }
     FaultPlan::parse(&script)
 }
 
@@ -332,6 +386,7 @@ struct ChaosModel {
     gw: Gateway,
     truth: FaultState,
     dispatcher: ResilientDispatcher,
+    budget: Option<RetryBudget>,
     plan: Vec<FaultEvent>,
     arrivals: Vec<Arrival>,
     service: GlobalServiceId,
@@ -438,6 +493,7 @@ impl Model for ChaosModel {
                     gw,
                     truth,
                     dispatcher,
+                    budget,
                     placed,
                     backend_az,
                     loss_rng,
@@ -446,7 +502,24 @@ impl Model for ChaosModel {
                     ..
                 } = self;
                 let mut link_extra = SimDuration::ZERO;
+                let mut attempt_no = 0u32;
                 let outcome = dispatcher.dispatch(now, |t, avoid| {
+                    // Retry-budget admission: the first attempt earns
+                    // tokens, every further attempt (retry or hedge) spends
+                    // one; an exhausted budget is terminal downstream.
+                    attempt_no += 1;
+                    if let Some(budget) = budget.as_mut() {
+                        let kind = if attempt_no == 1 {
+                            AttemptKind::First
+                        } else {
+                            AttemptKind::Retry
+                        };
+                        if !budget.admit(BUDGET_CLIENT, kind) {
+                            return Err(AttemptError::Rejected(
+                                GatewayError::RetryBudgetExhausted,
+                            ));
+                        }
+                    }
                     let avoid_list: Vec<BackendId> = avoid.iter().copied().collect();
                     match gw.handle_request_avoiding(t, service, &tup, arrival.syn, &avoid_list) {
                         Ok(served) => {
@@ -542,13 +615,28 @@ impl Model for ChaosModel {
 /// Run the chaos scenario for every architecture under identical fault
 /// plans and arrival streams. Fully deterministic in `seed`.
 pub fn run_chaos(seed: u64, params: &ChaosParams) -> ChaosOutcome {
-    let scale = params.time_scale;
-    let horizon = params.horizon();
     let shape = ClusterShape::production(300);
     let mut archs = Vec::new();
     let mut plan_events = 0;
+    for profile in profiles(params.time_scale) {
+        let (outcome, events) = run_arch(seed, params, &profile, shape);
+        plan_events = events;
+        archs.push(outcome);
+    }
+    ChaosOutcome { archs, plan_events }
+}
 
-    for profile in profiles(scale) {
+/// One architecture's chaos run; returns the outcome and the number of
+/// fault-plan events executed.
+fn run_arch(
+    seed: u64,
+    params: &ChaosParams,
+    profile: &ArchProfile,
+    shape: ClusterShape,
+) -> (ArchOutcome, usize) {
+    let scale = params.time_scale;
+    let horizon = params.horizon();
+    {
         // Identical topology and placement per architecture: same seed.
         let mut topo_rng = SimRng::seed(seed ^ 0x7070_1A2B_3C4D_5E6F);
         let mut gw = Gateway::new(GatewayConfig::default());
@@ -579,8 +667,9 @@ pub fn run_chaos(seed: u64, params: &ChaosParams) -> ChaosOutcome {
             .or_else(|| placed.first().copied())
             .unwrap_or(0);
 
-        let plan = scripted_plan(local_backend, scale).unwrap_or_default();
-        plan_events = plan.len();
+        let storm_backends = if params.storm { placed.clone() } else { Vec::new() };
+        let plan = scripted_plan(local_backend, &storm_backends, scale).unwrap_or_default();
+        let plan_events = plan.len();
         let replicas_per_backend = gw.config().replicas_per_backend;
         let topo = FaultTopology {
             backends: backend_az
@@ -635,6 +724,9 @@ pub fn run_chaos(seed: u64, params: &ChaosParams) -> ChaosOutcome {
                 profile.resilience,
                 SimRng::seed(seed ^ 0xD15B_A7C4_E125_1113),
             ),
+            budget: params
+                .retry_budget
+                .map(|(ratio, cap)| RetryBudget::new(ratio, cap)),
             plan: plan.events().to_vec(),
             arrivals,
             service,
@@ -662,8 +754,8 @@ pub fn run_chaos(seed: u64, params: &ChaosParams) -> ChaosOutcome {
         sim.run(&mut model);
 
         let incidents = measure_incidents(&model.plan, &model.bins);
-        let stats_r = model.dispatcher.stats();
-        archs.push(ArchOutcome {
+        let counters = model.dispatcher.counters();
+        let outcome = ArchOutcome {
             name: profile.arch.name(),
             offered: model.offered,
             succeeded: model.succeeded,
@@ -671,17 +763,44 @@ pub fn run_chaos(seed: u64, params: &ChaosParams) -> ChaosOutcome {
             invariant_violations: model.invariant_violations,
             placement_drift: model.placement_drift,
             fail_open: model.fail_open_served,
-            ejections: stats_r.ejections,
-            dns_flips: stats_r.dns_flips,
-            deadline_exceeded: stats_r.deadline_exceeded,
+            ejections: counters.ejections,
+            dns_flips: counters.dns_flips,
+            deadline_exceeded: counters.deadline_misses,
+            budget_rejected: counters.budget_rejected,
             calm_p99_ms: stats::percentile(&model.latencies_calm, 0.99),
             fault_p99_ms: stats::percentile(&model.latencies_fault, 0.99),
             fault_p999_ms: stats::percentile(&model.latencies_fault, 0.999),
             incidents,
-        });
+        };
+        (outcome, plan_events)
     }
+}
 
-    ChaosOutcome { archs, plan_events }
+/// Retry-budget A/B under the retry-storm plan, canal profile only: same
+/// seed, same arrivals, same faults — the budget is the only difference, so
+/// the attempt delta is purely what admission refused to amplify.
+pub fn run_retry_storm(seed: u64, params: &ChaosParams) -> (ArchOutcome, ArchOutcome) {
+    let shape = ClusterShape::production(300);
+    let profile = canal_profile(params.time_scale);
+    let off = ChaosParams {
+        storm: true,
+        retry_budget: None,
+        ..*params
+    };
+    // Default to a 100% retry budget (every first attempt earns one retry
+    // credit, burst-capped): steady-state amplification is bounded at 2x,
+    // the storm's ~6-attempts-per-request demand is clamped hard, and the
+    // post-recovery re-steer retries are self-funding — the budget never
+    // starves a retry that a freshly recovered replica needed.
+    let on = ChaosParams {
+        storm: true,
+        retry_budget: Some(params.retry_budget.unwrap_or((1.0, 100.0))),
+        ..*params
+    };
+    (
+        run_arch(seed, &off, &profile, shape).0,
+        run_arch(seed, &on, &profile, shape).0,
+    )
 }
 
 fn domain_label(target: FaultTarget) -> Option<&'static str> {
@@ -910,5 +1029,53 @@ pub fn report_for(seed: u64, params: &ChaosParams) -> ExperimentReport {
             drift == 0,
         ));
     }
+
+    // Retry-budget A/B: append a total-outage storm window to the same plan
+    // and run the canal profile with the budget off and on. Nothing else
+    // differs, so the amplification delta is exactly what admission refused.
+    let (no_budget, budgeted) = run_retry_storm(seed, params);
+    let mut storm = Table::new(
+        "retry-budget admission under a total-outage retry storm (canal)",
+        &[
+            "retry budget",
+            "offered",
+            "attempts",
+            "retry-amp",
+            "budget-rejected",
+            "invariant violations",
+        ],
+    );
+    for (label, a) in [("off", &no_budget), ("on", &budgeted)] {
+        storm.row(&[
+            label.to_string(),
+            a.offered.to_string(),
+            a.attempts.to_string(),
+            num(a.retry_amplification()),
+            a.budget_rejected.to_string(),
+            a.invariant_violations.to_string(),
+        ]);
+    }
+    report.tables.push(storm);
+    report.checks.push(Check::cond(
+        "retry budget cuts storm retry amplification",
+        "amp with budget measurably below amp without",
+        &format!(
+            "off {} vs on {}",
+            num(no_budget.retry_amplification()),
+            num(budgeted.retry_amplification())
+        ),
+        budgeted.retry_amplification() < no_budget.retry_amplification() - 0.01,
+    ));
+    report.checks.push(Check::cond(
+        "retry budget engages without costing availability",
+        "rejections > 0, invariant still clean in both runs",
+        &format!(
+            "{} rejected, violations off={} on={}",
+            budgeted.budget_rejected, no_budget.invariant_violations, budgeted.invariant_violations
+        ),
+        budgeted.budget_rejected > 0
+            && budgeted.invariant_violations == 0
+            && no_budget.invariant_violations == 0,
+    ));
     report
 }

@@ -10,5 +10,6 @@ pub mod health;
 pub mod micro;
 pub mod motivation;
 pub mod offload;
+pub mod overload;
 pub mod perf;
 pub mod resource;

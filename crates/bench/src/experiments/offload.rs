@@ -50,17 +50,23 @@ fn drive(
     stats::percentile(&latencies[n / 10..], 0.9)
 }
 
-/// Max sustainable connections/s (P90 below 5× unloaded latency).
+/// Max sustainable connections/s: P90 below 5 service-times of CPU
+/// queueing + the constant external wait (counted once — the key-server
+/// round trip is pipeline latency, not queueing headroom, so both backends
+/// face the same knee criterion in units of their own service time). The
+/// P90 estimate is noisy near the knee, so the sweep stops at the first
+/// offered rate that busts the limit instead of crediting a lucky later
+/// grid point.
 fn capacity(cores: usize, backend: &dyn AsymmetricBackend, rng: &mut SimRng) -> f64 {
-    let unloaded = (conn_demand(backend) + conn_wait(backend)).as_millis_f64();
-    let limit = unloaded * 5.0;
+    let limit = conn_demand(backend).as_millis_f64() * 5.0 + conn_wait(backend).as_millis_f64();
     let hard_cap = cores as f64 / conn_demand(backend).as_secs_f64();
     let mut best = 0.0;
     for i in 0..24 {
         let rps = hard_cap * (0.3 + 0.75 * i as f64 / 23.0);
-        if drive(cores, backend, rps, 8_000, rng) <= limit {
-            best = rps;
+        if drive(cores, backend, rps, 20_000, rng) > limit {
+            break;
         }
+        best = rps;
     }
     best
 }

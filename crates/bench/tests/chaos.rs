@@ -3,7 +3,7 @@
 //! These live in the bench crate because the layering DAG forbids the root
 //! facade from depending on `canal-bench`.
 
-use canal_bench::experiments::chaos::{run_chaos, ChaosParams};
+use canal_bench::experiments::chaos::{run_chaos, run_retry_storm, ChaosParams};
 
 #[test]
 fn equal_seeds_give_bit_identical_digests() {
@@ -61,6 +61,38 @@ fn per_domain_ttr_emitted_for_all_three_architectures() {
             );
         }
     }
+}
+
+#[test]
+fn retry_budget_cuts_storm_amplification() {
+    let params = ChaosParams::fast();
+    let (no_budget, budgeted) = run_retry_storm(42, &params);
+    assert!(
+        budgeted.retry_amplification() < no_budget.retry_amplification() - 0.01,
+        "budget must measurably reduce retry amplification: off {} vs on {}",
+        no_budget.retry_amplification(),
+        budgeted.retry_amplification()
+    );
+    assert!(budgeted.budget_rejected > 0, "the budget actually engaged");
+    assert_eq!(no_budget.budget_rejected, 0, "budget off never rejects");
+    assert_eq!(
+        no_budget.invariant_violations, 0,
+        "total outage has no live replica: storm failures are not violations"
+    );
+    assert_eq!(
+        budgeted.invariant_violations, 0,
+        "the budget must never reject a retry that a live replica needed"
+    );
+}
+
+#[test]
+fn retry_storm_is_deterministic() {
+    let params = ChaosParams::fast();
+    let (off_a, on_a) = run_retry_storm(7, &params);
+    let (off_b, on_b) = run_retry_storm(7, &params);
+    assert_eq!(off_a.attempts, off_b.attempts);
+    assert_eq!(on_a.attempts, on_b.attempts);
+    assert_eq!(on_a.budget_rejected, on_b.budget_rejected);
 }
 
 #[test]

@@ -292,6 +292,80 @@ mod tests {
     }
 
     #[test]
+    fn ttl_boundary_is_exclusive() {
+        // Freshness is `age < ttl`: one nanosecond under the TTL still
+        // serves the cached answer, exactly at the TTL re-queries.
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(TTL);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr, addr(1));
+        v.set_health("gw.mesh", addr(1), false);
+        let almost = t0 + TTL - SimDuration::from_nanos(1);
+        assert_eq!(
+            r.resolve(almost, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(1),
+            "ttl - 1ns: still the cached answer"
+        );
+        assert_eq!(
+            r.resolve(t0 + TTL, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(2),
+            "exactly at ttl: the cache entry has expired"
+        );
+    }
+
+    #[test]
+    fn refresh_under_failed_upstream_caches_the_negative() {
+        // A refresh that lands while every backend is down must not keep
+        // serving the stale positive answer — and the negative result it
+        // fetches is itself TTL-cached until the next refresh.
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(TTL);
+        let t0 = SimTime::ZERO;
+        assert!(r.resolve(t0, &v, "gw.mesh", AzId(0)).is_some());
+        for a in [1, 2, 3] {
+            v.set_health("gw.mesh", addr(a), false);
+        }
+        let refresh = t0 + TTL;
+        assert!(
+            r.resolve(refresh, &v, "gw.mesh", AzId(0)).is_none(),
+            "refresh under a failed upstream replaces the stale positive"
+        );
+        v.set_health("gw.mesh", addr(1), true);
+        assert!(
+            r.resolve(refresh + SimDuration::from_secs(1), &v, "gw.mesh", AzId(0))
+                .is_none(),
+            "the negative answer ages like any other cache entry"
+        );
+        assert_eq!(
+            r.resolve(refresh + TTL, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(1),
+            "recovery visible one TTL after the negative was cached"
+        );
+    }
+
+    #[test]
+    fn zero_ttl_never_caches() {
+        // ttl = 0 means `age < 0` is never true: every resolve re-queries,
+        // so health flips are visible instantly — even twice at one instant.
+        let mut v = two_az_view();
+        let mut r = CachingResolver::new(SimDuration::ZERO);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr, addr(1));
+        v.set_health("gw.mesh", addr(1), false);
+        assert_eq!(
+            r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(2),
+            "zero TTL sees the flip at the same instant"
+        );
+        v.set_health("gw.mesh", addr(1), true);
+        assert_eq!(
+            r.resolve(t0, &v, "gw.mesh", AzId(0)).unwrap().addr,
+            addr(1),
+            "and the recovery too"
+        );
+    }
+
+    #[test]
     fn per_az_cache_entries_are_independent() {
         let mut v = two_az_view();
         let mut r = CachingResolver::new(TTL);

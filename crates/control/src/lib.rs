@@ -42,7 +42,9 @@ pub mod scaling;
 
 pub use configure::{ConfigPlane, PushReport};
 pub use inphase::{InPhasePlanner, MigrationPlan};
-pub use monitor::{AlertKind, Classification, MonitorDecision, WaterLevelMonitor};
+pub use monitor::{
+    AlertKind, Classification, MonitorDecision, OverloadAssessment, WaterLevelMonitor,
+};
 pub use proofing::{FaultVerdict, FullMeshProber, ProbeProtocol};
 pub use rca::{RootCauseAnalyzer, RcaVerdict};
 pub use region::{RegionEvent, RegionReport, RegionSimulation};

@@ -14,8 +14,9 @@
 //!   the gateway.
 
 use canal_gateway::gateway::{BackendId, WaterLevel};
+use canal_gateway::overload::{BrownoutLevel, OverloadSignals};
 use canal_net::GlobalServiceId;
-use canal_sim::SimTime;
+use canal_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Alert levels of §4.2.
@@ -27,6 +28,26 @@ pub enum AlertKind {
     Service(GlobalServiceId),
     /// The tenant's own cluster is saturating.
     Tenant(canal_net::TenantId),
+    /// The gateway's overload pipeline reported pressure.
+    Overload,
+}
+
+/// What the gateway's overload telemetry says about the pressure state.
+///
+/// Water levels are *utilization* signals — they saturate at 1.0 exactly
+/// when it is too late to scale gracefully. Overload signals (queue depth,
+/// sojourn p99, brownout, shed rate) move *before* utilization pins, which
+/// is what lets precise scaling act pre-saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadAssessment {
+    /// Queues drain promptly, nothing shed, no brownout.
+    Calm,
+    /// Pressure is building — sojourn over the SLO or brownout engaged —
+    /// but no request has been dropped yet. Scale now.
+    PreSaturation,
+    /// Requests are being shed (caps or CoDel): the gateway is saturated;
+    /// scale and consider sandboxing the top offender.
+    Shedding,
 }
 
 /// What the monitor believes is happening.
@@ -151,6 +172,31 @@ impl WaterLevelMonitor {
         out
     }
 
+    /// Ingest one overload telemetry window from the gateway's pipeline.
+    /// `sojourn_slo` is the queueing-delay budget; a p99 beyond it counts
+    /// as pressure even before anything is shed. Alerting windows are
+    /// recorded under [`AlertKind::Overload`].
+    pub fn ingest_overload(
+        &mut self,
+        now: SimTime,
+        sig: &OverloadSignals,
+        sojourn_slo: SimDuration,
+    ) -> OverloadAssessment {
+        let assessment = if sig.shed_caps + sig.shed_codel > 0 {
+            OverloadAssessment::Shedding
+        } else if sig.brownout > BrownoutLevel::Normal
+            || (sig.offered > 0 && sig.sojourn_p99 > sojourn_slo)
+        {
+            OverloadAssessment::PreSaturation
+        } else {
+            OverloadAssessment::Calm
+        };
+        if assessment != OverloadAssessment::Calm {
+            self.alerts.push((now, AlertKind::Overload));
+        }
+        assessment
+    }
+
     /// All alerts raised so far.
     pub fn alerts(&self) -> &[(SimTime, AlertKind)] {
         &self.alerts
@@ -257,5 +303,66 @@ mod tests {
         let mut m = WaterLevelMonitor::new();
         let out = m.ingest(T(0), &[level(1, 0.95, 0.1, &[])], 0.7);
         assert_eq!(out[0].2, MonitorDecision::Observe);
+    }
+
+    const SLO: SimDuration = SimDuration::from_millis(2);
+
+    #[test]
+    fn overload_calm_window_raises_nothing() {
+        let mut m = WaterLevelMonitor::new();
+        let sig = OverloadSignals {
+            offered: 1000,
+            started: 1000,
+            sojourn_p99: SimDuration::from_micros(100),
+            ..OverloadSignals::default()
+        };
+        assert_eq!(m.ingest_overload(T(0), &sig, SLO), OverloadAssessment::Calm);
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn overload_brownout_or_sojourn_flags_pre_saturation() {
+        let mut m = WaterLevelMonitor::new();
+        let browned = OverloadSignals {
+            offered: 1000,
+            started: 1000,
+            brownout: BrownoutLevel::NoObservability,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(
+            m.ingest_overload(T(0), &browned, SLO),
+            OverloadAssessment::PreSaturation
+        );
+        let slow = OverloadSignals {
+            offered: 1000,
+            started: 1000,
+            sojourn_p99: SimDuration::from_millis(5),
+            ..OverloadSignals::default()
+        };
+        assert_eq!(
+            m.ingest_overload(T(60), &slow, SLO),
+            OverloadAssessment::PreSaturation
+        );
+        assert_eq!(m.alerts().len(), 2);
+        assert!(m.alerts().iter().all(|&(_, k)| k == AlertKind::Overload));
+    }
+
+    #[test]
+    fn overload_sheds_classify_as_shedding() {
+        let mut m = WaterLevelMonitor::new();
+        let sig = OverloadSignals {
+            offered: 1000,
+            started: 900,
+            shed_codel: 60,
+            shed_caps: 40,
+            shed_rate: 0.1,
+            sojourn_p99: SimDuration::from_millis(8),
+            brownout: BrownoutLevel::NoCanary,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(
+            m.ingest_overload(T(0), &sig, SLO),
+            OverloadAssessment::Shedding
+        );
     }
 }

@@ -8,10 +8,13 @@
 //! precise scaling — `canal-control`).
 
 use crate::failure::{BackendKey, FailureDomain, PlacementView};
+use crate::overload::{
+    AttemptKind, ClientId, OverloadConfig, OverloadControl, OverloadSignals,
+};
 use crate::redirector::{BucketTable, Redirector};
 use crate::sandbox::Sandbox;
 use crate::sharding::ShuffleShardPlanner;
-use canal_net::{FiveTuple, GlobalServiceId, SessionTable};
+use canal_net::{FiveTuple, GlobalServiceId, Priority, SessionTable};
 use canal_sim::{CpuServer, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
@@ -83,6 +86,11 @@ pub enum GatewayError {
     Throttled,
     /// Replica session table full.
     SessionsExhausted,
+    /// Dropped by the overload layer (queue caps or CoDel shedding).
+    OverloadShed,
+    /// A retry/hedge rejected because the client's retry budget is dry.
+    /// Terminal: retrying a budget rejection is exactly what it forbids.
+    RetryBudgetExhausted,
 }
 
 /// Successful dispatch summary.
@@ -117,6 +125,8 @@ pub struct Gateway {
     redirectors: BTreeMap<BackendId, Redirector>,
     /// The sandbox/throttle machinery.
     pub sandbox: Sandbox,
+    /// The overload-control pipeline, when enabled.
+    overload: Option<OverloadControl>,
     backend_az: BTreeMap<BackendId, canal_net::AzId>,
     next_backend: BackendId,
     /// Per (backend, service) request counts in the current window.
@@ -152,6 +162,7 @@ impl Gateway {
             replicas: BTreeMap::new(),
             redirectors: BTreeMap::new(),
             sandbox: Sandbox::new(),
+            overload: None,
             backend_az: BTreeMap::new(),
             next_backend: 0,
             window: BTreeMap::new(),
@@ -368,6 +379,89 @@ impl Gateway {
             finish: served.finish,
             redirect_hops: decision.redirect_hops,
         })
+    }
+
+    /// Turn on the overload-control pipeline: subsequent traffic should
+    /// enter through [`Gateway::offer_request`] / [`Gateway::pump_overload`]
+    /// instead of calling [`Gateway::handle_request`] directly.
+    pub fn enable_overload_control(&mut self, cfg: OverloadConfig) {
+        self.overload = Some(OverloadControl::new(cfg));
+    }
+
+    /// The overload pipeline, if enabled.
+    pub fn overload(&self) -> Option<&OverloadControl> {
+        self.overload.as_ref()
+    }
+
+    /// Mutable access to the overload pipeline (weight overrides, signals).
+    pub fn overload_mut(&mut self) -> Option<&mut OverloadControl> {
+        self.overload.as_mut()
+    }
+
+    /// Offer one request to the overload pipeline: retry-budget admission →
+    /// bounded per-tenant queue. Returns a ticket; the dispatch outcome is
+    /// delivered by [`Gateway::pump_overload`] once the fair scheduler
+    /// grants the request CPU (or sheds it). Requires
+    /// [`Gateway::enable_overload_control`] first.
+    #[allow(clippy::too_many_arguments, reason = "request metadata is genuinely this wide")]
+    pub fn offer_request(
+        &mut self,
+        now: SimTime,
+        service: GlobalServiceId,
+        priority: Priority,
+        tuple: &FiveTuple,
+        syn: bool,
+        client: ClientId,
+        kind: AttemptKind,
+        bytes: u64,
+    ) -> Result<u64, GatewayError> {
+        let Some(ov) = self.overload.as_mut() else {
+            // Pipeline disabled: nothing can ever pump the ticket out.
+            return Err(GatewayError::Unavailable);
+        };
+        let res = ov.offer(now, service, priority, *tuple, syn, client, kind, bytes);
+        if res.is_err() {
+            self.errors += 1;
+        }
+        res
+    }
+
+    /// Drain the overload scheduler up to `now`: each granted request is
+    /// dispatched through the normal gateway path at its grant time; CoDel
+    /// sheds surface as [`GatewayError::OverloadShed`]. Returns
+    /// `(ticket, outcome)` pairs in grant order.
+    pub fn pump_overload(
+        &mut self,
+        now: SimTime,
+    ) -> Vec<(u64, Result<GatewayServed, GatewayError>)> {
+        let Some(mut ov) = self.overload.take() else {
+            return Vec::new();
+        };
+        let started = ov.pump(now);
+        let mut out = Vec::with_capacity(started.len());
+        for s in started {
+            let res = if s.shed {
+                self.errors += 1;
+                Err(GatewayError::OverloadShed)
+            } else {
+                self.handle_request_avoiding(s.start, s.pending.service, &s.pending.tuple, s.pending.syn, &[])
+            };
+            out.push((s.ticket, res));
+        }
+        self.overload = Some(ov);
+        out
+    }
+
+    /// When the overload scheduler next has work to grant (schedule a pump
+    /// event then). `None` when queues are empty or the pipeline is off.
+    pub fn next_overload_wake(&self) -> Option<SimTime> {
+        self.overload.as_ref().and_then(|ov| ov.next_wake())
+    }
+
+    /// Read and reset the overload telemetry window (queue depth, shed
+    /// rate, sojourn p99) for the control plane's monitor.
+    pub fn overload_signals(&mut self) -> Option<OverloadSignals> {
+        self.overload.as_mut().map(|ov| ov.signals())
     }
 
     /// Read and reset the monitoring window: per-backend water levels with
@@ -642,6 +736,52 @@ mod tests {
         gw.register_service(svc(1), &mut rng);
         let (b, r) = gw.rolling_upgrade_order()[0];
         assert!(!gw.rolling_upgrade_step(b, r));
+    }
+
+    #[test]
+    fn overload_pipeline_dispatches_through_gateway() {
+        let (mut gw, s) = gateway_with_service();
+        gw.enable_overload_control(OverloadConfig::default());
+        let ticket = gw
+            .offer_request(
+                T(0),
+                s,
+                Priority::Interactive,
+                &tuple(1),
+                true,
+                1,
+                AttemptKind::First,
+                256,
+            )
+            .unwrap();
+        let results = gw.pump_overload(T(1));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, ticket);
+        assert!(results[0].1.is_ok(), "granted request dispatched");
+        let (served, errors) = gw.stats();
+        assert_eq!((served, errors), (1, 0));
+        let sig = gw.overload_signals().unwrap();
+        assert_eq!((sig.offered, sig.started), (1, 1));
+    }
+
+    #[test]
+    fn offer_without_overload_control_is_unavailable() {
+        let (mut gw, s) = gateway_with_service();
+        assert_eq!(
+            gw.offer_request(
+                T(0),
+                s,
+                Priority::Interactive,
+                &tuple(1),
+                true,
+                1,
+                AttemptKind::First,
+                256,
+            ),
+            Err(GatewayError::Unavailable)
+        );
+        assert!(gw.pump_overload(T(1)).is_empty());
+        assert!(gw.next_overload_wake().is_none());
     }
 
     #[test]

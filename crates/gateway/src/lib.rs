@@ -19,6 +19,11 @@
 //!   capped exponential backoff with deterministic jitter, hedged retries,
 //!   per-backend outlier ejection, and DNS-failover degradation — the
 //!   datapath half of the Fig. 8 recovery story.
+//! * [`overload`] — proactive overload control in front of the dispatch
+//!   path: per-tenant deficit-weighted fair queues with slot/byte caps,
+//!   CoDel shedding keyed on queue sojourn, per-client retry-budget
+//!   admission, and brownout of optional L7 work — the defense the sandbox
+//!   (reactive, post-detection) composes with.
 //! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
 //!   redirector-level throttling (§6.2).
 //! * [`gateway`] — the assembled gateway: service placement, per-backend
@@ -32,6 +37,7 @@
 pub mod failure;
 pub mod gateway;
 pub mod health;
+pub mod overload;
 pub mod redirector;
 pub mod resilience;
 pub mod sandbox;
@@ -41,10 +47,14 @@ pub mod tunnel;
 pub use failure::{FailureDomain, PlacementView, UnknownDomain};
 pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
 pub use health::HealthCheckPlan;
+pub use overload::{
+    AttemptKind, BrownoutController, BrownoutLevel, ClientId, CoDel, OverloadConfig,
+    OverloadControl, OverloadSignals, RetryBudget,
+};
 pub use redirector::{BucketTable, DispatchDecision, Redirector};
 pub use resilience::{
-    AttemptError, DispatchOutcome, OutlierDetector, ResilienceConfig, ResilienceStats,
-    ResilientDispatcher,
+    AttemptError, DispatchCounters, DispatchOutcome, OutlierDetector, ResilienceConfig,
+    ResilienceStats, ResilientDispatcher,
 };
 pub use sandbox::{MigrationKind, Sandbox};
 pub use sharding::ShuffleShardPlanner;

@@ -223,6 +223,55 @@ pub struct ResilienceStats {
     pub ejections: u64,
     /// DNS health transitions published via [`ResilientDispatcher::sync_dns`].
     pub dns_flips: u64,
+    /// Requests terminated by a retry-budget rejection from the overload
+    /// layer (the rejection is terminal — no further retries fire).
+    pub budget_rejected: u64,
+}
+
+/// Point-in-time snapshot of the dispatcher's work counters, for
+/// experiments that report resilience behavior without reaching into
+/// [`ResilienceStats`] internals. Deltas between two snapshots are
+/// per-window counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchCounters {
+    /// Requests dispatched.
+    pub requests: u64,
+    /// Attempts made (requests + retries + hedges).
+    pub attempts: u64,
+    /// Hedged retries fired early on the hedge timer.
+    pub hedges_fired: u64,
+    /// Circuit-breaker ejections tripped.
+    pub ejections: u64,
+    /// DNS health flips published.
+    pub dns_flips: u64,
+    /// Requests that died on their deadline.
+    pub deadline_misses: u64,
+    /// Requests terminated by retry-budget rejection.
+    pub budget_rejected: u64,
+}
+
+impl DispatchCounters {
+    /// The counters accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &DispatchCounters) -> DispatchCounters {
+        DispatchCounters {
+            requests: self.requests - earlier.requests,
+            attempts: self.attempts - earlier.attempts,
+            hedges_fired: self.hedges_fired - earlier.hedges_fired,
+            ejections: self.ejections - earlier.ejections,
+            dns_flips: self.dns_flips - earlier.dns_flips,
+            deadline_misses: self.deadline_misses - earlier.deadline_misses,
+            budget_rejected: self.budget_rejected - earlier.budget_rejected,
+        }
+    }
+
+    /// Attempts per request — the retry-amplification factor.
+    pub fn amplification(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.attempts as f64 / self.requests as f64
+        }
+    }
 }
 
 /// The resilient request path: wraps per-attempt dispatch in deadlines,
@@ -256,6 +305,19 @@ impl ResilientDispatcher {
     /// Lifetime counters.
     pub fn stats(&self) -> ResilienceStats {
         self.stats
+    }
+
+    /// Snapshot the work counters (see [`DispatchCounters`]).
+    pub fn counters(&self) -> DispatchCounters {
+        DispatchCounters {
+            requests: self.stats.requests,
+            attempts: self.stats.attempts,
+            hedges_fired: self.stats.hedges,
+            ejections: self.stats.ejections,
+            dns_flips: self.stats.dns_flips,
+            deadline_misses: self.stats.deadline_exceeded,
+            budget_rejected: self.stats.budget_rejected,
+        }
     }
 
     /// Whether a backend is currently ejected by its circuit breaker.
@@ -357,6 +419,21 @@ impl ResilientDispatcher {
                 Err(AttemptError::Rejected(GatewayError::UnknownService)) => {
                     // No placement anywhere: retrying cannot help.
                     self.stats.failures += 1;
+                    return DispatchOutcome {
+                        served: None,
+                        attempts,
+                        completed_at: t,
+                        hedged,
+                        deadline_exceeded: false,
+                    };
+                }
+                Err(AttemptError::Rejected(GatewayError::RetryBudgetExhausted)) => {
+                    // The overload layer refused this attempt's *budget*:
+                    // retrying is exactly what it forbade. The rejection
+                    // counts against the request, not as fuel for more
+                    // attempts — this is what kills retry storms.
+                    self.stats.failures += 1;
+                    self.stats.budget_rejected += 1;
                     return DispatchOutcome {
                         served: None,
                         attempts,
@@ -591,6 +668,48 @@ mod tests {
         });
         assert_eq!(out.attempts, 1);
         assert!(!out.deadline_exceeded);
+    }
+
+    #[test]
+    fn budget_rejection_is_terminal() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let mut calls = 0;
+        let out = d.dispatch(SimTime::ZERO, |_, _| {
+            calls += 1;
+            if calls == 1 {
+                Err(AttemptError::BackendFailure(1))
+            } else {
+                // The overload layer refuses the retry's budget: the
+                // dispatcher must stop, not back off and hammer again.
+                Err(AttemptError::Rejected(GatewayError::RetryBudgetExhausted))
+            }
+        });
+        assert_eq!(out.attempts, 2);
+        assert!(out.served.is_none());
+        assert!(!out.deadline_exceeded);
+        assert_eq!(d.stats().budget_rejected, 1);
+        assert_eq!(d.counters().budget_rejected, 1);
+    }
+
+    #[test]
+    fn counters_snapshot_and_delta() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        d.dispatch(SimTime::ZERO, |t, _| Ok(served(1, t)));
+        let snap = d.counters();
+        assert_eq!((snap.requests, snap.attempts), (1, 1));
+        assert!((snap.amplification() - 1.0).abs() < 1e-9);
+        let mut first = true;
+        d.dispatch(SimTime::from_secs(1), |t, _| {
+            if first {
+                first = false;
+                Err(AttemptError::BackendFailure(2))
+            } else {
+                Ok(served(3, t))
+            }
+        });
+        let delta = d.counters().since(&snap);
+        assert_eq!((delta.requests, delta.attempts), (1, 2));
+        assert!(delta.amplification() > 1.5);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::costs::CostModel;
 use crate::path::{StageId, Step};
 use canal_crypto::accel::AsymmetricBackend;
+use canal_net::Priority;
 use canal_sim::SimDuration;
 
 /// Which architecture to build.
@@ -69,6 +70,9 @@ pub struct RequestCtx {
     /// Concurrently arriving new connections (drives the Fig. 25 batch
     /// bubble for local acceleration).
     pub concurrent_new_connections: usize,
+    /// Scheduling class the on-node proxy stamped on the request; the
+    /// gateway's overload layer keys its fair queues on this.
+    pub priority: Priority,
 }
 
 impl RequestCtx {
@@ -80,7 +84,8 @@ impl RequestCtx {
             https: false,
             req_bytes: 256,
             resp_bytes: 1024,
-        concurrent_new_connections: 1,
+            concurrent_new_connections: 1,
+            priority: Priority::Interactive,
         }
     }
 
@@ -92,7 +97,14 @@ impl RequestCtx {
             req_bytes: 256,
             resp_bytes: 1024,
             concurrent_new_connections: concurrent,
+            priority: Priority::Interactive,
         }
+    }
+
+    /// Mark the request as bulk/batch traffic.
+    pub fn bulk(mut self) -> Self {
+        self.priority = Priority::Bulk;
+        self
     }
 }
 

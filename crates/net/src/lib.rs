@@ -23,6 +23,7 @@ pub mod ids;
 pub mod link;
 pub mod nagle;
 pub mod packet;
+pub mod priority;
 pub mod ratelimit;
 pub mod vxlan;
 
@@ -33,6 +34,7 @@ pub use flow::{SessionKey, SessionTable};
 pub use ids::{AzId, GlobalServiceId, NodeId, PodId, ServiceId, TenantId, VpcId};
 pub use link::Link;
 pub use nagle::NagleBuffer;
+pub use priority::Priority;
 pub use ratelimit::TokenBucket;
 pub use packet::{FiveTuple, Packet, Proto};
 pub use vxlan::{VSwitch, VxlanFrame, VXLAN_OVERHEAD};

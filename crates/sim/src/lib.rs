@@ -19,7 +19,9 @@
 //!   writers used by the experiment harness.
 //! * [`queueing`] — a multi-core FIFO server used to model proxy CPUs; both
 //!   queueing delay and CPU utilization fall out of busy-time integration
-//!   rather than closed-form approximations.
+//!   rather than closed-form approximations. Its fair-queueing sibling
+//!   ([`FairCpuServer`]) adds bounded per-class queues and deficit-weighted
+//!   round-robin scheduling for the gateway overload-control layer.
 //! * [`faults`] — deterministic fault injection: seed-reproducible
 //!   [`FaultPlan`]s (scenario DSL + MTTF/MTTR random plans) scheduling typed
 //!   fault events into a simulation, with [`FaultState`] ground-truth
@@ -52,6 +54,6 @@ pub use faults::{
 };
 pub use invariant::{Digest, EventOrderMonitor};
 pub use metrics::{Counter, Gauge, Histogram, MetricSet, TimeSeries};
-pub use queueing::CpuServer;
+pub use queueing::{ClassConfig, ClassId, CpuServer, FairCpuServer, FairServed, QueueReject};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,4 +1,4 @@
-//! Multi-core FIFO CPU server.
+//! Multi-core FIFO CPU server and its fair-queueing sibling.
 //!
 //! Every proxy / gateway backend in the reproduction is modeled as a
 //! [`CpuServer`]: `cores` identical processors serving demands FIFO. Work is
@@ -6,8 +6,18 @@
 //! earliest-free core and integrates busy time, so *queueing delay and CPU
 //! utilization emerge from the arrival process* rather than being asserted.
 //! This is what produces the latency knees of Fig. 2 / Fig. 11 organically.
+//!
+//! [`FairCpuServer`] is the overload-control variant: work is held in
+//! bounded per-class FIFO queues (slot and byte caps) and drained onto the
+//! cores by a deficit-weighted round-robin scheduler, so one surging class
+//! cannot starve the others beyond its weight share. Queue occupancy and
+//! per-job sojourn time are first-class outputs — they are what the
+//! gateway's CoDel shedder and brownout controller key on. Everything runs
+//! on simulated time with `BTreeMap`-ordered state, so runs stay
+//! digest-deterministic.
 
 use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A multi-core FIFO work-conserving server.
 #[derive(Debug, Clone)]
@@ -135,6 +145,331 @@ impl CpuServer {
     }
 }
 
+/// Identifier of a scheduling class on a [`FairCpuServer`]. Callers encode
+/// their own key (the gateway packs tenant id + priority bit).
+pub type ClassId = u64;
+
+/// Per-class scheduling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassConfig {
+    /// Relative scheduling weight (> 0). A class with weight 2 receives
+    /// twice the CPU share of a weight-1 class when both are backlogged.
+    pub weight: u32,
+    /// Queue slot cap: offers beyond this depth are rejected.
+    pub max_slots: usize,
+    /// Queue byte cap: offers that would exceed it are rejected.
+    pub max_bytes: u64,
+}
+
+impl Default for ClassConfig {
+    fn default() -> Self {
+        ClassConfig {
+            weight: 1,
+            max_slots: 256,
+            max_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Why [`FairCpuServer::offer`] refused a job at the queue door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueReject {
+    /// The class was never registered with [`FairCpuServer::add_class`].
+    UnknownClass,
+    /// The class queue is at its slot cap.
+    SlotsFull,
+    /// The class queue is at its byte cap.
+    BytesFull,
+}
+
+/// One job started by the fair scheduler: when it arrived, queued, ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairServed {
+    /// The class the job belongs to.
+    pub class: ClassId,
+    /// Caller-supplied ticket from [`FairCpuServer::offer`].
+    pub ticket: u64,
+    /// When the job was offered.
+    pub arrival: SimTime,
+    /// When a core picked it up.
+    pub start: SimTime,
+    /// When the core finished it.
+    pub finish: SimTime,
+    /// Queue sojourn time (`start - arrival`) — the CoDel signal.
+    pub sojourn: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedJob {
+    ticket: u64,
+    arrival: SimTime,
+    demand: SimDuration,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ClassState {
+    cfg: ClassConfig,
+    queue: VecDeque<QueuedJob>,
+    queued_bytes: u64,
+    /// DRR credit in nanoseconds of CPU time.
+    deficit: u64,
+    /// Total CPU time granted to this class.
+    granted: SimDuration,
+    /// Jobs started.
+    served: u64,
+    /// Offers rejected at the door (caps).
+    rejected: u64,
+}
+
+/// A multi-core server fed from bounded per-class FIFO queues by a
+/// deficit-weighted round-robin (DRR) scheduler.
+///
+/// Unlike [`CpuServer`], work is *held back*: a job only binds to a core
+/// once a core is free at (or before) the observation instant passed to
+/// [`FairCpuServer::advance`], so queue depth, byte occupancy and sojourn
+/// times build up under overload exactly as a real ingress queue would.
+/// Submissions must arrive in nondecreasing time order (the discrete-event
+/// engine guarantees this).
+#[derive(Debug, Clone)]
+pub struct FairCpuServer {
+    core_free: Vec<SimTime>,
+    /// DRR quantum: nanoseconds of CPU credit added per round per weight
+    /// unit. One typical job demand is a good value.
+    quantum: SimDuration,
+    classes: BTreeMap<ClassId, ClassState>,
+    /// Round-robin order over currently-backlogged classes.
+    rr: VecDeque<ClassId>,
+    /// Whether the class at the front of `rr` has already received its
+    /// quantum for the current visit (DRR tops up once per visit, not once
+    /// per job, or the front class would never yield).
+    front_topped: bool,
+    /// Jobs started since the last [`FairCpuServer::take_started`].
+    started: Vec<FairServed>,
+    next_ticket: u64,
+    busy: SimDuration,
+}
+
+impl FairCpuServer {
+    /// A fair server with `cores` processors and the given DRR quantum.
+    pub fn new(cores: usize, quantum: SimDuration) -> Self {
+        assert!(cores > 0, "server needs at least one core");
+        assert!(quantum > SimDuration::ZERO, "quantum must be positive");
+        FairCpuServer {
+            core_free: vec![SimTime::ZERO; cores],
+            quantum,
+            classes: BTreeMap::new(),
+            rr: VecDeque::new(),
+            front_topped: false,
+            started: Vec::new(),
+            next_ticket: 0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Register (or reconfigure) a class. Weight must be positive.
+    pub fn add_class(&mut self, id: ClassId, cfg: ClassConfig) {
+        assert!(cfg.weight > 0, "class weight must be positive");
+        match self.classes.get_mut(&id) {
+            Some(c) => c.cfg = cfg,
+            None => {
+                self.classes.insert(
+                    id,
+                    ClassState {
+                        cfg,
+                        queue: VecDeque::new(),
+                        queued_bytes: 0,
+                        deficit: 0,
+                        granted: SimDuration::ZERO,
+                        served: 0,
+                        rejected: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_free.len()
+    }
+
+    /// Offer a job to `class` at `now`. Advances the scheduler to `now`
+    /// first (so cap checks see the live backlog), then either enqueues the
+    /// job — returning its ticket — or rejects it at the door.
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        class: ClassId,
+        demand: SimDuration,
+        bytes: u64,
+    ) -> Result<u64, QueueReject> {
+        self.advance(now);
+        let Some(state) = self.classes.get_mut(&class) else {
+            return Err(QueueReject::UnknownClass);
+        };
+        if state.queue.len() >= state.cfg.max_slots {
+            state.rejected += 1;
+            return Err(QueueReject::SlotsFull);
+        }
+        if state.queued_bytes + bytes > state.cfg.max_bytes {
+            state.rejected += 1;
+            return Err(QueueReject::BytesFull);
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let was_empty = state.queue.is_empty();
+        state.queue.push_back(QueuedJob {
+            ticket,
+            arrival: now,
+            demand,
+            bytes,
+        });
+        state.queued_bytes += bytes;
+        if was_empty {
+            self.rr.push_back(class);
+        }
+        // The new job may start immediately if a core is idle.
+        self.advance(now);
+        Ok(ticket)
+    }
+
+    /// Drain the scheduler up to `now`: every core that frees at or before
+    /// `now` picks its next job in deficit-weighted round-robin order.
+    /// Started jobs accumulate until [`FairCpuServer::take_started`].
+    pub fn advance(&mut self, now: SimTime) {
+        loop {
+            // Earliest-free core (first wins on ties, like CpuServer).
+            let mut idx = 0usize;
+            let mut free = SimTime::MAX;
+            for (i, &t) in self.core_free.iter().enumerate() {
+                if t < free {
+                    idx = i;
+                    free = t;
+                }
+            }
+            if free > now {
+                return;
+            }
+            // DRR: rotate through backlogged classes topping up deficits
+            // until one can afford its head-of-line job, then dequeue it.
+            let Some((job_class, job)) = self.drr_pop() else {
+                return;
+            };
+            let start = free.max(job.arrival);
+            let finish = start + job.demand;
+            self.core_free[idx] = finish;
+            self.busy += job.demand;
+            self.started.push(FairServed {
+                class: job_class,
+                ticket: job.ticket,
+                arrival: job.arrival,
+                start,
+                finish,
+                sojourn: start.since(job.arrival),
+            });
+        }
+    }
+
+    /// Dequeue the next job in deficit-weighted round-robin order: rotate
+    /// through backlogged classes topping up deficits until one can afford
+    /// its head-of-line job. `None` when every queue is empty.
+    fn drr_pop(&mut self) -> Option<(ClassId, QueuedJob)> {
+        loop {
+            let cid = *self.rr.front()?;
+            let Some(state) = self.classes.get_mut(&cid) else {
+                self.rr.pop_front();
+                self.front_topped = false;
+                continue;
+            };
+            let Some(head) = state.queue.front() else {
+                self.rr.pop_front();
+                self.front_topped = false;
+                continue;
+            };
+            let need = head.demand.as_nanos();
+            if !self.front_topped {
+                // One quantum per visit — subsequent jobs in the same visit
+                // spend the remaining deficit without topping up again.
+                state.deficit += self.quantum.as_nanos() * u64::from(state.cfg.weight);
+                self.front_topped = true;
+            }
+            if state.deficit < need {
+                // Visit over: keep the earned deficit, yield the CPU.
+                self.rr.rotate_left(1);
+                self.front_topped = false;
+                continue;
+            }
+            let Some(job) = state.queue.pop_front() else {
+                self.rr.pop_front();
+                self.front_topped = false;
+                continue;
+            };
+            state.queued_bytes -= job.bytes;
+            state.deficit = state.deficit.saturating_sub(job.demand.as_nanos());
+            state.granted += job.demand;
+            state.served += 1;
+            if state.queue.is_empty() {
+                // Non-backlogged classes must not bank credit.
+                state.deficit = 0;
+                self.rr.retain(|&c| c != cid);
+                self.front_topped = false;
+            }
+            return Some((cid, job));
+        }
+    }
+
+    /// Jobs started since the last call (in start order).
+    pub fn take_started(&mut self) -> Vec<FairServed> {
+        std::mem::take(&mut self.started)
+    }
+
+    /// When the next queued job could start: the earliest core-free
+    /// instant, if anything is queued. After `advance(now)` this is always
+    /// strictly after `now` — callers use it to schedule a pump event.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        if self.classes.values().all(|c| c.queue.is_empty()) {
+            return None;
+        }
+        self.core_free.iter().copied().min()
+    }
+
+    /// Queue depth of one class.
+    pub fn depth(&self, class: ClassId) -> usize {
+        self.classes.get(&class).map_or(0, |c| c.queue.len())
+    }
+
+    /// Queued bytes of one class.
+    pub fn queued_bytes(&self, class: ClassId) -> u64 {
+        self.classes.get(&class).map_or(0, |c| c.queued_bytes)
+    }
+
+    /// Total queued jobs across classes.
+    pub fn total_depth(&self) -> usize {
+        self.classes.values().map(|c| c.queue.len()).sum()
+    }
+
+    /// CPU time granted to a class so far.
+    pub fn granted(&self, class: ClassId) -> SimDuration {
+        self.classes.get(&class).map_or(SimDuration::ZERO, |c| c.granted)
+    }
+
+    /// Jobs started for a class so far.
+    pub fn served_count(&self, class: ClassId) -> u64 {
+        self.classes.get(&class).map_or(0, |c| c.served)
+    }
+
+    /// Offers rejected at the door for a class (caps).
+    pub fn rejected_count(&self, class: ClassId) -> u64 {
+        self.classes.get(&class).map_or(0, |c| c.rejected)
+    }
+
+    /// Total CPU busy time integrated since creation.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +562,218 @@ mod tests {
             last_over = over.submit(SimTime::from_nanos(i * 9_090), service).queued;
         }
         assert!(last_over > last_under * 5);
+    }
+
+    fn fair(cores: usize) -> FairCpuServer {
+        FairCpuServer::new(cores, US(10))
+    }
+
+    #[test]
+    fn fair_idle_job_starts_immediately() {
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        s.offer(SimTime::ZERO, 1, US(10), 100).unwrap();
+        let started = s.take_started();
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].start, SimTime::ZERO);
+        assert_eq!(started[0].finish, SimTime::from_micros(10));
+        assert_eq!(started[0].sojourn, SimDuration::ZERO);
+        assert_eq!(s.depth(1), 0);
+    }
+
+    #[test]
+    fn fair_unknown_class_rejected() {
+        let mut s = fair(1);
+        assert_eq!(
+            s.offer(SimTime::ZERO, 7, US(1), 1),
+            Err(QueueReject::UnknownClass)
+        );
+    }
+
+    #[test]
+    fn fair_slot_and_byte_caps_enforced() {
+        let mut s = fair(1);
+        s.add_class(
+            1,
+            ClassConfig {
+                weight: 1,
+                max_slots: 2,
+                max_bytes: 1000,
+            },
+        );
+        // First job binds to the idle core; next two occupy the 2 slots.
+        for _ in 0..3 {
+            s.offer(SimTime::ZERO, 1, US(100), 100).unwrap();
+        }
+        assert_eq!(s.depth(1), 2);
+        assert_eq!(
+            s.offer(SimTime::ZERO, 1, US(100), 100),
+            Err(QueueReject::SlotsFull)
+        );
+        // Byte cap: one 900-byte job fits under 1000 alongside nothing...
+        let mut s2 = fair(1);
+        s2.add_class(
+            1,
+            ClassConfig {
+                weight: 1,
+                max_slots: 100,
+                max_bytes: 1000,
+            },
+        );
+        s2.offer(SimTime::ZERO, 1, US(100), 900).unwrap(); // runs
+        s2.offer(SimTime::ZERO, 1, US(100), 900).unwrap(); // queued
+        assert_eq!(
+            s2.offer(SimTime::ZERO, 1, US(100), 200),
+            Err(QueueReject::BytesFull)
+        );
+        assert_eq!(s2.rejected_count(1), 1);
+    }
+
+    #[test]
+    fn fair_fifo_within_class() {
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        let t0 = s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        let t1 = s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        let t2 = s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        s.advance(SimTime::from_micros(30));
+        let order: Vec<u64> = s.take_started().iter().map(|j| j.ticket).collect();
+        assert_eq!(order, vec![t0, t1, t2]);
+    }
+
+    #[test]
+    fn fair_equal_weights_split_evenly() {
+        // Two backlogged classes, equal weight: CPU grants must match.
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        s.add_class(2, ClassConfig::default());
+        for _ in 0..50 {
+            s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+            s.offer(SimTime::ZERO, 2, US(10), 1).unwrap();
+        }
+        s.advance(SimTime::from_micros(500));
+        let g1 = s.granted(1).as_nanos() as i64;
+        let g2 = s.granted(2).as_nanos() as i64;
+        assert!((g1 - g2).abs() <= US(10).as_nanos() as i64, "{g1} vs {g2}");
+    }
+
+    #[test]
+    fn fair_weights_shape_the_split() {
+        // Weight 3 vs weight 1, both saturated: grants approach 3:1.
+        let mut s = fair(1);
+        s.add_class(
+            1,
+            ClassConfig {
+                weight: 3,
+                ..ClassConfig::default()
+            },
+        );
+        s.add_class(2, ClassConfig::default());
+        for _ in 0..200 {
+            s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+            s.offer(SimTime::ZERO, 2, US(10), 1).unwrap();
+        }
+        // Drain half the backlog so both stay backlogged throughout.
+        s.advance(SimTime::from_micros(1000));
+        let g1 = s.granted(1).as_secs_f64();
+        let g2 = s.granted(2).as_secs_f64();
+        let ratio = g1 / g2;
+        assert!((2.5..=3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fair_surging_class_cannot_starve_peer() {
+        // Class 1 floods 100 jobs at t=0; class 2 trickles in afterwards.
+        // With fair scheduling class 2's sojourn stays near one quantum.
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        s.add_class(2, ClassConfig::default());
+        for _ in 0..100 {
+            s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        }
+        s.offer(SimTime::from_micros(100), 2, US(10), 1).unwrap();
+        s.advance(SimTime::from_micros(2000));
+        let victim = s
+            .take_started()
+            .into_iter()
+            .find(|j| j.class == 2)
+            .unwrap();
+        // Under plain FIFO it would wait ~900us behind the flood; fair
+        // queueing bounds the wait to roughly one in-flight job + quantum.
+        assert!(
+            victim.sojourn <= US(30),
+            "victim sojourn {:?}",
+            victim.sojourn
+        );
+    }
+
+    #[test]
+    fn fair_sojourn_measured_enqueue_to_start() {
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        s.offer(SimTime::ZERO, 1, US(50), 1).unwrap();
+        s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        s.advance(SimTime::from_micros(60));
+        let started = s.take_started();
+        assert_eq!(started[1].sojourn, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn fair_next_wake_tracks_core_free() {
+        let mut s = fair(1);
+        s.add_class(1, ClassConfig::default());
+        assert_eq!(s.next_wake(), None);
+        s.offer(SimTime::ZERO, 1, US(10), 1).unwrap(); // running
+        s.offer(SimTime::ZERO, 1, US(10), 1).unwrap(); // queued
+        assert_eq!(s.next_wake(), Some(SimTime::from_micros(10)));
+        s.advance(SimTime::from_micros(10));
+        assert_eq!(s.next_wake(), None);
+    }
+
+    #[test]
+    fn fair_work_conserving_across_cores() {
+        // 4 jobs, 2 cores: all work finishes at the FIFO-optimal makespan.
+        let mut s = fair(2);
+        s.add_class(1, ClassConfig::default());
+        for _ in 0..4 {
+            s.offer(SimTime::ZERO, 1, US(10), 1).unwrap();
+        }
+        s.advance(SimTime::from_micros(100));
+        let finish = s
+            .take_started()
+            .iter()
+            .map(|j| j.finish)
+            .max()
+            .unwrap();
+        assert_eq!(finish, SimTime::from_micros(20));
+        assert_eq!(s.total_busy(), SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn fair_deterministic_replay() {
+        // Two identical runs produce identical start/finish schedules.
+        let run = || {
+            let mut s = fair(2);
+            s.add_class(
+                1,
+                ClassConfig {
+                    weight: 2,
+                    ..ClassConfig::default()
+                },
+            );
+            s.add_class(2, ClassConfig::default());
+            s.add_class(3, ClassConfig::default());
+            let mut out = Vec::new();
+            for i in 0..300u64 {
+                let now = SimTime::from_nanos(i * 3_333);
+                let class = 1 + i % 3;
+                let _ = s.offer(now, class, US(5 + (i % 7)), 64 + i % 512);
+                out.append(&mut s.take_started());
+            }
+            s.advance(SimTime::from_secs(1));
+            out.append(&mut s.take_started());
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

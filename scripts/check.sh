@@ -19,6 +19,12 @@ cargo run -q -p canal-lint
 echo "==> chaos smoke (availability invariant under fault injection)"
 cargo run -q --release -p canal-bench --bin chaos -- --fast >/dev/null
 
+# Surge smoke: a compressed single-tenant 20x overload run. The binary
+# exits nonzero unless well-behaved tenants hold their no-surge P99 within
+# a bounded factor while the surging tenant degrades gracefully.
+echo "==> surge smoke (tenant-isolation invariant under overload)"
+cargo run -q --release -p canal-bench --bin surge -- --fast >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.

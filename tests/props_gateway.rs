@@ -5,6 +5,7 @@
 
 use canal::gateway::failure::FailureDomain;
 use canal::gateway::gateway::{Gateway, GatewayConfig, GatewayError};
+use canal::gateway::sandbox::Sandbox;
 use canal::http::{PathPredicate, Request, RoutePredicate, RouteRule, RouteTable, WeightedTarget};
 use canal::net::{Endpoint, FiveTuple, GlobalServiceId, ServiceId, TenantId, VpcAddr, VpcId};
 use canal::sim::{SimRng, SimTime};
@@ -178,6 +179,66 @@ fn gateway_fail_then_recover_restores_availability() {
                 .is_ok(),
             "a fully recovered gateway serves again"
         );
+    }
+}
+
+/// Under ANY saturating seeded Poisson arrival process, the redirector
+/// throttle admits at the configured rate (within burst + noise), and
+/// `adjust_throttle` mid-run retargets the admitted rate to the new limit.
+#[test]
+fn sandbox_throttle_admission_converges_to_configured_rate() {
+    let mut rng = SimRng::seed(0x6A7E_0006);
+    const PHASE_SECS: f64 = 20.0;
+    for _ in 0..CASES {
+        let rps1 = 5.0 + rng.f64() * 195.0;
+        let rps2 = 5.0 + rng.f64() * 195.0;
+        let burst = 1.0 + rng.f64() * 20.0;
+        // Offer well past the limit so the bucket stays saturated.
+        let offered_rate = (rps1.max(rps2)) * (2.0 + rng.f64() * 8.0);
+
+        let mut sb = Sandbox::new();
+        let service = svc(3);
+        sb.throttle(service, rps1, burst);
+
+        let mut t = 0.0;
+        let mut offered = [0u64; 2];
+        let mut admitted = [0u64; 2];
+        let mut adjusted = false;
+        loop {
+            t += rng.exponential(1.0 / offered_rate);
+            if t > 2.0 * PHASE_SECS {
+                break;
+            }
+            let now = SimTime::from_nanos((t * 1e9) as u64);
+            let phase = usize::from(t > PHASE_SECS);
+            if phase == 1 && !adjusted {
+                adjusted = true;
+                assert!(sb.adjust_throttle(now, service, rps2));
+            }
+            offered[phase] += 1;
+            if sb.admit(now, service) {
+                admitted[phase] += 1;
+            }
+        }
+
+        for (phase, rps) in [(0usize, rps1), (1, rps2)] {
+            let rate = admitted[phase] as f64 / PHASE_SECS;
+            // Upper bound: refill plus one burst emptied into the phase,
+            // plus Poisson slack. Lower bound: a saturated bucket admits
+            // at least its refill rate.
+            assert!(
+                rate <= rps * 1.05 + burst / PHASE_SECS + 1.0,
+                "phase {phase}: admitted {rate}/s exceeds configured {rps}/s"
+            );
+            assert!(
+                rate >= rps * 0.85 - 1.0,
+                "phase {phase}: admitted {rate}/s lags configured {rps}/s"
+            );
+            assert!(
+                offered[phase] > admitted[phase],
+                "phase {phase}: the arrival process must saturate the throttle"
+            );
+        }
     }
 }
 
