@@ -13,3 +13,4 @@ pub mod offload;
 pub mod overload;
 pub mod perf;
 pub mod resource;
+pub mod trace;

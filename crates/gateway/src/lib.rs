@@ -49,7 +49,7 @@ pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
 pub use health::HealthCheckPlan;
 pub use overload::{
     AttemptKind, BrownoutController, BrownoutLevel, ClientId, CoDel, OverloadConfig,
-    OverloadControl, OverloadSignals, RetryBudget,
+    OverloadControl, OverloadSignals, RetryBudget, TelemetrySink,
 };
 pub use redirector::{BucketTable, DispatchDecision, Redirector};
 pub use resilience::{

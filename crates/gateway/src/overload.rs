@@ -47,7 +47,34 @@ use crate::gateway::GatewayError;
 use canal_net::{FiveTuple, GlobalServiceId, Priority};
 use canal_sim::stats::percentile;
 use canal_sim::{ClassConfig, ClassId, FairCpuServer, QueueReject, SimDuration, SimTime};
+use canal_telemetry::{HeadSampler, TelemetryCostModel, TelemetryMeter};
 use std::collections::BTreeMap;
+
+/// The gateway's hook into the mesh tracing pipeline: a head sampler plus
+/// the cost meter its decisions charge into. Attached to an
+/// [`OverloadControl`] it closes the brownout loop — when the controller
+/// reaches [`BrownoutLevel::NoObservability`] the sampler is shed, sampled
+/// jobs stop being charged, and already-provisioned span cost is refunded.
+#[derive(Debug, Clone)]
+pub struct TelemetrySink {
+    /// Shared head-sampling decision (consistent with the node proxies).
+    pub sampler: HeadSampler,
+    /// Per-span CPU/byte prices.
+    pub cost: TelemetryCostModel,
+    /// Accumulated telemetry spend (and refunds) at this gateway.
+    pub meter: TelemetryMeter,
+}
+
+impl TelemetrySink {
+    /// A sink around an existing sampler with default span prices.
+    pub fn new(sampler: HeadSampler) -> Self {
+        TelemetrySink {
+            sampler,
+            cost: TelemetryCostModel::default(),
+            meter: TelemetryMeter::default(),
+        }
+    }
+}
 
 /// Identifier of a requesting client (the retry-budget scope: one upstream
 /// caller / connection pool, not one TCP flow).
@@ -444,6 +471,7 @@ pub struct OverloadControl {
     brownout: BrownoutController,
     pending: BTreeMap<u64, PendingRequest>,
     weight_overrides: BTreeMap<u32, u32>,
+    telemetry: Option<TelemetrySink>,
     // Window counters, reset by `signals`.
     win_offered: u64,
     win_started: u64,
@@ -470,6 +498,7 @@ impl OverloadControl {
             ),
             pending: BTreeMap::new(),
             weight_overrides: BTreeMap::new(),
+            telemetry: None,
             win_offered: 0,
             win_started: 0,
             win_shed_caps: 0,
@@ -483,6 +512,25 @@ impl OverloadControl {
     /// The active policy.
     pub fn config(&self) -> OverloadConfig {
         self.cfg
+    }
+
+    /// Attach the telemetry sink the brownout controller drives. Every
+    /// admitted request provisionally charges one L7 span (the always-on
+    /// recording that makes tail sampling possible); [`OverloadControl::pump`]
+    /// then exports head-sampled spans or — once brownout sheds
+    /// observability — refunds the provisional charge instead.
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = Some(sink);
+    }
+
+    /// The attached sink's meter, if any.
+    pub fn telemetry_meter(&self) -> Option<&TelemetryMeter> {
+        self.telemetry.as_ref().map(|s| &s.meter)
+    }
+
+    /// The attached sink's sampler, if any.
+    pub fn telemetry_sampler(&self) -> Option<&HeadSampler> {
+        self.telemetry.as_ref().map(|s| &s.sampler)
     }
 
     /// Override one tenant's scheduling weight (applies to classes created
@@ -599,6 +647,11 @@ impl OverloadControl {
         let demand = self.cfg.base_cpu.scale(frac);
         match self.fair.offer(now, class, demand, bytes) {
             Ok(ticket) => {
+                // Provisional span recording: charged unconditionally so the
+                // tail sampler can still retrieve slow/error traces later.
+                if let Some(sink) = self.telemetry.as_mut() {
+                    sink.meter.charge_record(true, &sink.cost);
+                }
                 self.pending.insert(
                     ticket,
                     PendingRequest {
@@ -634,6 +687,20 @@ impl OverloadControl {
             self.win_sojourns_ms.push(job.sojourn.as_millis_f64());
             if self.cfg.brownout {
                 self.brownout.observe(job.sojourn);
+            }
+            // Close the brownout→telemetry loop: the "drop observability
+            // sampling" stage actually stops span export and refunds the
+            // provisional record charge, shrinking telemetry CPU *before*
+            // any request is dropped.
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.sampler
+                    .set_shed(self.cfg.brownout && self.brownout.level() >= BrownoutLevel::NoObservability);
+                if sink.sampler.is_shed() {
+                    sink.sampler.decide(job.ticket);
+                    sink.meter.refund_record(true, &sink.cost);
+                } else if sink.sampler.decide(job.ticket) {
+                    sink.meter.charge_export(true, &sink.cost);
+                }
             }
             let shed = if self.cfg.codel {
                 self.codel
@@ -969,6 +1036,48 @@ mod tests {
             per_job < 100_000.0 * 0.95,
             "browned-out jobs demand less CPU: {per_job}ns"
         );
+    }
+
+    #[test]
+    fn brownout_sheds_telemetry_before_any_request() {
+        use canal_sim::SimRng;
+        let cfg = OverloadConfig {
+            ingress_cores: 1,
+            base_cpu: SimDuration::from_micros(100),
+            codel: true,
+            codel_target: SimDuration::from_secs(1), // effectively never sheds
+            brownout: true,
+            brownout_observability: SimDuration::from_micros(200),
+            brownout_canary: SimDuration::from_millis(50),
+            brownout_exit: SimDuration::from_micros(100),
+            ..OverloadConfig::default()
+        };
+        let mut ov = OverloadControl::new(cfg);
+        let mut rng = SimRng::seed(7);
+        ov.attach_telemetry(TelemetrySink::new(HeadSampler::new(0.5, &mut rng)));
+        // Calm phase: spans charge, nothing is refunded.
+        for i in 0..4u16 {
+            offer_first(&mut ov, SimTime::from_micros(u64::from(i) * 200), 1, i).unwrap();
+        }
+        ov.pump(SimTime::from_millis(1));
+        let m = ov.telemetry_meter().unwrap();
+        assert_eq!(m.refunded_spans(), 0);
+        assert_eq!(m.spans_recorded(), 4);
+        // Pressure phase: the backlog drives the sojourn EWMA past the
+        // observability threshold. Telemetry cost must come back as refunds
+        // while not a single request has been dropped — the brownout ladder
+        // sheds optional work strictly before requests.
+        for i in 0..200u16 {
+            offer_first(&mut ov, SimTime::from_millis(2), 1, 100 + i).unwrap();
+        }
+        ov.pump(SimTime::from_millis(40));
+        let m = ov.telemetry_meter().unwrap();
+        assert!(m.refunded_spans() > 0, "brownout must refund span cost");
+        assert!(m.refunded_cpu() > SimDuration::ZERO);
+        assert_eq!(ov.total_shed(), 0, "telemetry sheds strictly before requests");
+        let sampler = ov.telemetry_sampler().unwrap();
+        assert!(sampler.is_shed());
+        assert!(sampler.shed_refused() > 0);
     }
 
     #[test]

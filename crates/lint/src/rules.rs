@@ -36,6 +36,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "canal_crypto",
     "canal_cluster",
     "canal_mesh",
+    "canal_telemetry",
     "canal_gateway",
     "canal_control",
     "canal_workload",
@@ -55,9 +56,10 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
     ("canal_crypto", &["canal_sim", "canal_net", "bytes"]),
     ("canal_cluster", &["canal_sim", "canal_net"]),
     ("canal_workload", &["canal_sim"]),
+    ("canal_telemetry", &["canal_sim", "canal_net"]),
     (
         "canal_gateway",
-        &["canal_sim", "canal_net", "canal_cluster", "bytes"],
+        &["canal_sim", "canal_net", "canal_cluster", "canal_telemetry", "bytes"],
     ),
     (
         "canal_mesh",
@@ -78,6 +80,7 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_cluster",
             "canal_gateway",
             "canal_mesh",
+            "canal_telemetry",
             "canal_workload",
         ],
     ),
@@ -91,6 +94,7 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_cluster",
             "canal_gateway",
             "canal_mesh",
+            "canal_telemetry",
             "canal_control",
             "canal_workload",
             "bytes",
@@ -106,6 +110,7 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_cluster",
             "canal_gateway",
             "canal_mesh",
+            "canal_telemetry",
             "canal_control",
             "canal_workload",
             "bytes",

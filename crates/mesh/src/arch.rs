@@ -20,7 +20,7 @@
 use crate::costs::CostModel;
 use crate::path::{StageId, Step};
 use canal_crypto::accel::AsymmetricBackend;
-use canal_net::Priority;
+use canal_net::{Priority, TraceContext};
 use canal_sim::SimDuration;
 
 /// Which architecture to build.
@@ -73,6 +73,10 @@ pub struct RequestCtx {
     /// Scheduling class the on-node proxy stamped on the request; the
     /// gateway's overload layer keys its fair queues on this.
     pub priority: Priority,
+    /// Trace context stamped at the root, carried hop to hop. When present
+    /// and sampled, every recording site on the path charges its
+    /// span-recording CPU into the step plan (telemetry is not free).
+    pub trace: Option<TraceContext>,
 }
 
 impl RequestCtx {
@@ -86,6 +90,7 @@ impl RequestCtx {
             resp_bytes: 1024,
             concurrent_new_connections: 1,
             priority: Priority::Interactive,
+            trace: None,
         }
     }
 
@@ -98,6 +103,7 @@ impl RequestCtx {
             resp_bytes: 1024,
             concurrent_new_connections: concurrent,
             priority: Priority::Interactive,
+            trace: None,
         }
     }
 
@@ -105,6 +111,17 @@ impl RequestCtx {
     pub fn bulk(mut self) -> Self {
         self.priority = Priority::Bulk;
         self
+    }
+
+    /// Attach a trace context (propagated as request metadata).
+    pub fn traced(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Whether the carried trace context asks sites to record spans.
+    pub fn trace_sampled(&self) -> bool {
+        self.trace.is_some_and(|t| t.sampled)
     }
 }
 
@@ -173,6 +190,28 @@ fn handshake_steps(
     ]
 }
 
+/// Sidecar recording sites: the rich L7 span price at *two* pods per request.
+const SIDECAR_TELEMETRY_SITES: [(StageId, bool); 2] = [
+    (StageId::ClientSidecar, true),
+    (StageId::ServerSidecar, true),
+];
+
+/// Ambient recording sites: cheap L4 stamps at the ztunnels, one rich span
+/// at the waypoint.
+const AMBIENT_TELEMETRY_SITES: [(StageId, bool); 3] = [
+    (StageId::ClientZtunnel, false),
+    (StageId::ServerZtunnel, false),
+    (StageId::Waypoint, true),
+];
+
+/// Canal recording sites: cheap L4 stamps at the node proxies, one rich span
+/// at the shared gateway (§4.1.1: centralized observability).
+const CANAL_TELEMETRY_SITES: [(StageId, bool); 3] = [
+    (StageId::ClientNodeProxy, false),
+    (StageId::ServerNodeProxy, false),
+    (StageId::GatewayBackend, true),
+];
+
 /// Per-pod-sidecar architecture (Istio-like).
 pub struct SidecarMesh {
     /// Cost constants.
@@ -197,6 +236,27 @@ fn sym_cost(costs: &CostModel, ctx: &RequestCtx, bytes: usize) -> SimDuration {
     } else {
         SimDuration::ZERO
     }
+}
+
+/// Span-recording CPU at each of the architecture's recording sites, charged
+/// only when the propagated trace context says the trace is sampled. `sites`
+/// lists (stage, records-rich-L7-span) pairs.
+fn telemetry_steps(c: &CostModel, ctx: &RequestCtx, sites: &[(StageId, bool)]) -> Vec<Step> {
+    if !ctx.trace_sampled() {
+        return Vec::new();
+    }
+    sites
+        .iter()
+        .map(|&(stage, l7)| Step::cpu(stage, c.telemetry_record_cpu(l7)))
+        .collect()
+}
+
+/// Total span-recording CPU for the same site list (the Fig. 13-style
+/// accounting identity's telemetry term).
+fn telemetry_cpu(c: &CostModel, ctx: &RequestCtx, sites: &[(StageId, bool)]) -> SimDuration {
+    telemetry_steps(c, ctx, sites)
+        .iter()
+        .fold(SimDuration::ZERO, |acc, s| acc + s.cpu)
 }
 
 impl MeshArchitecture for SidecarMesh {
@@ -232,6 +292,7 @@ impl MeshArchitecture for SidecarMesh {
             StageId::ClientSidecar,
             c.sidecar_cpu_response + c.copy_cost(ctx.resp_bytes) + sym_cost(c, ctx, ctx.resp_bytes),
         ));
+        steps.extend(telemetry_steps(c, ctx, &SIDECAR_TELEMETRY_SITES));
         steps
     }
 
@@ -249,6 +310,7 @@ impl MeshArchitecture for SidecarMesh {
             + (sym_cost(&self.costs, ctx, ctx.req_bytes)
                 + sym_cost(&self.costs, ctx, ctx.resp_bytes))
             .times(2)
+            + telemetry_cpu(&self.costs, ctx, &SIDECAR_TELEMETRY_SITES)
     }
 
     fn background_cores(&self, cluster: &ClusterShape) -> f64 {
@@ -321,6 +383,7 @@ impl MeshArchitecture for AmbientMesh {
             StageId::ClientZtunnel,
             c.ebpf_redirect + c.ztunnel_cpu_per_pass + sym_cost(c, ctx, ctx.resp_bytes),
         ));
+        steps.extend(telemetry_steps(c, ctx, &AMBIENT_TELEMETRY_SITES));
         steps
     }
 
@@ -342,6 +405,7 @@ impl MeshArchitecture for AmbientMesh {
             + self.costs.copy_cost(ctx.req_bytes)
             + self.costs.copy_cost(ctx.resp_bytes)
             + sym
+            + telemetry_cpu(&self.costs, ctx, &AMBIENT_TELEMETRY_SITES)
     }
 
     fn background_cores(&self, cluster: &ClusterShape) -> f64 {
@@ -429,6 +493,7 @@ impl MeshArchitecture for CanalMesh {
             StageId::ClientNodeProxy,
             c.ebpf_redirect + c.node_proxy_cpu_per_pass + sym_cost(c, ctx, ctx.resp_bytes),
         ));
+        steps.extend(telemetry_steps(c, ctx, &CANAL_TELEMETRY_SITES));
         steps
     }
 
@@ -451,6 +516,7 @@ impl MeshArchitecture for CanalMesh {
             + self.costs.copy_cost(ctx.req_bytes)
             + self.costs.copy_cost(ctx.resp_bytes)
             + sym
+            + telemetry_cpu(&self.costs, ctx, &CANAL_TELEMETRY_SITES)
     }
 
     fn background_cores(&self, cluster: &ClusterShape) -> f64 {
@@ -615,6 +681,36 @@ mod tests {
         ctx.resp_bytes = 64 * 1024;
         let https = arch.mesh_cpu_per_request(&ctx);
         assert!(https > http);
+    }
+
+    #[test]
+    fn sampled_trace_charges_telemetry_and_canal_pays_less_than_sidecar() {
+        use canal_net::TraceContext;
+        let tc = TraceContext::root(99, true);
+        let plain = RequestCtx::light();
+        let traced = RequestCtx::light().traced(tc);
+        let unsampled = RequestCtx::light().traced(TraceContext::root(99, false));
+        let mut extras = Vec::new();
+        for kind in [Architecture::Sidecar, Architecture::Ambient, Architecture::Canal] {
+            let arch = build(kind, CostModel::default());
+            let base = arch.mesh_cpu_per_request(&plain);
+            let with = arch.mesh_cpu_per_request(&traced);
+            assert!(with > base, "{}: sampled trace must charge CPU", arch.name());
+            assert_eq!(
+                arch.mesh_cpu_per_request(&unsampled),
+                base,
+                "{}: unsampled trace is free",
+                arch.name()
+            );
+            // The step plan carries the same charge.
+            let step_extra = PathExecutor::unloaded_latency(&arch.request_steps(&traced))
+                - PathExecutor::unloaded_latency(&arch.request_steps(&plain));
+            assert_eq!(step_extra, with - base, "{}", arch.name());
+            extras.push(with - base);
+        }
+        // §4.1.1: two rich sidecar spans cost more than canal's two L4
+        // stamps + one gateway span.
+        assert!(extras[2] < extras[0], "canal {:?} < sidecar {:?}", extras[2], extras[0]);
     }
 
     #[test]

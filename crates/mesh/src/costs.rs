@@ -91,6 +91,13 @@ pub struct CostModel {
     // ---- Crypto (priced via canal-crypto backends at call sites) ----
     /// Symmetric crypto CPU per KiB (ChaCha20 software).
     pub sym_crypto_per_kib: SimDuration,
+
+    // ---- Telemetry (charged only when the request's trace is sampled;
+    //      defaults mirror canal-telemetry's TelemetryCostModel) ----
+    /// CPU to record a cheap L4 timing span (node proxy, ztunnel).
+    pub telemetry_l4_span_cpu: SimDuration,
+    /// CPU to record a rich L7 span (sidecar, waypoint, gateway).
+    pub telemetry_l7_span_cpu: SimDuration,
 }
 
 impl Default for CostModel {
@@ -129,6 +136,9 @@ impl Default for CostModel {
             gateway_pipeline_rps_cap: 50_000.0,
 
             sym_crypto_per_kib: SimDuration::from_micros(1),
+
+            telemetry_l4_span_cpu: SimDuration::from_nanos(300),
+            telemetry_l7_span_cpu: SimDuration::from_micros(4),
         }
     }
 }
@@ -142,6 +152,17 @@ impl CostModel {
     /// Symmetric crypto cost for `bytes` of payload.
     pub fn sym_crypto_cost(&self, bytes: usize) -> SimDuration {
         self.sym_crypto_per_kib.scale(bytes as f64 / 1024.0)
+    }
+
+    /// Span-recording cost at an L7-rich (`true`) or L4 site. This is the
+    /// §4.1.1 cost asymmetry: a sidecar mesh pays the rich price at two pods
+    /// per request, canal once at the shared gateway.
+    pub fn telemetry_record_cpu(&self, l7: bool) -> SimDuration {
+        if l7 {
+            self.telemetry_l7_span_cpu
+        } else {
+            self.telemetry_l4_span_cpu
+        }
     }
 
     /// Total mesh CPU per request under the Sidecar architecture

@@ -22,7 +22,8 @@
 //! * [`resources`] — the per-pod sidecar resource model behind Table 1 and
 //!   Fig. 3.
 //! * [`observability`] — the §4.1.1 split: L4 per-pod labeling at the
-//!   on-node proxy, rich L7 logs at the gateway, and trace assembly.
+//!   on-node proxy, rich L7 logs at the gateway (trace assembly lives in
+//!   `canal-telemetry`).
 //! * [`proxyless`] — the Appendix B proxyless mode: DNS redirection,
 //!   ENI-based authentication, semi-managed encryption.
 

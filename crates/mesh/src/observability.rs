@@ -1,52 +1,23 @@
-//! Observability: metrics, access logs and distributed tracing (§4.1.1).
+//! Observability accounting the mesh layer owns: L4 per-pod labeling and
+//! counters at the on-node proxy, and the gateway's L7 access log (§4.1.1).
 //!
 //! The paper's functional-equivalence analysis splits observability between
 //! the on-node proxy (L4 only — bytes, connections, per-pod labeling) and
-//! the mesh gateway (rich L7 — method, path, status, latency). This module
-//! implements both collectors and the trace assembly that stitches their
-//! spans into one request timeline, plus the per-pod labeling overhead the
-//! appendix calls out (a per-node proxy must *label* traffic per pod where
-//! a sidecar knew its pod implicitly).
+//! the mesh gateway (rich L7 — method, path, status, latency). What lives
+//! here is the *accounting* side of that split, notably the per-pod labeling
+//! overhead the appendix calls out (a per-node proxy must *label* traffic
+//! per pod where a sidecar knew its pod implicitly).
+//!
+//! Distributed tracing — spans, sampling, assembly, critical paths — lives
+//! in `canal-telemetry`; callers stamp a
+//! [`TraceContext`](canal_net::TraceContext) on the request
+//! ([`RequestCtx::traced`](crate::arch::RequestCtx::traced)) and feed spans
+//! to that crate's collector.
 
 use canal_http::StatusCode;
 use canal_net::{GlobalServiceId, PodId};
 use canal_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
-
-/// Where a span was recorded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum SpanSite {
-    /// Client-side on-node proxy (L4).
-    ClientNodeProxy,
-    /// Mesh gateway backend (L7).
-    Gateway,
-    /// Server-side on-node proxy (L4).
-    ServerNodeProxy,
-}
-
-/// One span of a traced request.
-#[derive(Debug, Clone)]
-pub struct Span {
-    /// Trace this span belongs to.
-    pub trace_id: u64,
-    /// Recording site.
-    pub site: SpanSite,
-    /// Span start.
-    pub start: SimTime,
-    /// Span end.
-    pub end: SimTime,
-    /// Pod the traffic was attributed to (L4 labeling).
-    pub pod: Option<PodId>,
-    /// Service (known at the gateway via the global service id).
-    pub service: Option<GlobalServiceId>,
-}
-
-impl Span {
-    /// Span duration.
-    pub fn duration(&self) -> SimDuration {
-        self.end.since(self.start)
-    }
-}
 
 /// L4 counters the on-node proxy keeps per pod.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,11 +31,10 @@ pub struct L4PodStats {
 }
 
 /// The on-node proxy's L4 observability: per-pod traffic labeling and
-/// counters, plus L4 spans for tracing.
+/// counters.
 #[derive(Debug, Default)]
 pub struct NodeObservability {
     stats: BTreeMap<PodId, L4PodStats>,
-    spans: Vec<Span>,
     /// Labeling operations performed (the App. A overhead: a sidecar knows
     /// its pod for free; the shared node proxy must label each flow).
     labeling_ops: u64,
@@ -87,19 +57,6 @@ impl NodeObservability {
         self.labeling_ops += 1;
     }
 
-    /// Record an L4 span for a traced request.
-    pub fn record_span(&mut self, trace_id: u64, site: SpanSite, pod: PodId, start: SimTime, end: SimTime) {
-        debug_assert!(site != SpanSite::Gateway, "gateway spans are L7");
-        self.spans.push(Span {
-            trace_id,
-            site,
-            start,
-            end,
-            pod: Some(pod),
-            service: None,
-        });
-    }
-
     /// Per-pod counters.
     pub fn pod_stats(&self, pod: PodId) -> L4PodStats {
         self.stats.get(&pod).copied().unwrap_or_default()
@@ -108,11 +65,6 @@ impl NodeObservability {
     /// Labeling operations performed so far.
     pub fn labeling_ops(&self) -> u64 {
         self.labeling_ops
-    }
-
-    /// Spans recorded so far.
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
     }
 }
 
@@ -133,12 +85,12 @@ pub struct AccessLogEntry {
     pub latency: SimDuration,
 }
 
-/// The gateway's L7 observability: access logs, per-service latency/error
-/// aggregates and L7 spans.
+/// The gateway's L7 observability: access logs and per-service latency/error
+/// aggregates. (The gateway's L7 *spans* go to the `canal-telemetry`
+/// collector, not here.)
 #[derive(Debug, Default)]
 pub struct GatewayObservability {
     log: Vec<AccessLogEntry>,
-    spans: Vec<Span>,
 }
 
 impl GatewayObservability {
@@ -148,10 +100,8 @@ impl GatewayObservability {
     }
 
     /// Record one L7 request.
-    #[allow(clippy::too_many_arguments)]
     pub fn record_request(
         &mut self,
-        trace_id: u64,
         at: SimTime,
         service: GlobalServiceId,
         method: &'static str,
@@ -167,24 +117,11 @@ impl GatewayObservability {
             status,
             latency,
         });
-        self.spans.push(Span {
-            trace_id,
-            site: SpanSite::Gateway,
-            start: at,
-            end: at + latency,
-            pod: None,
-            service: Some(service),
-        });
     }
 
     /// Access log entries.
     pub fn log(&self) -> &[AccessLogEntry] {
         &self.log
-    }
-
-    /// Spans recorded.
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
     }
 
     /// Per-service aggregate `(requests, errors, mean latency ms)` — the
@@ -201,58 +138,6 @@ impl GatewayObservability {
         };
         (requests, errors, mean)
     }
-}
-
-/// An assembled end-to-end trace.
-#[derive(Debug)]
-pub struct Trace {
-    /// Trace id.
-    pub trace_id: u64,
-    /// Spans ordered by start time.
-    pub spans: Vec<Span>,
-}
-
-impl Trace {
-    /// End-to-end wall time covered by the trace.
-    pub fn total(&self) -> SimDuration {
-        let start = self.spans.iter().map(|s| s.start).min().unwrap_or(SimTime::ZERO);
-        let end = self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
-        end.since(start)
-    }
-
-    /// Whether the trace covers all three sites — the paper's argument for
-    /// keeping observability "on all critical nodes": with only the gateway
-    /// span, client/server-side stalls are invisible.
-    pub fn is_end_to_end(&self) -> bool {
-        let mut sites: Vec<SpanSite> = self.spans.iter().map(|s| s.site).collect();
-        sites.sort_unstable();
-        sites.dedup();
-        sites.len() == 3
-    }
-
-    /// Time not covered by any span (network transit + app processing).
-    pub fn unattributed(&self) -> SimDuration {
-        let covered: SimDuration = self
-            .spans
-            .iter()
-            .fold(SimDuration::ZERO, |acc, s| acc + s.duration());
-        self.total().saturating_sub(covered)
-    }
-}
-
-/// Stitch node + gateway spans into traces by trace id.
-pub fn assemble_traces(node: &NodeObservability, gateway: &GatewayObservability) -> Vec<Trace> {
-    let mut by_id: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
-    for s in node.spans().iter().chain(gateway.spans()) {
-        by_id.entry(s.trace_id).or_default().push(s.clone());
-    }
-    by_id
-        .into_iter()
-        .map(|(trace_id, mut spans)| {
-            spans.sort_by_key(|s| s.start);
-            Trace { trace_id, spans }
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -283,51 +168,14 @@ mod tests {
     #[test]
     fn gateway_access_log_and_summary() {
         let mut gw = GatewayObservability::new();
-        gw.record_request(1, T(0), svc(), "GET", "/a", StatusCode::OK, SimDuration::from_micros(120));
-        gw.record_request(2, T(10), svc(), "GET", "/b", StatusCode::SERVICE_UNAVAILABLE, SimDuration::from_micros(80));
-        gw.record_request(3, T(20), svc(), "POST", "/c", StatusCode::OK, SimDuration::from_micros(100));
+        gw.record_request(T(0), svc(), "GET", "/a", StatusCode::OK, SimDuration::from_micros(120));
+        gw.record_request(T(10), svc(), "GET", "/b", StatusCode::SERVICE_UNAVAILABLE, SimDuration::from_micros(80));
+        gw.record_request(T(20), svc(), "POST", "/c", StatusCode::OK, SimDuration::from_micros(100));
         let (req, err, mean) = gw.service_summary(svc());
         assert_eq!((req, err), (3, 1));
         assert!((mean - 0.1).abs() < 1e-9);
         // An unknown service reports zeros.
         let other = GlobalServiceId::compose(TenantId(9), ServiceId(9));
         assert_eq!(gw.service_summary(other), (0, 0, 0.0));
-    }
-
-    #[test]
-    fn traces_assemble_end_to_end() {
-        let mut node = NodeObservability::new();
-        let mut gw = GatewayObservability::new();
-        // Trace 7: client proxy → gateway → server proxy.
-        node.record_span(7, SpanSite::ClientNodeProxy, PodId(1), T(0), T(20));
-        gw.record_request(7, T(120), svc(), "GET", "/x", StatusCode::OK, SimDuration::from_micros(40));
-        node.record_span(7, SpanSite::ServerNodeProxy, PodId(5), T(260), T(280));
-        // Trace 8: only seen at the gateway (proxyless client).
-        gw.record_request(8, T(500), svc(), "GET", "/y", StatusCode::OK, SimDuration::from_micros(40));
-
-        let traces = assemble_traces(&node, &gw);
-        assert_eq!(traces.len(), 2);
-        let t7 = traces.iter().find(|t| t.trace_id == 7).unwrap();
-        assert!(t7.is_end_to_end());
-        assert_eq!(t7.spans.len(), 3);
-        assert_eq!(t7.total(), SimDuration::from_micros(280));
-        // Unattributed = total - (20 + 40 + 20).
-        assert_eq!(t7.unattributed(), SimDuration::from_micros(200));
-        // Gateway-only traces are flagged as partial.
-        let t8 = traces.iter().find(|t| t.trace_id == 8).unwrap();
-        assert!(!t8.is_end_to_end());
-    }
-
-    #[test]
-    fn spans_sorted_by_start() {
-        let mut node = NodeObservability::new();
-        let mut gw = GatewayObservability::new();
-        node.record_span(1, SpanSite::ServerNodeProxy, PodId(2), T(300), T(320));
-        node.record_span(1, SpanSite::ClientNodeProxy, PodId(1), T(0), T(10));
-        gw.record_request(1, T(100), svc(), "GET", "/", StatusCode::OK, SimDuration::from_micros(50));
-        let traces = assemble_traces(&node, &gw);
-        let spans = &traces[0].spans;
-        assert!(spans.windows(2).all(|w| w[0].start <= w[1].start));
-        assert_eq!(spans[0].site, SpanSite::ClientNodeProxy);
     }
 }

@@ -12,8 +12,9 @@
 //!   and nodes hit the interface limit as containers grow.
 //! * **Encryption** becomes semi-managed: user-held certificates (full
 //!   equivalence) or gateway-terminated TLS (requires trusting the cloud).
-//! * **Observability** degrades to gateway-only (partial; see
-//!   [`crate::observability::Trace::is_end_to_end`]).
+//! * **Observability** degrades to gateway-only (partial: a proxyless
+//!   client records no node-side spans, so assembled traces in
+//!   `canal-telemetry` cover only the gateway hop).
 
 use canal_cluster::dns::DnsView;
 use canal_net::{AzId, NodeId, PodId, VpcAddr};

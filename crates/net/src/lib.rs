@@ -25,6 +25,7 @@ pub mod nagle;
 pub mod packet;
 pub mod priority;
 pub mod ratelimit;
+pub mod trace;
 pub mod vxlan;
 
 pub use addr::{Endpoint, VpcAddr};
@@ -36,5 +37,6 @@ pub use link::Link;
 pub use nagle::NagleBuffer;
 pub use priority::Priority;
 pub use ratelimit::TokenBucket;
+pub use trace::TraceContext;
 pub use packet::{FiveTuple, Packet, Proto};
 pub use vxlan::{VSwitch, VxlanFrame, VXLAN_OVERHEAD};

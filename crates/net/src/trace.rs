@@ -1,0 +1,77 @@
+//! Distributed-trace context carried as request metadata.
+//!
+//! Canal's functional-equivalence argument (§4.1.1) rests on centralized
+//! observability: instead of every sidecar exporting its own spans, the
+//! on-node proxies stamp a [`TraceContext`] onto the request, the mesh
+//! carries it through the step plan exactly like [`Priority`](crate::Priority),
+//! and each recording site (sidecar, ztunnel, waypoint, node proxy, gateway)
+//! emits a span *only if the context says the trace is sampled*. The context
+//! itself is three words — small enough to ride in a VXLAN option or an HTTP
+//! header without changing any packet-size accounting.
+//!
+//! The sampling decision is made once at the root (head sampling) and
+//! propagated, so every hop of one request agrees; tail-based retrieval of
+//! unsampled-but-interesting traces is the collector's job
+//! (`canal-telemetry`), not this type's.
+
+/// Per-request trace metadata: identity, position in the span tree, and the
+/// propagated head-sampling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceContext {
+    /// Mesh-wide trace identity; 0 is reserved for "no trace".
+    pub trace_id: u64,
+    /// Span id of the parent hop within this trace; `None` at the root.
+    pub parent_span: Option<u32>,
+    /// Head-sampling decision made at the root and carried to every hop.
+    /// When false, sites still feed their bounded ring buffers (so a tail
+    /// decision can retrieve the spans later) but do not export.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Root context for a new request.
+    pub fn root(trace_id: u64, sampled: bool) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span: None,
+            sampled,
+        }
+    }
+
+    /// Context to hand to the next hop, whose parent is the span `span_id`
+    /// recorded at this hop. Identity and sampling decision propagate.
+    pub fn child_of(self, span_id: u32) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: Some(span_id),
+            sampled: self.sampled,
+        }
+    }
+
+    /// Whether this context names a real trace (id 0 is "no trace").
+    pub fn is_active(self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_then_child_propagates_identity_and_decision() {
+        let root = TraceContext::root(7, true);
+        assert_eq!(root.parent_span, None);
+        assert!(root.sampled);
+        let child = root.child_of(3);
+        assert_eq!(child.trace_id, 7);
+        assert_eq!(child.parent_span, Some(3));
+        assert!(child.sampled);
+        assert!(child.is_active());
+    }
+
+    #[test]
+    fn zero_trace_id_is_inactive() {
+        assert!(!TraceContext::root(0, false).is_active());
+    }
+}

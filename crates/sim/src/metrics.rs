@@ -70,6 +70,16 @@ impl Gauge {
 const BUCKETS_PER_OCTAVE: usize = 16;
 const SUB_ONE_BUCKET: usize = 0;
 
+/// A concrete observation attached to a histogram bucket, linking an
+/// aggregate cell (say, a P999 latency) back to the trace that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The recorded value.
+    pub value: f64,
+    /// Trace id of the request that produced it.
+    pub trace_id: u64,
+}
+
 /// Log-bucketed histogram over non-negative f64 values.
 ///
 /// Values below 1.0 land in a single underflow bucket; above that, each
@@ -79,6 +89,7 @@ const SUB_ONE_BUCKET: usize = 0;
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     buckets: BTreeMap<usize, u64>,
+    exemplars: BTreeMap<usize, Exemplar>,
     count: u64,
     sum: f64,
     min: f64,
@@ -90,6 +101,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: BTreeMap::new(),
+            exemplars: BTreeMap::new(),
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -115,8 +127,27 @@ impl Histogram {
 
     /// Record one observation. Negative values are clamped to zero.
     pub fn record(&mut self, v: f64) {
+        self.record_with_exemplar(v, None);
+    }
+
+    /// Record one observation, optionally tagged with the trace that
+    /// produced it. Each bucket keeps its largest tagged observation as the
+    /// exemplar (largest, so tail cells point at genuinely slow traces; and
+    /// a deterministic choice, so digests stay stable).
+    pub fn record_with_exemplar(&mut self, v: f64, trace_id: Option<u64>) {
         let v = v.max(0.0);
-        *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        let idx = Self::bucket_of(v);
+        *self.buckets.entry(idx).or_insert(0) += 1;
+        if let Some(trace_id) = trace_id {
+            let candidate = Exemplar { value: v, trace_id };
+            let keep = self
+                .exemplars
+                .get(&idx)
+                .is_none_or(|cur| v > cur.value || (v == cur.value && trace_id < cur.trace_id));
+            if keep {
+                self.exemplars.insert(idx, candidate);
+            }
+        }
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
@@ -164,8 +195,16 @@ impl Histogram {
     /// the bucket containing the requested rank (clamped to observed max),
     /// or 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
+        match self.quantile_bucket(q) {
+            None => 0.0,
+            Some(idx) => Self::bucket_upper(idx).min(self.max).max(self.min),
+        }
+    }
+
+    /// The bucket index holding the quantile-`q` rank (None if empty).
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
@@ -173,16 +212,45 @@ impl Histogram {
         for (&idx, &c) in &self.buckets {
             seen += c;
             if seen >= rank {
-                return Self::bucket_upper(idx).min(self.max).max(self.min);
+                return Some(idx);
             }
         }
-        self.max
+        self.buckets.keys().next_back().copied()
     }
 
-    /// Merge another histogram into this one.
+    /// Exemplar attached to the bucket containing value `v`, if any.
+    pub fn exemplar_for(&self, v: f64) -> Option<Exemplar> {
+        self.exemplars.get(&Self::bucket_of(v.max(0.0))).copied()
+    }
+
+    /// Exemplar for the quantile-`q` cell: the tagged observation from the
+    /// bucket holding that rank, or failing that from the nearest higher
+    /// bucket (tail cells should link to a genuinely slow trace), then the
+    /// nearest lower one. None if no observation was ever tagged.
+    pub fn exemplar_at(&self, q: f64) -> Option<Exemplar> {
+        let idx = self.quantile_bucket(q)?;
+        if let Some(e) = self.exemplars.get(&idx) {
+            return Some(*e);
+        }
+        if let Some((_, e)) = self.exemplars.range(idx..).next() {
+            return Some(*e);
+        }
+        self.exemplars.range(..idx).next_back().map(|(_, e)| *e)
+    }
+
+    /// Merge another histogram into this one. Per bucket, the
+    /// larger-valued exemplar survives.
     pub fn merge(&mut self, other: &Histogram) {
         for (&idx, &c) in &other.buckets {
             *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        for (&idx, e) in &other.exemplars {
+            let keep = self.exemplars.get(&idx).is_none_or(|cur| {
+                e.value > cur.value || (e.value == cur.value && e.trace_id < cur.trace_id)
+            });
+            if keep {
+                self.exemplars.insert(idx, *e);
+            }
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -411,6 +479,51 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert_eq!(a.quantile(0.9), whole.quantile(0.9));
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn exemplar_links_quantile_cell_to_trace() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record_with_exemplar(i as f64, Some(i));
+        }
+        let p999 = h.exemplar_at(0.999).expect("tagged observations exist");
+        // The P999 cell's exemplar is a genuinely slow trace.
+        assert!(p999.value >= 950.0, "p999 exemplar {p999:?}");
+        assert_eq!(p999.trace_id, p999.value as u64);
+        // Bucket lookup by value round-trips.
+        let e = h.exemplar_for(p999.value).expect("bucket has exemplar");
+        assert_eq!(e.trace_id, p999.trace_id);
+    }
+
+    #[test]
+    fn untagged_observations_leave_no_exemplar() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        h.record_with_exemplar(7.0, None);
+        assert!(h.exemplar_at(0.5).is_none());
+        // One tagged value serves every cell via nearest-bucket fallback.
+        h.record_with_exemplar(100.0, Some(42));
+        assert_eq!(h.exemplar_at(0.0).map(|e| e.trace_id), Some(42));
+        assert_eq!(h.exemplar_at(1.0).map(|e| e.trace_id), Some(42));
+    }
+
+    #[test]
+    fn bucket_keeps_largest_exemplar_and_merge_prefers_larger() {
+        let mut h = Histogram::new();
+        // Same bucket (values within ~4.4%): the larger value wins.
+        h.record_with_exemplar(100.0, Some(1));
+        h.record_with_exemplar(101.0, Some(2));
+        h.record_with_exemplar(99.0, Some(3));
+        let e = h.exemplar_for(100.0).expect("exemplar");
+        assert_eq!((e.value, e.trace_id), (101.0, 2));
+
+        let mut other = Histogram::new();
+        other.record_with_exemplar(102.0, Some(9));
+        h.merge(&other);
+        let e = h.exemplar_for(100.0).expect("exemplar");
+        assert_eq!((e.value, e.trace_id), (102.0, 9));
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

@@ -25,6 +25,14 @@ cargo run -q --release -p canal-bench --bin chaos -- --fast >/dev/null
 echo "==> surge smoke (tenant-isolation invariant under overload)"
 cargo run -q --release -p canal-bench --bin surge -- --fast >/dev/null
 
+# Trace smoke: a compressed run of the tracing pipeline over the fault
+# timeline. The binary exits nonzero unless tail sampling retains the
+# error/P999 traces at a <=2% head rate, canal's telemetry cost stays
+# below the sidecar baseline, the span-evidence RCA beats trend
+# correlation, and double runs are bit-identical.
+echo "==> trace smoke (sampling-retention + span-RCA invariants)"
+cargo run -q --release -p canal-bench --bin traceview -- --fast >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.

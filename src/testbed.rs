@@ -21,9 +21,12 @@ use canal_http::{
 };
 use canal_mesh::authz::{AuthzPolicy, AuthzRule};
 use canal_mesh::l7::{L7Engine, L7Outcome};
-use canal_mesh::observability::{GatewayObservability, NodeObservability, SpanSite};
-use canal_net::{Endpoint, FiveTuple, GlobalServiceId, PodId, ServiceId, TenantId, VpcAddr, VpcId};
+use canal_mesh::observability::{GatewayObservability, NodeObservability};
+use canal_net::{
+    Endpoint, FiveTuple, GlobalServiceId, PodId, ServiceId, TenantId, TraceContext, VpcAddr, VpcId,
+};
 use canal_sim::{SimDuration, SimRng, SimTime};
+use canal_telemetry::{Collector, HopSite, SegmentKind, Span};
 use std::collections::BTreeMap;
 
 /// Testbed parameters.
@@ -85,6 +88,8 @@ pub struct Testbed {
     pub node_obs: NodeObservability,
     /// Gateway L7 observability.
     pub gateway_obs: GatewayObservability,
+    /// Trace collector (canal-telemetry): node + gateway spans assemble here.
+    pub collector: Collector,
 }
 
 impl Testbed {
@@ -98,6 +103,7 @@ impl Testbed {
             trace_counter: 0,
             node_obs: NodeObservability::new(),
             gateway_obs: GatewayObservability::new(),
+            collector: Collector::new(),
             cfg,
         }
     }
@@ -199,16 +205,9 @@ impl Testbed {
 
         self.trace_counter += 1;
         let trace = self.trace_counter;
-        // On-node L4 span + per-pod labeling.
+        // Per-pod L4 labeling at the on-node proxy.
         let pod = PodId((identity % 64) as u32);
         self.node_obs.record_transfer(pod, wire.len() as u64, 0, true);
-        self.node_obs.record_span(
-            trace,
-            SpanSite::ClientNodeProxy,
-            pod,
-            self.now,
-            self.now + SimDuration::from_micros(20),
-        );
 
         let (status, target, served_by) = match outcome {
             L7Outcome::Forward { target, .. } => {
@@ -240,7 +239,6 @@ impl Testbed {
             L7Outcome::Reject(code) => (code, None, None),
         };
         self.gateway_obs.record_request(
-            trace,
             self.now,
             service,
             req.method.as_str(),
@@ -248,6 +246,22 @@ impl Testbed {
             status,
             self.cfg.l7_latency,
         );
+        // Trace the request end to end: a root span at the client node proxy
+        // wrapping a gateway child span (canal-telemetry assembles them).
+        let tc = TraceContext::root(trace, true);
+        let mut client_span = Span::from_ctx(tc, 0, HopSite::ClientNodeProxy, self.now);
+        client_span.push_segment(SegmentKind::L4Forward, SimDuration::from_micros(20));
+        let mut gw_span = Span::from_ctx(
+            tc.child_of(0),
+            1,
+            HopSite::Gateway,
+            self.now + SimDuration::from_micros(10),
+        );
+        gw_span.push_segment(SegmentKind::L7Parse, self.cfg.l7_latency);
+        gw_span.error = status.is_error();
+        client_span.end = gw_span.end + SimDuration::from_micros(10);
+        self.collector.ingest(client_span);
+        self.collector.ingest(gw_span);
         Ok(TestbedResponse {
             status,
             target,
@@ -335,10 +349,14 @@ mod tests {
         let (requests, errors, _mean) = tb.gateway_obs.service_summary(svc);
         assert_eq!((requests, errors), (10, 0));
         assert_eq!(tb.node_obs.labeling_ops(), 10);
-        // Spans pair up per trace.
-        let traces = canal_mesh::observability::assemble_traces(&tb.node_obs, &tb.gateway_obs);
+        // Spans pair up per trace and nest gateway-inside-client.
+        let traces = tb.collector.assemble_all();
         assert_eq!(traces.len(), 10);
         assert!(traces.iter().all(|t| t.spans.len() == 2));
+        assert!(traces.iter().all(|t| t.well_nested()));
+        assert!(traces
+            .iter()
+            .all(|t| t.critical_path().last().map(|s| s.site) == Some(HopSite::Gateway)));
     }
 
     #[test]

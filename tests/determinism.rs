@@ -72,8 +72,9 @@ fn run_scenario(seed: u64) -> u64 {
         tb.advance(SimDuration::from_millis(driver.int_range(1, 5)));
     }
 
-    // Fold the observability layers: access log and span timings on the
-    // gateway side, transfer accounting on the node side.
+    // Fold the observability layers: access log on the gateway side,
+    // transfer accounting on the node side, and the full canonical span
+    // content of every assembled trace (canal-telemetry).
     for entry in tb.gateway_obs.log() {
         digest.write_u64(entry.at.as_nanos());
         digest.write_u64(entry.status.0 as u64);
@@ -82,7 +83,7 @@ fn run_scenario(seed: u64) -> u64 {
     let (reqs, errs, p_err) = tb.gateway_obs.service_summary(orders);
     digest.write_u64(reqs).write_u64(errs).write_f64(p_err);
     digest.write_u64(tb.node_obs.labeling_ops());
-    digest.write_u64(tb.node_obs.spans().len() as u64);
+    tb.collector.fold_digest(&mut digest);
     digest.value()
 }
 
