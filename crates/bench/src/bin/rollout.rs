@@ -1,0 +1,56 @@
+//! CLI driver for the config-rollout blast-radius experiment.
+//!
+//! ```text
+//! rollout              # full 90 s timeline, 24-proxy fleet
+//! rollout --fast       # compressed smoke run (scripts/check.sh)
+//! rollout --seed 7     # different seed
+//! ```
+//!
+//! Exit code is non-zero unless the safe-rollout invariant holds: under
+//! canal the poisoned version is never committed anywhere (blast radius 0,
+//! availability 100% via fail-static serving), rollback is automatic and
+//! far faster than the operator-detection arms, and a valid-but-degrading
+//! change is contained to the canary wave. At full scale every report
+//! check gates too.
+
+use canal_bench::experiments::rollout::{report_for, run_rollout, RolloutParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast {
+        RolloutParams::fast()
+    } else {
+        RolloutParams::full()
+    };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let outcome = run_rollout(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+    if !outcome.rollout_ok() {
+        eprintln!("FAIL: safe-rollout invariant violated (blast radius / rollback / fail-static)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} rollout checks missed");
+        std::process::exit(1);
+    }
+}

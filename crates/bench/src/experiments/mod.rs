@@ -13,4 +13,5 @@ pub mod offload;
 pub mod overload;
 pub mod perf;
 pub mod resource;
+pub mod rollout;
 pub mod trace;

@@ -8,7 +8,7 @@
 //! aggregate.
 
 use canal_sim::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Health of a probed target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,22 +49,44 @@ struct TargetState {
     probes_sent: u64,
 }
 
+/// Default bound on the retained transition log. Long chaos runs flap
+/// targets indefinitely; without a cap the log is an unbounded-memory bug
+/// (the same failure mode `SpanRing` guards against).
+pub const DEFAULT_TRANSITION_CAP: usize = 1024;
+
 /// Tracks probe state for a set of targets keyed by `K`.
 #[derive(Debug)]
 pub struct ProbeTracker<K: Ord + Clone> {
     policy: ProbePolicy,
     targets: BTreeMap<K, TargetState>,
-    transitions: Vec<(SimTime, K, HealthState)>,
+    transition_cap: usize,
+    transitions: VecDeque<(SimTime, K, HealthState)>,
+    transitions_recorded: u64,
+    transitions_evicted: u64,
 }
 
 impl<K: Ord + Clone> ProbeTracker<K> {
-    /// New tracker with the given policy.
+    /// New tracker with the given policy and the default transition cap.
     pub fn new(policy: ProbePolicy) -> Self {
         ProbeTracker {
             policy,
             targets: BTreeMap::new(),
-            transitions: Vec::new(),
+            transition_cap: DEFAULT_TRANSITION_CAP,
+            transitions: VecDeque::new(),
+            transitions_recorded: 0,
+            transitions_evicted: 0,
         }
+    }
+
+    /// Retain at most `cap` transitions (cap 0 is clamped to 1); the oldest
+    /// entries are evicted first and counted in [`Self::transitions_evicted`].
+    pub fn with_transition_cap(mut self, cap: usize) -> Self {
+        self.transition_cap = cap.max(1);
+        while self.transitions.len() > self.transition_cap {
+            self.transitions.pop_front();
+            self.transitions_evicted += 1;
+        }
+        self
     }
 
     /// Register a target (initially healthy).
@@ -117,7 +139,12 @@ impl<K: Ord + Clone> ProbeTracker<K> {
         };
         if let Some(s) = new_state {
             t.state = s;
-            self.transitions.push((now, key.clone(), s));
+            if self.transitions.len() == self.transition_cap {
+                self.transitions.pop_front();
+                self.transitions_evicted += 1;
+            }
+            self.transitions.push_back((now, key.clone(), s));
+            self.transitions_recorded += 1;
         }
         new_state
     }
@@ -145,9 +172,20 @@ impl<K: Ord + Clone> ProbeTracker<K> {
             .count()
     }
 
-    /// Recorded state transitions `(when, target, new_state)`.
-    pub fn transitions(&self) -> &[(SimTime, K, HealthState)] {
-        &self.transitions
+    /// Retained state transitions `(when, target, new_state)`, oldest first.
+    /// Holds at most the configured cap; older entries may have been evicted.
+    pub fn transitions(&self) -> impl Iterator<Item = &(SimTime, K, HealthState)> {
+        self.transitions.iter()
+    }
+
+    /// Total transitions ever recorded, including evicted ones.
+    pub fn transitions_recorded(&self) -> u64 {
+        self.transitions_recorded
+    }
+
+    /// Transitions dropped from the retained window to honour the cap.
+    pub fn transitions_evicted(&self) -> u64 {
+        self.transitions_evicted
     }
 }
 
@@ -174,7 +212,9 @@ mod tests {
             Some(HealthState::Unhealthy)
         );
         assert_eq!(t.state(&1), Some(HealthState::Unhealthy));
-        assert_eq!(t.transitions().len(), 1);
+        assert_eq!(t.transitions().count(), 1);
+        assert_eq!(t.transitions_recorded(), 1);
+        assert_eq!(t.transitions_evicted(), 0);
     }
 
     #[test]
@@ -224,5 +264,41 @@ mod tests {
         assert_eq!(t.healthy_count(), 4);
         assert!(t.remove_target(&0));
         assert_eq!(t.target_count(), 3);
+    }
+
+    #[test]
+    fn transition_log_is_bounded() {
+        // Regression: a target flapping forever must not grow memory without
+        // bound. Drive 50 full down/up cycles with a cap of 8.
+        let mut t = ProbeTracker::new(ProbePolicy::default()).with_transition_cap(8);
+        t.add_target(1);
+        let mut at = 0u64;
+        for _ in 0..50 {
+            for _ in 0..3 {
+                t.record_probe(&1, T(at), false);
+                at += 5;
+            }
+            for _ in 0..2 {
+                t.record_probe(&1, T(at), true);
+                at += 5;
+            }
+        }
+        // 100 transitions happened (one down + one up per cycle) but only
+        // the newest 8 are retained; the rest are accounted, not leaked.
+        assert_eq!(t.transitions_recorded(), 100);
+        assert_eq!(t.transitions().count(), 8);
+        assert_eq!(t.transitions_evicted(), 92);
+        // Oldest-first, and the retained tail is the *latest* transitions.
+        let times: Vec<u64> = t.transitions().map(|(w, _, _)| w.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // Cap 0 clamps to 1 rather than panicking or dropping everything.
+        let mut one = ProbeTracker::new(ProbePolicy::default()).with_transition_cap(0);
+        one.add_target(7);
+        for i in 0..6u64 {
+            one.record_probe(&7, T(i * 5), false);
+        }
+        assert_eq!(one.transitions().count(), 1);
     }
 }

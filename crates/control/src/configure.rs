@@ -161,6 +161,35 @@ impl ConfigPlane {
         }
     }
 
+    /// One *rollout wave*: push the update to only `targets` of the
+    /// architecture's config targets (a canary slice, then exponentially
+    /// growing waves — `canal_control::rollout`). Build CPU is paid once
+    /// per wave for the wave's entries; southbound bytes and RTTs scale
+    /// with the wave size. `targets` is clamped to the architecture's
+    /// target count.
+    pub fn push_wave(&self, shape: &ClusterShape, targets: usize) -> PushReport {
+        let c = &self.costs;
+        let per_target = self.bytes_per_target(shape);
+        let wave: &[usize] = &per_target[..targets.min(per_target.len())];
+        let targets = wave.len();
+        let southbound_bytes: u64 = wave.iter().map(|&b| b as u64).sum();
+        let entries_built: u64 = wave
+            .iter()
+            .map(|&b| ((b - c.base_bytes_per_target.min(b)) / c.bytes_per_entry.max(1)) as u64)
+            .sum();
+        let build_cpu = c.build_cpu_per_entry.scale(entries_built as f64);
+        let transfer = SimDuration::from_secs_f64(southbound_bytes as f64 / c.southbound_bandwidth);
+        let rtt_waves = (targets + c.push_fanout - 1) / c.push_fanout.max(1);
+        let push_time = transfer + c.per_target_push_rtt.times(rtt_waves as u64);
+        PushReport {
+            targets,
+            southbound_bytes,
+            build_cpu,
+            push_time,
+            total_time: build_cpu + push_time,
+        }
+    }
+
     /// [`ConfigPlane::push_update`] under a fault-injected control-plane
     /// stall: a chaos plan's `config-push degrade` adds `extra` wall-clock
     /// delay to the push (controller partition, southbound congestion).
@@ -439,6 +468,24 @@ mod tests {
             plane.push_update_delayed(&s, SimDuration::ZERO).total_time,
             healthy.total_time
         );
+    }
+
+    #[test]
+    fn wave_push_costs_scale_with_wave_size() {
+        let plane = ConfigPlane::new(Architecture::Sidecar);
+        let s = shape(1000);
+        let full = plane.push_update(&s);
+        let canary = plane.push_wave(&s, 10);
+        assert_eq!(canary.targets, 10);
+        assert!(canary.southbound_bytes < full.southbound_bytes / 50);
+        assert!(canary.push_time < full.push_time);
+        // Pushing "all" as one wave costs exactly a full push.
+        let all = plane.push_wave(&s, usize::MAX);
+        assert_eq!(all.targets, full.targets);
+        assert_eq!(all.southbound_bytes, full.southbound_bytes);
+        assert_eq!(all.total_time, full.total_time);
+        // An empty wave costs nothing southbound.
+        assert_eq!(plane.push_wave(&s, 0).southbound_bytes, 0);
     }
 
     #[test]

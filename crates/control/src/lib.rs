@@ -26,6 +26,10 @@
 //!   only lands at its completion instant.
 //! * [`versioned`] — xDS-style versioned config distribution: debounced
 //!   update coalescing, per-target ack/nack tracking, fleet convergence.
+//! * [`rollout`] — safe config rollout (§2.2's outage vector, defended):
+//!   validate → canary wave → health-gated exponential promotion →
+//!   converged, with automatic rollback to last-known-good on NACK,
+//!   health regression, or ack timeout, and a per-version audit log.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +41,7 @@ pub mod monitor;
 pub mod proofing;
 pub mod rca;
 pub mod region;
+pub mod rollout;
 pub mod versioned;
 pub mod scaling;
 
@@ -46,7 +51,11 @@ pub use monitor::{
     AlertKind, Classification, MonitorDecision, OverloadAssessment, WaterLevelMonitor,
 };
 pub use proofing::{FaultVerdict, FullMeshProber, ProbeProtocol};
-pub use rca::{RootCauseAnalyzer, RcaVerdict};
+pub use rca::{candidate_causes, CandidateCause, RootCauseAnalyzer, RcaVerdict};
 pub use region::{RegionEvent, RegionReport, RegionSimulation};
+pub use rollout::{
+    HealthSample, RollbackReason, RolloutAction, RolloutConfig, RolloutController,
+    RolloutOutcome, RolloutPhase, RolloutResult,
+};
 pub use scaling::{ScalingEngine, ScalingKind, ScalingRecord};
 pub use versioned::VersionedConfigStore;

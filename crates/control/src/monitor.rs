@@ -30,6 +30,9 @@ pub enum AlertKind {
     Tenant(canal_net::TenantId),
     /// The gateway's overload pipeline reported pressure.
     Overload,
+    /// A config rollout entered flight or rolled back — any anomaly in the
+    /// same window has "config change" as a suspect dimension (§2.2).
+    ConfigRollout,
 }
 
 /// What the gateway's overload telemetry says about the pressure state.
@@ -92,6 +95,8 @@ const HISTORY: usize = 24;
 pub struct WaterLevelMonitor {
     history: BTreeMap<BackendId, BackendHistory>,
     alerts: Vec<(SimTime, AlertKind)>,
+    rollout_in_flight: bool,
+    rollbacks_seen: u64,
 }
 
 impl WaterLevelMonitor {
@@ -195,6 +200,33 @@ impl WaterLevelMonitor {
             self.alerts.push((now, AlertKind::Overload));
         }
         assessment
+    }
+
+    /// Ingest the rollout controller's state for this window
+    /// (`RolloutController::in_flight()` / `rollbacks()`). Raises a
+    /// [`AlertKind::ConfigRollout`] alert when a rollout *starts* and when
+    /// the lifetime rollback count grows, so scaling and RCA windows that
+    /// overlap a config change see it as a suspect dimension instead of
+    /// mis-attributing the anomaly to traffic.
+    pub fn ingest_rollout(&mut self, now: SimTime, in_flight: bool, rollbacks: u64) {
+        if in_flight && !self.rollout_in_flight {
+            self.alerts.push((now, AlertKind::ConfigRollout));
+        }
+        if rollbacks > self.rollbacks_seen {
+            self.alerts.push((now, AlertKind::ConfigRollout));
+            self.rollbacks_seen = rollbacks;
+        }
+        self.rollout_in_flight = in_flight;
+    }
+
+    /// Whether a config change is currently in flight (last ingested state).
+    pub fn config_change_in_flight(&self) -> bool {
+        self.rollout_in_flight
+    }
+
+    /// Lifetime rollbacks reported by the rollout controller.
+    pub fn rollbacks_seen(&self) -> u64 {
+        self.rollbacks_seen
     }
 
     /// All alerts raised so far.
@@ -364,5 +396,28 @@ mod tests {
             m.ingest_overload(T(0), &sig, SLO),
             OverloadAssessment::Shedding
         );
+    }
+
+    #[test]
+    fn rollout_state_surfaces_as_suspect_dimension() {
+        let mut m = WaterLevelMonitor::new();
+        assert!(!m.config_change_in_flight());
+        // Quiet windows: nothing.
+        m.ingest_rollout(T(0), false, 0);
+        assert!(m.alerts().is_empty());
+        // A rollout entering flight alerts once, not every window.
+        m.ingest_rollout(T(10), true, 0);
+        m.ingest_rollout(T(20), true, 0);
+        assert!(m.config_change_in_flight());
+        assert_eq!(m.alerts().len(), 1);
+        assert_eq!(m.alerts()[0].1, AlertKind::ConfigRollout);
+        // A rollback alerts again even as the rollout leaves flight.
+        m.ingest_rollout(T(30), false, 1);
+        assert!(!m.config_change_in_flight());
+        assert_eq!(m.rollbacks_seen(), 1);
+        assert_eq!(m.alerts().len(), 2);
+        // The next rollout alerts afresh.
+        m.ingest_rollout(T(40), true, 1);
+        assert_eq!(m.alerts().len(), 3);
     }
 }

@@ -276,6 +276,39 @@ impl TrendHopRca {
     }
 }
 
+/// One suspect dimension for an anomaly window: hop-level span evidence,
+/// or operational context the spans cannot see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CandidateCause {
+    /// A hop whose exclusive latency inflated (span-evidence verdict).
+    Hop {
+        /// The inflated hop.
+        hop: HopSite,
+        /// Evidence strength (inflation ratio or correlation).
+        score: f64,
+    },
+    /// A config rollout overlapped the window (§2.2: configuration is the
+    /// prior-probability outage vector — always a suspect while in flight
+    /// or freshly rolled back).
+    ConfigRollout,
+}
+
+/// Rank candidate causes for an anomaly window by combining hop-level span
+/// evidence with the monitor's rollout state
+/// (`WaterLevelMonitor::config_change_in_flight`). A config change in
+/// flight is listed *first*: when a rollout and a latency regression
+/// coincide, operators check the config before chasing the datapath.
+pub fn candidate_causes(verdict: &SpanRcaVerdict, rollout_in_flight: bool) -> Vec<CandidateCause> {
+    let mut causes = Vec::new();
+    if rollout_in_flight {
+        causes.push(CandidateCause::ConfigRollout);
+    }
+    if let SpanRcaVerdict::Localized { hop, score, .. } = *verdict {
+        causes.push(CandidateCause::Hop { hop, score });
+    }
+    causes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +508,25 @@ mod tests {
             panic!("both must localize on this data");
         };
         assert!(ws < wt, "span evidence ({ws}) must detect before trend ({wt})");
+    }
+
+    #[test]
+    fn config_rollout_is_ranked_before_hop_evidence() {
+        let (windows, _) = app_fault_windows();
+        let verdict = SpanEvidenceRca::default().detect(&baseline(), &windows);
+        // Rollout in flight: config change leads the suspect list even
+        // though a hop is localized.
+        let causes = candidate_causes(&verdict, true);
+        assert_eq!(causes.len(), 2);
+        assert_eq!(causes[0], CandidateCause::ConfigRollout);
+        assert!(matches!(causes[1], CandidateCause::Hop { hop: HopSite::App, .. }));
+        // No rollout: the hop stands alone.
+        let causes = candidate_causes(&verdict, false);
+        assert_eq!(causes.len(), 1);
+        assert!(matches!(causes[0], CandidateCause::Hop { .. }));
+        // Inconclusive spans + rollout: config is still a suspect.
+        let causes = candidate_causes(&SpanRcaVerdict::Inconclusive, true);
+        assert_eq!(causes, vec![CandidateCause::ConfigRollout]);
+        assert!(candidate_causes(&SpanRcaVerdict::Inconclusive, false).is_empty());
     }
 }

@@ -1,0 +1,647 @@
+//! Safe config rollout: canary waves, NACK-gated promotion, automatic
+//! rollback.
+//!
+//! §2.2 names configuration as the mesh's primary outage vector; nothing a
+//! health check can say after the fact un-ships a bad config that already
+//! reached the fleet. This module is the control-plane half of the defense
+//! (the data-plane half is `canal_gateway::config`'s fail-static
+//! [`ActiveConfig`](../../canal_gateway/config/struct.ActiveConfig.html)):
+//! a [`RolloutController`] drives each config version through
+//!
+//! ```text
+//! validate ──→ canary wave ──→ health-gated promotion waves ──→ converged
+//!     │             │                    │
+//!     └─(invalid)   └──(NACK / health regression / ack timeout)──→ rollback
+//!                                                          to last-known-good
+//! ```
+//!
+//! * **Validate** — a version that fails controller-side validation is
+//!   never pushed anywhere (blast radius 0).
+//! * **Canary** — the first wave reaches a deliberately small slice of the
+//!   fleet, chosen by a caller-supplied [`SimRng`] shuffle (the `fault-seed`
+//!   lint rule forbids ambient randomness in `rollout*` files).
+//! * **Promotion** — waves grow exponentially, and each wave must (a) fully
+//!   ack within `ack_timeout`, then (b) bake for `bake_time` with the
+//!   health signal (error-rate / P99 deltas vs the pre-rollout baseline)
+//!   inside bounds, before the next wave is pushed.
+//! * **Rollback** — any NACK, health regression, or ack timeout rolls every
+//!   exposed target back to the last-known-good version, automatically.
+//!
+//! The controller is payload-agnostic: it decides *who* gets *which
+//! version when*; the harness carries the actual `ConfigSpec` bytes and the
+//! gateways' `ActiveConfig` performs the semantic validation whose verdict
+//! comes back here as an ack or NACK through the owned
+//! [`VersionedConfigStore`]. Everything runs on simulated time and folds
+//! into a [`Digest`], so double runs are bit-identical.
+
+use crate::versioned::{TargetId, VersionedConfigStore};
+use canal_sim::{Digest, SimDuration, SimRng, SimTime};
+
+/// Wave sizing, bake times, and health-gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct RolloutConfig {
+    /// Targets in the canary wave (clamped to ≥ 1).
+    pub canary_size: usize,
+    /// Each promotion wave is this many times larger than the previous one.
+    pub wave_growth: usize,
+    /// How long a fully-acked wave bakes before the next wave is pushed.
+    pub bake_time: SimDuration,
+    /// A wave that has not fully acked within this window rolls back.
+    pub ack_timeout: SimDuration,
+    /// Health gate: max tolerated error-rate increase over baseline
+    /// (absolute, e.g. 0.01 = one extra point of errors).
+    pub max_error_delta: f64,
+    /// Health gate: max tolerated P99 inflation over baseline (ratio).
+    pub max_p99_inflation: f64,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            canary_size: 2,
+            wave_growth: 4,
+            bake_time: SimDuration::from_secs(30),
+            ack_timeout: SimDuration::from_secs(10),
+            max_error_delta: 0.01,
+            max_p99_inflation: 1.5,
+        }
+    }
+}
+
+/// One observation of the health signal the promotion gate consumes
+/// (sourced from `canal_telemetry` hop stats / `OverloadSignals`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSample {
+    /// Fraction of requests erroring.
+    pub error_rate: f64,
+    /// Tail latency.
+    pub p99: SimDuration,
+}
+
+impl HealthSample {
+    /// A perfectly healthy sample (no errors, zero latency) — useful as a
+    /// neutral baseline in tests.
+    pub const HEALTHY: HealthSample = HealthSample {
+        error_rate: 0.0,
+        p99: SimDuration::ZERO,
+    };
+}
+
+/// Where a rollout currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// No rollout in flight.
+    Idle,
+    /// Canary wave pushed; waiting for acks + bake.
+    Canary,
+    /// Promotion wave `wave` (1-based) pushed; waiting for acks + bake.
+    Promoting {
+        /// Which promotion wave is in flight.
+        wave: usize,
+    },
+    /// Every target acked the new version.
+    Converged,
+    /// Rolled back to last-known-good; terminal for this version.
+    RolledBack,
+}
+
+/// Why a rollout was rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackReason {
+    /// A target rejected the version (data-plane semantic validation).
+    Nack {
+        /// The rejecting target.
+        target: TargetId,
+    },
+    /// The health signal regressed past the configured gate during bake.
+    HealthRegression,
+    /// The in-flight wave did not fully ack within `ack_timeout`.
+    AckTimeout,
+}
+
+/// Terminal result of one driven version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutResult {
+    /// Every target acked the version.
+    Converged,
+    /// Controller-side validation refused the version; nothing was pushed.
+    FailedValidation,
+    /// Exposed targets were rolled back to last-known-good.
+    RolledBack(RollbackReason),
+}
+
+/// Audit-log entry for one driven version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutOutcome {
+    /// The version driven.
+    pub version: u64,
+    /// The last-known-good version a rollback would (or did) restore.
+    pub rolled_back_to: u64,
+    /// When the rollout began.
+    pub started_at: SimTime,
+    /// When it reached a terminal phase.
+    pub ended_at: SimTime,
+    /// How it ended.
+    pub result: RolloutResult,
+    /// Waves pushed before the terminal phase (canary counts as one).
+    pub waves_pushed: usize,
+    /// Targets the version was ever pushed to — the blast-radius numerator.
+    pub exposed_targets: usize,
+}
+
+/// What the caller must do to the data plane after a driving call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutAction {
+    /// Push `version` to `targets` (stage + commit on each gateway).
+    Push {
+        /// The version to push.
+        version: u64,
+        /// Receiving targets.
+        targets: Vec<TargetId>,
+    },
+    /// Roll `targets` back to version `to` (last-known-good).
+    Rollback {
+        /// The version to restore.
+        to: u64,
+        /// Every target the bad version was pushed to.
+        targets: Vec<TargetId>,
+    },
+}
+
+/// In-flight state of the version being driven.
+#[derive(Debug)]
+struct ActiveRollout {
+    version: u64,
+    last_known_good: u64,
+    started_at: SimTime,
+    baseline: HealthSample,
+    /// Shuffled push order; `pushed` is how many of these have been pushed.
+    order: Vec<TargetId>,
+    pushed: usize,
+    /// 0 = canary.
+    wave: usize,
+    wave_pushed_at: SimTime,
+    /// Set when the current wave fully acked (bake starts).
+    wave_acked_at: Option<SimTime>,
+}
+
+/// Drives config versions through validate → canary → health-gated
+/// promotion → converged, with automatic rollback. Owns the
+/// [`VersionedConfigStore`] whose ack/NACK state gates every transition.
+#[derive(Debug)]
+pub struct RolloutController {
+    cfg: RolloutConfig,
+    store: VersionedConfigStore,
+    targets: Vec<TargetId>,
+    phase: RolloutPhase,
+    active: Option<ActiveRollout>,
+    outcomes: Vec<RolloutOutcome>,
+    rollbacks: u64,
+}
+
+impl RolloutController {
+    /// Controller over an empty fleet. `debounce` configures the owned
+    /// store's update-coalescing window.
+    pub fn new(cfg: RolloutConfig, debounce: SimDuration) -> Self {
+        RolloutController {
+            cfg,
+            store: VersionedConfigStore::new(debounce),
+            targets: Vec::new(),
+            phase: RolloutPhase::Idle,
+            active: None,
+            outcomes: Vec::new(),
+            rollbacks: 0,
+        }
+    }
+
+    /// Register a data-plane target (a gateway backend / proxy).
+    pub fn add_target(&mut self, target: TargetId) {
+        if !self.targets.contains(&target) {
+            self.targets.push(target);
+            self.store.add_target(target);
+        }
+    }
+
+    /// Begin driving a new version. `valid` is the controller-side
+    /// validation verdict (an invalid version is never pushed — blast
+    /// radius 0). `baseline` anchors the health gate; `rng` shuffles the
+    /// push order so the canary slice is unbiased but reproducible.
+    /// Returns the actions to apply (the canary push, or nothing).
+    pub fn begin(
+        &mut self,
+        now: SimTime,
+        valid: bool,
+        baseline: HealthSample,
+        rng: &mut SimRng,
+    ) -> Vec<RolloutAction> {
+        debug_assert!(self.active.is_none(), "one rollout at a time");
+        let last_known_good = self.store.version();
+        let version = self.store.record_change(now);
+        self.store.flush_push(now);
+        if !valid {
+            self.phase = RolloutPhase::RolledBack;
+            self.outcomes.push(RolloutOutcome {
+                version,
+                rolled_back_to: last_known_good,
+                started_at: now,
+                ended_at: now,
+                result: RolloutResult::FailedValidation,
+                waves_pushed: 0,
+                exposed_targets: 0,
+            });
+            return Vec::new();
+        }
+        let mut order = self.targets.clone();
+        rng.shuffle(&mut order);
+        let canary = self.cfg.canary_size.max(1).min(order.len());
+        let wave_targets: Vec<TargetId> = order[..canary].to_vec();
+        self.active = Some(ActiveRollout {
+            version,
+            last_known_good,
+            started_at: now,
+            baseline,
+            order,
+            pushed: canary,
+            wave: 0,
+            wave_pushed_at: now,
+            wave_acked_at: None,
+        });
+        self.phase = RolloutPhase::Canary;
+        vec![RolloutAction::Push { version, targets: wave_targets }]
+    }
+
+    /// An exposed target acknowledged `version`.
+    pub fn ack(&mut self, target: TargetId, version: u64, now: SimTime) -> bool {
+        self.store.ack(target, version, now)
+    }
+
+    /// An exposed target rejected `version` (its `ActiveConfig` refused to
+    /// commit). The next [`Self::tick`] rolls back.
+    pub fn nack(&mut self, target: TargetId, version: u64) -> bool {
+        self.store.nack(target, version)
+    }
+
+    /// Advance the state machine at `now` with the latest health
+    /// observation (if one is available this tick). Returns the actions the
+    /// caller must apply to the data plane.
+    pub fn tick(&mut self, now: SimTime, health: Option<HealthSample>) -> Vec<RolloutAction> {
+        let Some(active) = &mut self.active else {
+            return Vec::new();
+        };
+        // 1. A NACK of the in-flight version anywhere ends the rollout
+        //    immediately. Stale NACKs from an earlier, already-rolled-back
+        //    version must not poison later rollouts.
+        let version = active.version;
+        let nacked = self.store.nacked_targets().into_iter().find(|&t| {
+            self.store
+                .ack_state(t)
+                .and_then(|s| s.nacked)
+                .is_some_and(|v| v >= version)
+        });
+        if let Some(target) = nacked {
+            return self.roll_back(now, RollbackReason::Nack { target });
+        }
+        // 2. Wave ack progress.
+        if active.wave_acked_at.is_none() {
+            let wave_acked = active.order[..active.pushed].iter().all(|&t| {
+                self.store
+                    .ack_state(t)
+                    .is_some_and(|s| s.acked >= active.version)
+            });
+            if wave_acked {
+                active.wave_acked_at = Some(now);
+            } else if now.since(active.wave_pushed_at) >= self.cfg.ack_timeout {
+                return self.roll_back(now, RollbackReason::AckTimeout);
+            }
+        }
+        // 3. Health gate: any regression past the thresholds while exposed.
+        if let Some(h) = health {
+            let err_breach = h.error_rate > active.baseline.error_rate + self.cfg.max_error_delta;
+            let p99_floor = SimDuration::from_micros(1);
+            let base_p99 = active.baseline.p99.max(p99_floor);
+            let p99_breach = h.p99.as_nanos() as f64
+                > base_p99.as_nanos() as f64 * self.cfg.max_p99_inflation;
+            if err_breach || p99_breach {
+                return self.roll_back(now, RollbackReason::HealthRegression);
+            }
+        }
+        // 4. Fully-acked wave that finished baking promotes the next wave.
+        if let Some(acked_at) = active.wave_acked_at {
+            if now.since(acked_at) >= self.cfg.bake_time {
+                if active.pushed == active.order.len() {
+                    // Nothing left to push: converged.
+                    let outcome = RolloutOutcome {
+                        version: active.version,
+                        rolled_back_to: active.last_known_good,
+                        started_at: active.started_at,
+                        ended_at: now,
+                        result: RolloutResult::Converged,
+                        waves_pushed: active.wave + 1,
+                        exposed_targets: active.pushed,
+                    };
+                    self.outcomes.push(outcome);
+                    self.active = None;
+                    self.phase = RolloutPhase::Converged;
+                    return Vec::new();
+                }
+                let prev = active.pushed;
+                let next_size = (prev * self.cfg.wave_growth.max(2))
+                    .min(active.order.len())
+                    - prev;
+                let next_size = next_size.max(1);
+                let end = (prev + next_size).min(active.order.len());
+                let targets: Vec<TargetId> = active.order[prev..end].to_vec();
+                active.pushed = end;
+                active.wave += 1;
+                active.wave_pushed_at = now;
+                active.wave_acked_at = None;
+                let version = active.version;
+                self.phase = RolloutPhase::Promoting { wave: active.wave };
+                return vec![RolloutAction::Push { version, targets }];
+            }
+        }
+        Vec::new()
+    }
+
+    fn roll_back(&mut self, now: SimTime, reason: RollbackReason) -> Vec<RolloutAction> {
+        let Some(active) = self.active.take() else {
+            return Vec::new();
+        };
+        self.rollbacks += 1;
+        self.phase = RolloutPhase::RolledBack;
+        self.outcomes.push(RolloutOutcome {
+            version: active.version,
+            rolled_back_to: active.last_known_good,
+            started_at: active.started_at,
+            ended_at: now,
+            result: RolloutResult::RolledBack(reason),
+            waves_pushed: active.wave + 1,
+            exposed_targets: active.pushed,
+        });
+        vec![RolloutAction::Rollback {
+            to: active.last_known_good,
+            targets: active.order[..active.pushed].to_vec(),
+        }]
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RolloutPhase {
+        self.phase
+    }
+
+    /// Whether a config change is in flight (pushed somewhere, not yet
+    /// terminal) — the "suspect dimension" the monitor/RCA consume.
+    pub fn in_flight(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Targets the current version has been pushed to so far.
+    pub fn exposed_count(&self) -> usize {
+        self.active.as_ref().map_or(0, |a| a.pushed)
+    }
+
+    /// Lifetime automatic rollbacks.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// The per-version audit log, oldest first.
+    pub fn outcomes(&self) -> &[RolloutOutcome] {
+        &self.outcomes
+    }
+
+    /// The owned ack/NACK store (read-only).
+    pub fn store(&self) -> &VersionedConfigStore {
+        &self.store
+    }
+
+    /// Fold phase, counters, and the audit log into `d` — the experiment's
+    /// double-run bit-identity covers the whole state machine.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        let phase_tag = match self.phase {
+            RolloutPhase::Idle => 0,
+            RolloutPhase::Canary => 1,
+            RolloutPhase::Promoting { wave } => 100 + wave as u64,
+            RolloutPhase::Converged => 2,
+            RolloutPhase::RolledBack => 3,
+        };
+        d.write_u64(phase_tag);
+        d.write_u64(self.store.version());
+        d.write_u64(self.rollbacks);
+        d.write_u64(self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            d.write_u64(o.version);
+            d.write_u64(o.rolled_back_to);
+            d.write_u64(o.started_at.as_nanos());
+            d.write_u64(o.ended_at.as_nanos());
+            d.write_u64(match o.result {
+                RolloutResult::Converged => 1,
+                RolloutResult::FailedValidation => 2,
+                RolloutResult::RolledBack(RollbackReason::Nack { target }) => {
+                    1000 + target as u64
+                }
+                RolloutResult::RolledBack(RollbackReason::HealthRegression) => 3,
+                RolloutResult::RolledBack(RollbackReason::AckTimeout) => 4,
+            });
+            d.write_u64(o.waves_pushed as u64);
+            d.write_u64(o.exposed_targets as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: fn(u64) -> SimTime = SimTime::from_secs;
+
+    fn controller(n: u32) -> RolloutController {
+        let mut c = RolloutController::new(RolloutConfig::default(), SimDuration::ZERO);
+        for t in 0..n {
+            c.add_target(t);
+        }
+        c
+    }
+
+    /// Apply Push actions as instant acks (a healthy fleet).
+    fn ack_all(c: &mut RolloutController, actions: &[RolloutAction], now: SimTime) {
+        for a in actions {
+            if let RolloutAction::Push { version, targets } = a {
+                for &t in targets {
+                    assert!(c.ack(t, *version, now));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_rollout_converges_in_exponential_waves() {
+        let mut c = controller(16);
+        let mut rng = SimRng::seed(7);
+        let mut now = T(0);
+        let mut actions = c.begin(now, true, HealthSample::HEALTHY, &mut rng);
+        assert_eq!(c.phase(), RolloutPhase::Canary);
+        let mut wave_sizes = Vec::new();
+        let mut guard = 0;
+        while c.phase() != RolloutPhase::Converged {
+            for a in &actions {
+                if let RolloutAction::Push { targets, .. } = a {
+                    wave_sizes.push(targets.len());
+                }
+            }
+            ack_all(&mut c, &actions, now);
+            now += SimDuration::from_secs(1);
+            // One tick to latch acks, then jump past the bake window.
+            actions = c.tick(now, Some(HealthSample::HEALTHY));
+            if actions.is_empty() && c.phase() != RolloutPhase::Converged {
+                now += RolloutConfig::default().bake_time;
+                actions = c.tick(now, Some(HealthSample::HEALTHY));
+            }
+            guard += 1;
+            assert!(guard < 50, "rollout did not converge");
+        }
+        // canary 2, then 6 (to reach 8 = 2*4), then 8 (to reach 16... capped)
+        assert_eq!(wave_sizes.iter().sum::<usize>(), 16);
+        assert_eq!(wave_sizes[0], 2, "canary wave is small");
+        assert!(wave_sizes.windows(2).all(|w| w[1] >= w[0]), "waves grow");
+        assert!(c.store().converged());
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.result, RolloutResult::Converged);
+        assert_eq!(o.exposed_targets, 16);
+    }
+
+    #[test]
+    fn nack_rolls_back_and_poison_never_reaches_second_wave() {
+        let mut c = controller(12);
+        let mut rng = SimRng::seed(42);
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let RolloutAction::Push { version, targets } = &actions[0] else {
+            panic!("expected canary push");
+        };
+        assert_eq!(targets.len(), 2);
+        // The first canary target's ActiveConfig rejects the config.
+        c.nack(targets[0], *version);
+        c.ack(targets[1], *version, T(1));
+        let out = c.tick(T(1), None);
+        // Rollback covers exactly the exposed canary targets.
+        assert_eq!(out.len(), 1);
+        let RolloutAction::Rollback { to, targets: rb } = &out[0] else {
+            panic!("expected rollback");
+        };
+        assert_eq!(*to, 0, "back to last-known-good");
+        assert_eq!(rb.len(), 2, "blast radius capped at the canary wave");
+        assert_eq!(c.phase(), RolloutPhase::RolledBack);
+        // No second wave is ever pushed for this version.
+        for later in 1..20u64 {
+            assert!(c.tick(T(1 + later), None).is_empty());
+        }
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.waves_pushed, 1);
+        assert_eq!(o.exposed_targets, 2);
+        assert!(matches!(o.result, RolloutResult::RolledBack(RollbackReason::Nack { .. })));
+        assert_eq!(c.rollbacks(), 1);
+    }
+
+    #[test]
+    fn stale_nack_does_not_poison_the_next_rollout() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(11);
+        // First rollout dies to a canary NACK.
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { version, targets }) = actions.first() else {
+            panic!("expected canary push");
+        };
+        c.nack(targets[0], *version);
+        assert!(matches!(
+            c.tick(T(1), None).first(),
+            Some(RolloutAction::Rollback { .. })
+        ));
+        // The rejecting target never acks anything newer, so its NACK is
+        // still recorded in the store — but it is for the dead version and
+        // must not shoot down the next, healthy rollout.
+        let actions = c.begin(T(10), true, HealthSample::HEALTHY, &mut rng);
+        assert_eq!(c.phase(), RolloutPhase::Canary);
+        ack_all(&mut c, &actions, T(11));
+        let out = c.tick(T(11), Some(HealthSample::HEALTHY));
+        assert!(
+            !matches!(out.first(), Some(RolloutAction::Rollback { .. })),
+            "a stale NACK from the rolled-back version must be ignored"
+        );
+        assert_ne!(c.phase(), RolloutPhase::RolledBack);
+    }
+
+    #[test]
+    fn health_regression_during_bake_rolls_back() {
+        let mut c = controller(12);
+        let mut rng = SimRng::seed(3);
+        let baseline = HealthSample {
+            error_rate: 0.001,
+            p99: SimDuration::from_millis(10),
+        };
+        let actions = c.begin(T(0), true, baseline, &mut rng);
+        ack_all(&mut c, &actions, T(1));
+        assert!(c.tick(T(1), Some(baseline)).is_empty(), "baking");
+        // Mid-bake the canary's error rate spikes past the gate.
+        let sick = HealthSample {
+            error_rate: 0.05,
+            p99: SimDuration::from_millis(10),
+        };
+        let out = c.tick(T(5), Some(sick));
+        assert!(matches!(out.first(), Some(RolloutAction::Rollback { .. })));
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.result, RolloutResult::RolledBack(RollbackReason::HealthRegression));
+        assert_eq!(o.exposed_targets, 2, "only the canary ever saw it");
+        // P99 inflation alone also trips the gate.
+        let mut c2 = controller(12);
+        let a2 = c2.begin(T(0), true, baseline, &mut rng);
+        ack_all(&mut c2, &a2, T(1));
+        let slow = HealthSample {
+            error_rate: 0.001,
+            p99: SimDuration::from_millis(30),
+        };
+        let out2 = c2.tick(T(2), Some(slow));
+        assert!(matches!(out2.first(), Some(RolloutAction::Rollback { .. })));
+    }
+
+    #[test]
+    fn ack_timeout_rolls_back() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(9);
+        let _ = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        // Nobody acks (pushes blocked): past ack_timeout the wave aborts.
+        assert!(c.tick(T(5), None).is_empty(), "still inside the window");
+        let out = c.tick(T(11), None);
+        assert!(matches!(out.first(), Some(RolloutAction::Rollback { .. })));
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.result, RolloutResult::RolledBack(RollbackReason::AckTimeout));
+    }
+
+    #[test]
+    fn invalid_version_is_never_pushed() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(1);
+        let actions = c.begin(T(0), false, HealthSample::HEALTHY, &mut rng);
+        assert!(actions.is_empty());
+        assert_eq!(c.phase(), RolloutPhase::RolledBack);
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.result, RolloutResult::FailedValidation);
+        assert_eq!(o.exposed_targets, 0, "blast radius zero");
+    }
+
+    #[test]
+    fn digest_is_reproducible() {
+        let run = || {
+            let mut c = controller(12);
+            let mut rng = SimRng::seed(5);
+            let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+            if let Some(RolloutAction::Push { version, targets }) = actions.first() {
+                c.nack(targets[0], *version);
+            }
+            c.tick(T(1), None);
+            let mut d = Digest::new();
+            c.fold_digest(&mut d);
+            d.value()
+        };
+        assert_eq!(run(), run());
+    }
+}

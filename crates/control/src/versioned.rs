@@ -138,6 +138,16 @@ impl VersionedConfigStore {
         self.version
     }
 
+    /// A target's acknowledgement state, if registered.
+    pub fn ack_state(&self, target: TargetId) -> Option<AckState> {
+        self.targets.get(&target).copied()
+    }
+
+    /// All registered targets, ascending.
+    pub fn target_ids(&self) -> Vec<TargetId> {
+        self.targets.keys().copied().collect()
+    }
+
     /// Targets behind the latest version.
     pub fn stale_targets(&self) -> Vec<TargetId> {
         self.targets

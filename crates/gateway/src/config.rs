@@ -1,0 +1,348 @@
+//! Version-skew-safe gateway configuration: the fail-static contract.
+//!
+//! §2.2 names configuration as the mesh's primary outage vector: a proxy
+//! that *applies* a bad config is an instant fleet-wide incident. This
+//! module gives every gateway an [`ActiveConfig`] — a `{running, staged}`
+//! pair with atomic commit-or-reject semantics:
+//!
+//! * A pushed [`ConfigSpec`] is first **staged**; serving always continues
+//!   from the last committed `running` config.
+//! * `commit_staged` runs semantic validation (a route referencing an
+//!   unknown service, an empty backend set, a duplicate route, a stale
+//!   version) and either swaps the staged config in atomically or rejects
+//!   it with a [`ConfigRejection`] — which the data plane reports upstream
+//!   as a NACK (`canal_control::VersionedConfigStore::nack`).
+//! * On rejection the staged config is *discarded* and the gateway keeps
+//!   serving `running` unchanged — **fail-static**: blocked or poisoned
+//!   pushes never degrade the data plane below its last good state.
+//!
+//! The rollout controller (`canal_control::rollout`) drives waves of these
+//! commits and rolls the fleet back to last-known-good when any gateway
+//! NACKs or the canary's health regresses.
+
+use crate::gateway::BackendId;
+use canal_net::GlobalServiceId;
+use canal_sim::{Digest, SimTime};
+use std::collections::BTreeSet;
+
+/// One route entry in a pushed config: a service and the backend set its
+/// traffic may use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSpec {
+    /// The routed service.
+    pub service: GlobalServiceId,
+    /// Backends the route may send to. Empty is semantically invalid.
+    pub backends: Vec<BackendId>,
+}
+
+/// A versioned config push: the unit the control plane distributes and the
+/// rollout controller canaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// Monotone version from `VersionedConfigStore`.
+    pub version: u64,
+    /// Route table content.
+    pub routes: Vec<RouteSpec>,
+}
+
+impl ConfigSpec {
+    /// Fold the spec into a digest (content-sensitive, order-sensitive).
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.version);
+        d.write_u64(self.routes.len() as u64);
+        for r in &self.routes {
+            d.write_u64(r.service.0);
+            d.write_u64(r.backends.len() as u64);
+            for &b in &r.backends {
+                d.write_u64(b as u64);
+            }
+        }
+    }
+}
+
+/// Why a staged config was rejected instead of committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigRejection {
+    /// A route references a service this gateway has never had placed.
+    UnknownService(GlobalServiceId),
+    /// A route carries an empty backend set — committing it would blackhole
+    /// the service.
+    EmptyBackendSet(GlobalServiceId),
+    /// Two routes name the same service; which one wins would be ambiguous.
+    DuplicateRoute(GlobalServiceId),
+    /// The staged version is not newer than the running one. Re-pushes of
+    /// the current version are idempotent no-ops upstream; anything older
+    /// is a replay and must not regress the data plane.
+    StaleVersion {
+        /// Version of the staged config.
+        staged: u64,
+        /// Version currently running.
+        running: u64,
+    },
+    /// Nothing is staged.
+    NothingStaged,
+}
+
+impl std::fmt::Display for ConfigRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigRejection::UnknownService(s) => write!(f, "route to unknown service {s}"),
+            ConfigRejection::EmptyBackendSet(s) => write!(f, "empty backend set for {s}"),
+            ConfigRejection::DuplicateRoute(s) => write!(f, "duplicate route for {s}"),
+            ConfigRejection::StaleVersion { staged, running } => {
+                write!(f, "stale version {staged} (running {running})")
+            }
+            ConfigRejection::NothingStaged => write!(f, "nothing staged"),
+        }
+    }
+}
+
+/// The `{running, staged}` config pair a gateway serves from.
+///
+/// Invariants (see DESIGN.md §11):
+/// * `running` only ever advances to a *validated* staged config, atomically.
+/// * Rejection leaves `running` untouched and clears `staged` (fail-static).
+/// * `running.version` is strictly monotone across commits.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveConfig {
+    running: Option<ConfigSpec>,
+    staged: Option<ConfigSpec>,
+    committed_at: Option<SimTime>,
+    commits: u64,
+    rejections: u64,
+}
+
+impl ActiveConfig {
+    /// Empty pair: nothing running, nothing staged.
+    pub fn new() -> Self {
+        ActiveConfig::default()
+    }
+
+    /// Stage a pushed config without applying it. Serving is unaffected
+    /// until [`Self::commit_staged`] validates and swaps it in. Staging
+    /// twice replaces the previous staged config (last push wins).
+    pub fn stage(&mut self, spec: ConfigSpec) {
+        self.staged = Some(spec);
+    }
+
+    /// Validate a spec against the set of services this gateway knows.
+    /// Pure: used by `commit_staged` and directly by controllers that want
+    /// to pre-validate before pushing.
+    pub fn validate(
+        spec: &ConfigSpec,
+        known_services: &BTreeSet<GlobalServiceId>,
+    ) -> Result<(), ConfigRejection> {
+        let mut seen = BTreeSet::new();
+        for r in &spec.routes {
+            if !seen.insert(r.service) {
+                return Err(ConfigRejection::DuplicateRoute(r.service));
+            }
+            if !known_services.contains(&r.service) {
+                return Err(ConfigRejection::UnknownService(r.service));
+            }
+            if r.backends.is_empty() {
+                return Err(ConfigRejection::EmptyBackendSet(r.service));
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically commit the staged config if it validates, else reject it
+    /// and keep serving the running one. Either way `staged` is cleared.
+    /// Returns the committed version, or the rejection the data plane
+    /// should NACK with.
+    pub fn commit_staged(
+        &mut self,
+        now: SimTime,
+        known_services: &BTreeSet<GlobalServiceId>,
+    ) -> Result<u64, ConfigRejection> {
+        let Some(spec) = self.staged.take() else {
+            return Err(ConfigRejection::NothingStaged);
+        };
+        if let Some(run) = &self.running {
+            if spec.version <= run.version {
+                self.rejections += 1;
+                return Err(ConfigRejection::StaleVersion {
+                    staged: spec.version,
+                    running: run.version,
+                });
+            }
+        }
+        match Self::validate(&spec, known_services) {
+            Ok(()) => {
+                let v = spec.version;
+                self.running = Some(spec);
+                self.committed_at = Some(now);
+                self.commits += 1;
+                Ok(v)
+            }
+            Err(rej) => {
+                self.rejections += 1;
+                Err(rej)
+            }
+        }
+    }
+
+    /// Roll back to an explicit last-known-good config, bypassing the
+    /// version-monotonicity check (a rollback deliberately re-runs an older
+    /// version). Content validation still applies: a rollback target that
+    /// no longer validates is refused, keeping fail-static intact.
+    pub fn roll_back_to(
+        &mut self,
+        now: SimTime,
+        spec: ConfigSpec,
+        known_services: &BTreeSet<GlobalServiceId>,
+    ) -> Result<u64, ConfigRejection> {
+        Self::validate(&spec, known_services)?;
+        let v = spec.version;
+        self.staged = None;
+        self.running = Some(spec);
+        self.committed_at = Some(now);
+        self.commits += 1;
+        Ok(v)
+    }
+
+    /// The config currently being served (last committed), if any.
+    pub fn running(&self) -> Option<&ConfigSpec> {
+        self.running.as_ref()
+    }
+
+    /// The staged-but-uncommitted config, if any.
+    pub fn staged(&self) -> Option<&ConfigSpec> {
+        self.staged.as_ref()
+    }
+
+    /// Version being served, if any config has ever committed.
+    pub fn running_version(&self) -> Option<u64> {
+        self.running.as_ref().map(|c| c.version)
+    }
+
+    /// When the running config committed.
+    pub fn committed_at(&self) -> Option<SimTime> {
+        self.committed_at
+    }
+
+    /// Successful commits (including rollbacks).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Rejected staged configs — each one corresponds to a NACK upstream.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Fold running-state into a digest: version, commit/rejection counts.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.running_version().unwrap_or(0));
+        d.write_u64(self.commits);
+        d.write_u64(self.rejections);
+        if let Some(c) = &self.running {
+            c.fold_digest(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn known(ids: &[u64]) -> BTreeSet<GlobalServiceId> {
+        ids.iter().map(|&i| GlobalServiceId(i)).collect()
+    }
+
+    fn spec(version: u64, routes: &[(u64, &[BackendId])]) -> ConfigSpec {
+        ConfigSpec {
+            version,
+            routes: routes
+                .iter()
+                .map(|&(s, b)| RouteSpec {
+                    service: GlobalServiceId(s),
+                    backends: b.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn commit_swaps_atomically() {
+        let mut ac = ActiveConfig::new();
+        assert!(ac.running().is_none());
+        ac.stage(spec(1, &[(7, &[0, 1])]));
+        assert!(ac.running().is_none(), "staging does not serve");
+        let v = ac.commit_staged(SimTime::from_secs(1), &known(&[7]));
+        assert_eq!(v, Ok(1));
+        assert_eq!(ac.running_version(), Some(1));
+        assert!(ac.staged().is_none());
+    }
+
+    #[test]
+    fn poisoned_config_rejected_fail_static() {
+        let mut ac = ActiveConfig::new();
+        ac.stage(spec(1, &[(7, &[0])]));
+        ac.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        // Route to unknown service 9: NACK, keep serving v1.
+        ac.stage(spec(2, &[(9, &[0])]));
+        let r = ac.commit_staged(SimTime::from_secs(5), &known(&[7]));
+        assert_eq!(r, Err(ConfigRejection::UnknownService(GlobalServiceId(9))));
+        assert_eq!(ac.running_version(), Some(1), "fail-static: v1 still serving");
+        assert!(ac.staged().is_none(), "poisoned staged config discarded");
+        // Empty backend set likewise.
+        ac.stage(spec(3, &[(7, &[])]));
+        let r = ac.commit_staged(SimTime::from_secs(6), &known(&[7]));
+        assert_eq!(r, Err(ConfigRejection::EmptyBackendSet(GlobalServiceId(7))));
+        assert_eq!(ac.running_version(), Some(1));
+        assert_eq!(ac.rejections(), 2);
+        assert_eq!(ac.commits(), 1);
+    }
+
+    #[test]
+    fn stale_and_duplicate_rejected() {
+        let mut ac = ActiveConfig::new();
+        ac.stage(spec(5, &[(7, &[0])]));
+        ac.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        ac.stage(spec(5, &[(7, &[1])]));
+        assert_eq!(
+            ac.commit_staged(SimTime::from_secs(1), &known(&[7])),
+            Err(ConfigRejection::StaleVersion { staged: 5, running: 5 })
+        );
+        ac.stage(spec(6, &[(7, &[0]), (7, &[1])]));
+        assert_eq!(
+            ac.commit_staged(SimTime::from_secs(2), &known(&[7])),
+            Err(ConfigRejection::DuplicateRoute(GlobalServiceId(7)))
+        );
+        assert_eq!(ac.commit_staged(SimTime::from_secs(3), &known(&[7])), Err(ConfigRejection::NothingStaged));
+    }
+
+    #[test]
+    fn rollback_reinstates_older_version() {
+        let mut ac = ActiveConfig::new();
+        ac.stage(spec(1, &[(7, &[0])]));
+        ac.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        ac.stage(spec(2, &[(7, &[0, 1])]));
+        ac.commit_staged(SimTime::from_secs(1), &known(&[7])).ok();
+        // v2 turns out bad at canary bake: roll back to v1.
+        let v = ac.roll_back_to(SimTime::from_secs(2), spec(1, &[(7, &[0])]), &known(&[7]));
+        assert_eq!(v, Ok(1));
+        assert_eq!(ac.running_version(), Some(1));
+        // But a rollback target that no longer validates is refused.
+        let bad = ac.roll_back_to(SimTime::from_secs(3), spec(0, &[(9, &[0])]), &known(&[7]));
+        assert!(bad.is_err());
+        assert_eq!(ac.running_version(), Some(1));
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut ac = ActiveConfig::new();
+        ac.stage(spec(1, &[(7, &[0, 1])]));
+        ac.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        let mut a = Digest::new();
+        ac.fold_digest(&mut a);
+        let mut ac2 = ActiveConfig::new();
+        ac2.stage(spec(1, &[(7, &[0, 1])]));
+        ac2.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        let mut b = Digest::new();
+        ac2.fold_digest(&mut b);
+        assert_eq!(a.value(), b.value());
+    }
+}

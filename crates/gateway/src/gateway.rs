@@ -7,6 +7,7 @@
 //! levels and top-service RPS feed the control plane (root-cause analysis,
 //! precise scaling — `canal-control`).
 
+use crate::config::{ActiveConfig, ConfigRejection, ConfigSpec};
 use crate::failure::{BackendKey, FailureDomain, PlacementView};
 use crate::overload::{
     AttemptKind, ClientId, OverloadConfig, OverloadControl, OverloadSignals,
@@ -134,6 +135,11 @@ pub struct Gateway {
     window_start: SimTime,
     errors: u64,
     served: u64,
+    /// Known services (everything ever registered/extended here), the
+    /// ground truth `ActiveConfig` validation checks routes against.
+    known_services: std::collections::BTreeSet<GlobalServiceId>,
+    /// The version-skew-safe `{running, staged}` config pair.
+    active_config: ActiveConfig,
 }
 
 /// One backend's water-level report for the control plane.
@@ -169,6 +175,8 @@ impl Gateway {
             window_start: SimTime::ZERO,
             errors: 0,
             served: 0,
+            known_services: std::collections::BTreeSet::new(),
+            active_config: ActiveConfig::new(),
         };
         for az in 0..cfg.azs {
             for _ in 0..cfg.backends_per_az {
@@ -197,6 +205,33 @@ impl Gateway {
     /// Recovery. Errors if the domain is outside the registered topology.
     pub fn recover(&mut self, domain: FailureDomain) -> Result<(), crate::failure::UnknownDomain> {
         self.placement.recover(domain)
+    }
+
+    /// Stage a pushed config without applying it (serving continues from
+    /// the last committed config until [`Self::commit_staged_config`]).
+    pub fn stage_config(&mut self, spec: ConfigSpec) {
+        self.active_config.stage(spec);
+    }
+
+    /// Validate and atomically commit the staged config against this
+    /// gateway's known services. A rejection is the NACK the control plane
+    /// records; the gateway keeps serving its last committed config.
+    pub fn commit_staged_config(&mut self, now: SimTime) -> Result<u64, ConfigRejection> {
+        self.active_config.commit_staged(now, &self.known_services)
+    }
+
+    /// Roll back to an explicit last-known-good config (re-validated).
+    pub fn roll_back_config(
+        &mut self,
+        now: SimTime,
+        spec: ConfigSpec,
+    ) -> Result<u64, ConfigRejection> {
+        self.active_config.roll_back_to(now, spec, &self.known_services)
+    }
+
+    /// The `{running, staged}` config pair.
+    pub fn active_config(&self) -> &ActiveConfig {
+        &self.active_config
     }
 
     fn create_backend(&mut self, az: canal_net::AzId) -> BackendId {
@@ -232,6 +267,7 @@ impl Gateway {
     /// Register a tenant service: shuffle-shard it onto backends in each AZ
     /// and install its bucket tables.
     pub fn register_service(&mut self, service: GlobalServiceId, rng: &mut SimRng) -> Vec<BackendId> {
+        self.known_services.insert(service);
         let combo = self.planner.assign(service, rng);
         let backends: Vec<BackendId> = combo.iter().map(|&b| b as BackendId).collect();
         for &b in &backends {
@@ -250,6 +286,7 @@ impl Gateway {
     /// The `Reuse` scaling operation: extend a service onto an existing
     /// low-water backend. Returns false if already placed there.
     pub fn extend_service(&mut self, service: GlobalServiceId, backend: BackendId) -> bool {
+        self.known_services.insert(service);
         if self.placement.backends_of(service).contains(&backend) {
             return false;
         }

@@ -26,6 +26,11 @@
 //!   (reactive, post-detection) composes with.
 //! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
 //!   redirector-level throttling (§6.2).
+//! * [`config`] — version-skew-safe configuration: every gateway holds an
+//!   `ActiveConfig { running, staged }` pair, atomically commits or rejects
+//!   a staged version (semantic validation → NACK), and keeps serving the
+//!   last committed config when pushes are blocked or poisoned
+//!   (fail-static, §2.2's bad-config outage vector).
 //! * [`gateway`] — the assembled gateway: service placement, per-backend
 //!   CPU/session accounting, request dispatch, and the water-level signals
 //!   the control plane consumes.
@@ -34,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod failure;
 pub mod gateway;
 pub mod health;
@@ -44,6 +50,7 @@ pub mod sandbox;
 pub mod sharding;
 pub mod tunnel;
 
+pub use config::{ActiveConfig, ConfigRejection, ConfigSpec, RouteSpec};
 pub use failure::{FailureDomain, PlacementView, UnknownDomain};
 pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
 pub use health::HealthCheckPlan;

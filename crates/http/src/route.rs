@@ -209,6 +209,12 @@ impl RouteTable {
         self.rules.len()
     }
 
+    /// The rules, in evaluation order (for semantic validation before a
+    /// table is installed — see `canal_mesh::l7::try_install_routes`).
+    pub fn rules(&self) -> &[RouteRule] {
+        &self.rules
+    }
+
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()

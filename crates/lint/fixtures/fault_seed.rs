@@ -1,7 +1,7 @@
-// Fixture: faults-facing library code (file name starts with `fault` or
-// `resilience`) seeding its own SimRng must trip the `fault-seed` rule —
-// fault plans take their randomness from the caller so one experiment
-// seed steers the whole run.
+// Fixture: faults-facing library code (file name starts with `fault`,
+// `resilience`, `sampler`, or `rollout`) seeding its own SimRng must trip
+// the `fault-seed` rule — fault plans take their randomness from the
+// caller so one experiment seed steers the whole run.
 pub fn make_plan() -> u64 {
     let mut rng = SimRng::seed(0xBAD_5EED);
     rng.u64()

@@ -8,9 +8,9 @@
 //!   (`Instant::now`, `SystemTime::now`), draw ambient randomness
 //!   (`thread_rng`, `rand::random`, `OsRng`, ...) or use hash-ordered
 //!   collections (`HashMap`/`HashSet`) outside tests; faults-facing
-//!   modules (`fault*`/`resilience*`/`sampler*`) additionally may not seed a
-//!   private `SimRng` — fault injection and trace sampling take their
-//!   randomness from the caller.
+//!   modules (`fault*`/`resilience*`/`sampler*`/`rollout*`) additionally
+//!   may not seed a private `SimRng` — fault injection, trace sampling,
+//!   and rollout wave selection take their randomness from the caller.
 //! * **layering** — crate references (`use canal_*`, `bytes::`) and manifest
 //!   dependencies must follow the DAG declared in [`rules::LAYERING_DAG`];
 //!   only `canal-bench` library code may write to stdout.
@@ -218,14 +218,18 @@ fn crate_refs(line: &str) -> Vec<String> {
 }
 
 /// Whether a workspace-relative path names a faults-facing module — one
-/// whose file name starts with `fault`/`resilience`/`sampler` (e.g.
-/// `faults.rs`, `resilience.rs`, `sampler.rs`). Those are held to the
-/// stricter `fault-seed` rule: they must take a caller-supplied `SimRng`
-/// (or a salt drawn from one) instead of seeding their own stream, so one
-/// experiment seed steers fault injection, jitter, and trace sampling alike.
+/// whose file name starts with `fault`/`resilience`/`sampler`/`rollout`
+/// (e.g. `faults.rs`, `resilience.rs`, `sampler.rs`, `rollout.rs`). Those
+/// are held to the stricter `fault-seed` rule: they must take a
+/// caller-supplied `SimRng` (or a salt drawn from one) instead of seeding
+/// their own stream, so one experiment seed steers fault injection, jitter,
+/// trace sampling, and rollout wave selection alike.
 fn is_faults_facing(file: &str) -> bool {
     let base = file.rsplit(['/', '\\']).next().unwrap_or(file);
-    base.starts_with("fault") || base.starts_with("resilience") || base.starts_with("sampler")
+    base.starts_with("fault")
+        || base.starts_with("resilience")
+        || base.starts_with("sampler")
+        || base.starts_with("rollout")
 }
 
 /// Run every applicable rule over one lexed source file.
@@ -785,6 +789,13 @@ mod tests {
         let r = fire(
             "crates/telemetry/src/sampler.rs",
             "canal_telemetry",
+            TargetKind::Lib,
+        );
+        assert_eq!(r.rules_fired(), vec!["fault-seed"]);
+        // Rollout wave selection must also stay steered by the caller's seed.
+        let r = fire(
+            "crates/control/src/rollout.rs",
+            "canal_control",
             TargetKind::Lib,
         );
         assert_eq!(r.rules_fired(), vec!["fault-seed"]);

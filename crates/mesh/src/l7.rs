@@ -43,6 +43,40 @@ impl L7Outcome {
     }
 }
 
+/// Why a pushed route table was refused by [`L7Engine::try_install_routes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteInstallError {
+    /// A rule references a target outside the hop's reachable set.
+    UnknownTarget {
+        /// Offending rule name.
+        rule: String,
+        /// The unreachable target.
+        target: String,
+    },
+    /// A rule carries no targets at all.
+    NoTargets {
+        /// Offending rule name.
+        rule: String,
+    },
+    /// Every target in a rule has weight zero — no draw can select one.
+    ZeroWeight {
+        /// Offending rule name.
+        rule: String,
+    },
+}
+
+impl std::fmt::Display for RouteInstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteInstallError::UnknownTarget { rule, target } => {
+                write!(f, "rule {rule}: unknown target {target}")
+            }
+            RouteInstallError::NoTargets { rule } => write!(f, "rule {rule}: no targets"),
+            RouteInstallError::ZeroWeight { rule } => write!(f, "rule {rule}: all weights zero"),
+        }
+    }
+}
+
 /// One service's L7 configuration and runtime state.
 pub struct L7Engine {
     routes: canal_http::RouteTable,
@@ -80,6 +114,36 @@ impl L7Engine {
     /// Replace the route table (a config push).
     pub fn install_routes(&mut self, routes: canal_http::RouteTable) {
         self.routes = routes;
+    }
+
+    /// Fail-static config push: validate `routes` against the set of
+    /// targets this hop can actually reach, and install only if every rule
+    /// is serviceable. On rejection the *old* table keeps serving — a
+    /// poisoned push must never degrade a hop below its last good config
+    /// (§2.2's bad-config outage vector; see DESIGN.md §11).
+    pub fn try_install_routes(
+        &mut self,
+        routes: canal_http::RouteTable,
+        known_targets: &std::collections::BTreeSet<String>,
+    ) -> Result<(), RouteInstallError> {
+        for rule in routes.rules() {
+            if rule.targets.is_empty() {
+                return Err(RouteInstallError::NoTargets { rule: rule.name.clone() });
+            }
+            if rule.targets.iter().all(|t| t.weight == 0) {
+                return Err(RouteInstallError::ZeroWeight { rule: rule.name.clone() });
+            }
+            for t in &rule.targets {
+                if !known_targets.contains(&t.name) {
+                    return Err(RouteInstallError::UnknownTarget {
+                        rule: rule.name.clone(),
+                        target: t.name.clone(),
+                    });
+                }
+            }
+        }
+        self.routes = routes;
+        Ok(())
     }
 
     /// Process raw request bytes from a verified source identity.
@@ -243,6 +307,62 @@ mod tests {
             vec![WeightedTarget::new("v2", 100)],
         ));
         e.install_routes(t);
+        assert!(matches!(e.process(T0, 100, &req, 0.01), L7Outcome::Forward { target, .. } if target == "v2"));
+    }
+
+    #[test]
+    fn poisoned_push_keeps_old_table_serving() {
+        use std::collections::BTreeSet;
+        let mut e = engine();
+        let req = Request::get("/api/items");
+        let known: BTreeSet<String> = ["v1", "v2"].iter().map(|s| s.to_string()).collect();
+
+        // A push routing to an unknown target is refused...
+        let mut bad = RouteTable::new();
+        bad.push(RouteRule::new(
+            "api",
+            RoutePredicate::prefix("/api"),
+            vec![WeightedTarget::new("v9", 100)],
+        ));
+        assert_eq!(
+            e.try_install_routes(bad, &known),
+            Err(RouteInstallError::UnknownTarget { rule: "api".into(), target: "v9".into() })
+        );
+        // ...and the old table still serves (fail-static).
+        assert!(matches!(e.process(T0, 100, &req, 0.5), L7Outcome::Forward { target, .. } if target == "v1"));
+
+        // Empty and zero-weight target sets are likewise refused.
+        // `RouteRule::new` refuses empty target lists, but a decoded push
+        // can still carry one — build the struct directly.
+        let mut none = RouteTable::new();
+        none.push(RouteRule {
+            name: "api".into(),
+            predicate: RoutePredicate::prefix("/api"),
+            targets: vec![],
+        });
+        assert_eq!(
+            e.try_install_routes(none, &known),
+            Err(RouteInstallError::NoTargets { rule: "api".into() })
+        );
+        let mut zero = RouteTable::new();
+        zero.push(RouteRule {
+            name: "api".into(),
+            predicate: RoutePredicate::prefix("/api"),
+            targets: vec![WeightedTarget::new("v1", 0)],
+        });
+        assert_eq!(
+            e.try_install_routes(zero, &known),
+            Err(RouteInstallError::ZeroWeight { rule: "api".into() })
+        );
+
+        // A valid push commits.
+        let mut good = RouteTable::new();
+        good.push(RouteRule::new(
+            "api",
+            RoutePredicate::prefix("/api"),
+            vec![WeightedTarget::new("v2", 100)],
+        ));
+        assert_eq!(e.try_install_routes(good, &known), Ok(()));
         assert!(matches!(e.process(T0, 100, &req, 0.01), L7Outcome::Forward { target, .. } if target == "v2"));
     }
 }

@@ -43,6 +43,6 @@ pub mod resources;
 pub use arch::{Architecture, MeshArchitecture, RequestCtx};
 pub use authz::{AuthzAction, AuthzPolicy, AuthzRule};
 pub use costs::CostModel;
-pub use l7::{L7Engine, L7Outcome};
+pub use l7::{L7Engine, L7Outcome, RouteInstallError};
 pub use path::{PathExecutor, StageId, Step};
 pub use canal_net::ratelimit::TokenBucket;

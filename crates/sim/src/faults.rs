@@ -45,6 +45,11 @@ pub enum FaultTarget {
     Az(u32),
     /// The control plane's config-push path (`control::configure`).
     ConfigPush,
+    /// The config *content* pipeline: while failed, every config the
+    /// controller emits is semantically invalid (a route to an unknown
+    /// service, an empty backend set) — §2.2's "bad config" outage vector.
+    /// Data planes are expected to NACK it instead of applying it.
+    ConfigPoison,
     /// The multi-tenant key server (`crypto::keyserver`).
     KeyServer,
     /// The inter-AZ link between two zones (undirected).
@@ -222,6 +227,7 @@ fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result
             })?))
         }
         "config-push" => Ok(FaultTarget::ConfigPush),
+        "config-poison" => Ok(FaultTarget::ConfigPoison),
         "key-server" => Ok(FaultTarget::KeyServer),
         "link" => {
             let spec = words
@@ -266,6 +272,7 @@ impl FaultPlan {
     /// at 40s fail backend 3
     /// at 20s degrade link 0-1 loss 5% extra 2ms
     /// at 50s degrade config-push extra 5s
+    /// at 55s fail config-poison
     /// at 60s degrade key-server extra 15ms
     /// ```
     ///
@@ -461,6 +468,9 @@ impl FaultPlan {
                 FaultTarget::Link { a, b } => {
                     d.write_u64(6).write_u64(a as u64).write_u64(b as u64);
                 }
+                FaultTarget::ConfigPoison => {
+                    d.write_u64(7);
+                }
             }
             match ev.kind {
                 FaultKind::Crash => {
@@ -499,6 +509,7 @@ pub struct FaultState {
     down_azs: BTreeSet<u32>,
     config_blocked: bool,
     config_extra: SimDuration,
+    config_poisoned: bool,
     key_server_down: bool,
     key_server_extra: SimDuration,
     links: BTreeMap<(u32, u32), LinkState>,
@@ -548,6 +559,10 @@ impl FaultState {
             (FaultTarget::ConfigPush, FaultKind::Degrade { extra, .. }) => {
                 self.config_extra = extra;
             }
+            (FaultTarget::ConfigPoison, FaultKind::Crash) => self.config_poisoned = true,
+            (FaultTarget::ConfigPoison, FaultKind::Recover) => self.config_poisoned = false,
+            // Poison is binary: a config is valid or it is not.
+            (FaultTarget::ConfigPoison, FaultKind::Degrade { .. }) => {}
             (FaultTarget::KeyServer, FaultKind::Crash) => self.key_server_down = true,
             (FaultTarget::KeyServer, FaultKind::Recover) => {
                 self.key_server_down = false;
@@ -622,6 +637,14 @@ impl FaultState {
         self.config_blocked
     }
 
+    /// Whether the config pipeline is currently emitting semantically
+    /// invalid configs (the §2.2 bad-config outage vector). The rollout
+    /// controller and blast-radius experiments consult this one flag as
+    /// their shared ground truth.
+    pub fn config_poisoned(&self) -> bool {
+        self.config_poisoned
+    }
+
     /// Added config-push delay (zero when healthy).
     pub fn config_extra(&self) -> SimDuration {
         self.config_extra
@@ -648,6 +671,7 @@ impl FaultState {
     pub fn any_active(&self) -> bool {
         self.any_crash_active()
             || self.config_blocked
+            || self.config_poisoned
             || self.config_extra > SimDuration::ZERO
             || self.key_server_down
             || self.key_server_extra > SimDuration::ZERO
@@ -847,6 +871,36 @@ mod tests {
             target: FaultTarget::KeyServer,
             kind: FaultKind::Recover,
         });
+        assert!(!st.any_active());
+    }
+
+    #[test]
+    fn config_poison_parses_and_tracks() {
+        let plan = FaultPlan::parse(
+            "at 15s fail config-poison\n\
+             at 45s recover config-poison\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].target, FaultTarget::ConfigPoison);
+
+        let mut st = FaultState::new(&topo());
+        assert!(!st.config_poisoned());
+        st.apply(&plan.events()[0]);
+        assert!(st.config_poisoned());
+        assert!(st.any_active() && !st.any_crash_active());
+        // Degrade is a no-op: poison is binary.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::ConfigPoison,
+            kind: FaultKind::Degrade {
+                loss: 0.5,
+                extra: SimDuration::from_millis(1),
+            },
+        });
+        assert!(st.config_poisoned());
+        st.apply(&plan.events()[1]);
+        assert!(!st.config_poisoned());
         assert!(!st.any_active());
     }
 

@@ -33,6 +33,14 @@ cargo run -q --release -p canal-bench --bin surge -- --fast >/dev/null
 echo "==> trace smoke (sampling-retention + span-RCA invariants)"
 cargo run -q --release -p canal-bench --bin traceview -- --fast >/dev/null
 
+# Rollout smoke: a compressed poisoned-config blast-radius run. The binary
+# exits nonzero unless the poisoned version is never committed anywhere
+# under canal (NACKed at the canary, fail-static serving keeps availability
+# at 100%), rollback is automatic and far faster than operator detection,
+# and a valid-but-degrading change is contained to the canary wave.
+echo "==> rollout smoke (canary blast-radius + fail-static invariants)"
+cargo run -q --release -p canal-bench --bin rollout -- --fast >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.
