@@ -273,6 +273,10 @@ pub struct BlastOutcome {
     pub rollout_alerts: u64,
     /// Southbound pushes dropped by the scripted blackout.
     pub dropped_pushes: u64,
+    /// Whether every `Rollback` the controller emitted targeted a version
+    /// the fleet had actually converged on (or 0), never a poisoned or
+    /// never-committed one.
+    pub rollback_targets_good: bool,
     /// Controller + gateway state digest from the canal arm.
     pub canal_state_digest: u64,
     /// The canal controller's per-version audit log.
@@ -305,6 +309,7 @@ impl BlastOutcome {
             .write_u64(self.healthy_exposed as u64)
             .write_u64(self.rollout_alerts)
             .write_u64(self.dropped_pushes)
+            .write_u64(u64::from(self.rollback_targets_good))
             .write_u64(self.canal_state_digest);
         d.value()
     }
@@ -331,6 +336,7 @@ impl BlastOutcome {
             && self.degrade_exposed <= self.canary_size
             && self.blocked_availability == 1.0
             && self.blocked_timeout_rollback
+            && self.rollback_targets_good
             && self.healthy_converged
             && self.healthy_exposed == self.fleet
             && canal.ttr_s < istio.ttr_s
@@ -396,6 +402,7 @@ struct CanalRun {
     healthy_exposed: usize,
     rollout_alerts: u64,
     dropped_pushes: u64,
+    rollback_targets_good: bool,
     state_digest: u64,
     audit: Vec<AuditRow>,
 }
@@ -453,6 +460,7 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
     let mut blocked_errors = 0u64;
     let mut nacks = 0u64;
     let mut dropped_pushes = 0u64;
+    let mut bad_rollback_targets = 0u64;
 
     for step in 0..=ticks {
         let now = SimTime::from_nanos(tick.as_nanos() * step);
@@ -546,6 +554,20 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
                     }
                 }
                 RolloutAction::Rollback { to, targets } => {
+                    // A rollback may only restore a version the fleet
+                    // actually converged on (or 0 = nothing ever
+                    // committed), and never a poisoned one. Count
+                    // violations so the blast-radius gate fails if the
+                    // controller ever "restores" a rejected or
+                    // never-committed version.
+                    let target_good = to == 0
+                        || (!poisoned_versions.contains(&to)
+                            && ctl.outcomes().iter().any(|o| {
+                                o.version == to && o.result == RolloutResult::Converged
+                            }));
+                    if !target_good {
+                        bad_rollback_targets += 1;
+                    }
                     if state.config_blocked() {
                         dropped_pushes += 1;
                         continue;
@@ -553,9 +575,19 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
                     if to == 0 {
                         continue; // nothing ever committed; fail-static holds
                     }
+                    // Materialize the target's real content — poisoned if
+                    // that version was cut from a poisoned source — so a
+                    // bad rollback target is validated (and exposed) like
+                    // any other push, not silently laundered into a good
+                    // config.
+                    let poisoned = poisoned_versions.contains(&to);
                     for t in targets {
-                        if gws[t as usize].roll_back_to(now, spec_for(to, false), &known).is_ok() {
+                        if gws[t as usize]
+                            .roll_back_to(now, spec_for(to, poisoned), &known)
+                            .is_ok()
+                        {
                             running[t as usize] = to;
+                            committed[t as usize].insert(to);
                         }
                     }
                 }
@@ -593,7 +625,9 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
     for gw in &gws {
         gw.fold_digest(&mut d);
     }
-    d.write_u64(nacks).write_u64(dropped_pushes);
+    d.write_u64(nacks)
+        .write_u64(dropped_pushes)
+        .write_u64(bad_rollback_targets);
 
     CanalRun {
         arm: ArmOutcome {
@@ -618,6 +652,7 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
         healthy_exposed: healthy.map(|o| o.exposed_targets).unwrap_or(0),
         rollout_alerts,
         dropped_pushes,
+        rollback_targets_good: bad_rollback_targets == 0,
         state_digest: d.value(),
         audit: outcomes
             .iter()
@@ -725,6 +760,7 @@ pub fn run_rollout(seed: u64, params: &RolloutParams) -> BlastOutcome {
         healthy_exposed: canal.healthy_exposed,
         rollout_alerts: canal.rollout_alerts,
         dropped_pushes: canal.dropped_pushes,
+        rollback_targets_good: canal.rollback_targets_good,
         canal_state_digest: canal.state_digest,
         audit: canal.audit,
     }
@@ -837,6 +873,12 @@ pub fn report_for(seed: u64, params: &RolloutParams) -> ExperimentReport {
             "NACK, ack-timeout and health-gate rollbacks, no operator",
             &format!("{} rollbacks", outcome.rollbacks),
             outcome.rollbacks >= 2,
+        ));
+        report.checks.push(Check::cond(
+            "rollbacks restore only converged versions",
+            "last-known-good is the last converged version, never a poisoned or never-committed one",
+            &format!("all targets good: {}", outcome.rollback_targets_good),
+            outcome.rollback_targets_good,
         ));
         report.checks.push(Check::cond(
             "degrading change contained to the canary wave",

@@ -50,6 +50,10 @@ fn canal_holds_the_safe_rollout_invariant() {
             "seed {seed}: NACK and health-gate rollbacks are automatic"
         );
         assert!(
+            outcome.rollback_targets_good,
+            "seed {seed}: every rollback must restore a converged, unpoisoned version"
+        );
+        assert!(
             outcome.degrade_exposed <= outcome.canary_size,
             "seed {seed}: the degrading change reached {} gateways, canary is {}",
             outcome.degrade_exposed,

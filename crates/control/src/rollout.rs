@@ -26,6 +26,10 @@
 //!   inside bounds, before the next wave is pushed.
 //! * **Rollback** — any NACK, health regression, or ack timeout rolls every
 //!   exposed target back to the last-known-good version, automatically.
+//!   Last-known-good is the last version the fleet *converged* on — it
+//!   advances only when a rollout reaches `Converged`, so a version that
+//!   was NACKed, rolled back, or never fully acked can never become a
+//!   rollback target.
 //!
 //! The controller is payload-agnostic: it decides *who* gets *which
 //! version when*; the harness carries the actual `ConfigSpec` bytes and the
@@ -79,8 +83,10 @@ pub struct HealthSample {
 }
 
 impl HealthSample {
-    /// A perfectly healthy sample (no errors, zero latency) — useful as a
-    /// neutral baseline in tests.
+    /// A perfectly healthy sample (no errors, zero latency) — a neutral
+    /// baseline. With a zero-p99 baseline the controller applies only the
+    /// error-rate gate (there is no latency signal to measure inflation
+    /// against), so real observed tail latencies do not trip a rollback.
     pub const HEALTHY: HealthSample = HealthSample {
         error_rate: 0.0,
         p99: SimDuration::ZERO,
@@ -197,6 +203,11 @@ pub struct RolloutController {
     active: Option<ActiveRollout>,
     outcomes: Vec<RolloutOutcome>,
     rollbacks: u64,
+    /// The last version the whole fleet converged on (0 = nothing yet).
+    /// Advances only in the `Converged` branch of [`Self::tick`]; this is
+    /// what a rollback restores, so a NACKed / rolled-back / half-pushed
+    /// version can never become the rollback target.
+    last_good: u64,
 }
 
 impl RolloutController {
@@ -211,6 +222,7 @@ impl RolloutController {
             active: None,
             outcomes: Vec::new(),
             rollbacks: 0,
+            last_good: 0,
         }
     }
 
@@ -227,6 +239,13 @@ impl RolloutController {
     /// radius 0). `baseline` anchors the health gate; `rng` shuffles the
     /// push order so the canary slice is unbiased but reproducible.
     /// Returns the actions to apply (the canary push, or nothing).
+    ///
+    /// One rollout at a time: while a rollout is in flight
+    /// ([`Self::in_flight`]), the call is refused — no version is
+    /// allocated, no state changes, and no actions are returned. The
+    /// alternative (silently abandoning the in-flight version) would leave
+    /// exposed targets running it with no `Rollback` ever emitted and no
+    /// [`RolloutOutcome`] recorded.
     pub fn begin(
         &mut self,
         now: SimTime,
@@ -234,8 +253,10 @@ impl RolloutController {
         baseline: HealthSample,
         rng: &mut SimRng,
     ) -> Vec<RolloutAction> {
-        debug_assert!(self.active.is_none(), "one rollout at a time");
-        let last_known_good = self.store.version();
+        if self.active.is_some() {
+            return Vec::new();
+        }
+        let last_known_good = self.last_good;
         let version = self.store.record_change(now);
         self.store.flush_push(now);
         if !valid {
@@ -315,12 +336,15 @@ impl RolloutController {
             }
         }
         // 3. Health gate: any regression past the thresholds while exposed.
+        //    A zero baseline p99 means the caller had no latency signal to
+        //    anchor the gate (e.g. no traffic yet), so only the error-rate
+        //    gate applies — otherwise any real tail latency would read as
+        //    infinite inflation and roll back a healthy rollout.
         if let Some(h) = health {
             let err_breach = h.error_rate > active.baseline.error_rate + self.cfg.max_error_delta;
-            let p99_floor = SimDuration::from_micros(1);
-            let base_p99 = active.baseline.p99.max(p99_floor);
-            let p99_breach = h.p99.as_nanos() as f64
-                > base_p99.as_nanos() as f64 * self.cfg.max_p99_inflation;
+            let p99_breach = active.baseline.p99 > SimDuration::ZERO
+                && h.p99.as_nanos() as f64
+                    > active.baseline.p99.as_nanos() as f64 * self.cfg.max_p99_inflation;
             if err_breach || p99_breach {
                 return self.roll_back(now, RollbackReason::HealthRegression);
             }
@@ -329,7 +353,9 @@ impl RolloutController {
         if let Some(acked_at) = active.wave_acked_at {
             if now.since(acked_at) >= self.cfg.bake_time {
                 if active.pushed == active.order.len() {
-                    // Nothing left to push: converged.
+                    // Nothing left to push: converged. This version is now
+                    // the fleet's last-known-good.
+                    self.last_good = active.version;
                     let outcome = RolloutOutcome {
                         version: active.version,
                         rolled_back_to: active.last_known_good,
@@ -405,6 +431,12 @@ impl RolloutController {
         self.rollbacks
     }
 
+    /// The last version the whole fleet converged on — what a rollback
+    /// restores (0 until any rollout converges).
+    pub fn last_known_good(&self) -> u64 {
+        self.last_good
+    }
+
     /// The per-version audit log, oldest first.
     pub fn outcomes(&self) -> &[RolloutOutcome] {
         &self.outcomes
@@ -427,6 +459,7 @@ impl RolloutController {
         };
         d.write_u64(phase_tag);
         d.write_u64(self.store.version());
+        d.write_u64(self.last_good);
         d.write_u64(self.rollbacks);
         d.write_u64(self.outcomes.len() as u64);
         for o in &self.outcomes {
@@ -474,14 +507,15 @@ mod tests {
         }
     }
 
-    #[test]
-    fn healthy_rollout_converges_in_exponential_waves() {
-        let mut c = controller(16);
-        let mut rng = SimRng::seed(7);
-        let mut now = T(0);
-        let mut actions = c.begin(now, true, HealthSample::HEALTHY, &mut rng);
-        assert_eq!(c.phase(), RolloutPhase::Canary);
-        let mut wave_sizes = Vec::new();
+    /// Begin a rollout at `now` and ack/bake it through to convergence,
+    /// collecting pushed wave sizes. Returns the time convergence landed.
+    fn drive_to_converged(
+        c: &mut RolloutController,
+        rng: &mut SimRng,
+        mut now: SimTime,
+        wave_sizes: &mut Vec<usize>,
+    ) -> SimTime {
+        let mut actions = c.begin(now, true, HealthSample::HEALTHY, rng);
         let mut guard = 0;
         while c.phase() != RolloutPhase::Converged {
             for a in &actions {
@@ -489,7 +523,7 @@ mod tests {
                     wave_sizes.push(targets.len());
                 }
             }
-            ack_all(&mut c, &actions, now);
+            ack_all(c, &actions, now);
             now += SimDuration::from_secs(1);
             // One tick to latch acks, then jump past the bake window.
             actions = c.tick(now, Some(HealthSample::HEALTHY));
@@ -500,6 +534,15 @@ mod tests {
             guard += 1;
             assert!(guard < 50, "rollout did not converge");
         }
+        now
+    }
+
+    #[test]
+    fn healthy_rollout_converges_in_exponential_waves() {
+        let mut c = controller(16);
+        let mut rng = SimRng::seed(7);
+        let mut wave_sizes = Vec::new();
+        drive_to_converged(&mut c, &mut rng, T(0), &mut wave_sizes);
         // canary 2, then 6 (to reach 8 = 2*4), then 8 (to reach 16... capped)
         assert_eq!(wave_sizes.iter().sum::<usize>(), 16);
         assert_eq!(wave_sizes[0], 2, "canary wave is small");
@@ -540,6 +583,88 @@ mod tests {
         assert_eq!(o.exposed_targets, 2);
         assert!(matches!(o.result, RolloutResult::RolledBack(RollbackReason::Nack { .. })));
         assert_eq!(c.rollbacks(), 1);
+    }
+
+    #[test]
+    fn last_known_good_is_last_converged_version_not_last_allocated() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(17);
+        // v1 converges fleet-wide: it becomes last-known-good.
+        let now = drive_to_converged(&mut c, &mut rng, T(0), &mut Vec::new());
+        assert_eq!(c.last_known_good(), 1);
+        // v2 is poisoned: the canary NACKs it and it rolls back.
+        let a = c.begin(now, true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { version, targets }) = a.first() else {
+            panic!("expected canary push");
+        };
+        assert_eq!(*version, 2);
+        c.nack(targets[0], *version);
+        let out = c.tick(now + SimDuration::from_secs(1), None);
+        let Some(RolloutAction::Rollback { to, .. }) = out.first() else {
+            panic!("expected rollback");
+        };
+        assert_eq!(*to, 1, "rollback restores the converged v1");
+        assert_eq!(c.last_known_good(), 1, "a rolled-back v2 is not good");
+        // v3 begins after the failed v2 and dies to an ack timeout. Its
+        // rollback must also restore v1 — never the rejected v2.
+        let t3 = now + SimDuration::from_secs(5);
+        let a3 = c.begin(t3, true, HealthSample::HEALTHY, &mut rng);
+        assert!(matches!(a3.first(), Some(RolloutAction::Push { version, .. }) if *version == 3));
+        let out3 = c.tick(t3 + RolloutConfig::default().ack_timeout, None);
+        let Some(RolloutAction::Rollback { to, .. }) = out3.first() else {
+            panic!("expected ack-timeout rollback");
+        };
+        assert_eq!(*to, 1, "never roll 'back' to the poisoned v2");
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.rolled_back_to, 1);
+    }
+
+    #[test]
+    fn begin_is_refused_while_a_rollout_is_in_flight() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(23);
+        let first = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        assert_eq!(first.len(), 1);
+        let version = c.store().version();
+        assert_eq!(c.phase(), RolloutPhase::Canary);
+        // A second begin mid-flight is refused outright: no actions, no new
+        // version, and the in-flight rollout is untouched.
+        let second = c.begin(T(1), true, HealthSample::HEALTHY, &mut rng);
+        assert!(second.is_empty(), "overlapping begin must be refused");
+        assert_eq!(c.store().version(), version, "no version allocated");
+        assert_eq!(c.phase(), RolloutPhase::Canary);
+        assert!(c.in_flight());
+        // The original rollout still completes normally.
+        ack_all(&mut c, &first, T(1));
+        c.tick(T(2), None);
+        assert!(c.outcomes().is_empty(), "in-flight rollout was not abandoned");
+    }
+
+    #[test]
+    fn zero_p99_baseline_skips_the_inflation_gate() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(29);
+        // HEALTHY baseline has p99 = 0: no latency signal to gate on.
+        let a = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        ack_all(&mut c, &a, T(1));
+        // Real observed tail latency must not read as infinite inflation.
+        let observed = HealthSample {
+            error_rate: 0.0,
+            p99: SimDuration::from_millis(20),
+        };
+        let out = c.tick(T(1), Some(observed));
+        assert!(
+            !matches!(out.first(), Some(RolloutAction::Rollback { .. })),
+            "a zero baseline must disable the p99 gate, not weaponize it"
+        );
+        assert_ne!(c.phase(), RolloutPhase::RolledBack);
+        // The error-rate gate still applies with a zero baseline.
+        let erroring = HealthSample {
+            error_rate: 0.5,
+            p99: SimDuration::ZERO,
+        };
+        let out = c.tick(T(2), Some(erroring));
+        assert!(matches!(out.first(), Some(RolloutAction::Rollback { .. })));
     }
 
     #[test]
