@@ -16,7 +16,7 @@
 use canal_gateway::gateway::{BackendId, WaterLevel};
 use canal_gateway::overload::{BrownoutLevel, OverloadSignals};
 use canal_net::GlobalServiceId;
-use canal_sim::{SimDuration, SimTime};
+use canal_sim::{Digest, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Alert levels of §4.2.
@@ -88,7 +88,7 @@ struct BackendHistory {
     rps: VecDeque<f64>,
 }
 
-const HISTORY: usize = 24;
+const HISTORY_CAP: usize = 24;
 
 /// Water-level monitor with per-backend history.
 #[derive(Debug, Default)]
@@ -107,7 +107,7 @@ impl WaterLevelMonitor {
 
     fn push_bounded(q: &mut VecDeque<f64>, v: f64) {
         q.push_back(v);
-        while q.len() > HISTORY {
+        while q.len() > HISTORY_CAP {
             q.pop_front();
         }
     }
@@ -232,6 +232,35 @@ impl WaterLevelMonitor {
     /// All alerts raised so far.
     pub fn alerts(&self) -> &[(SimTime, AlertKind)] {
         &self.alerts
+    }
+
+    /// Fold the monitor state into a digest: every backend's `history`
+    /// window, the `alerts` log, and the rollout view
+    /// (`rollout_in_flight`, `rollbacks_seen`).
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.history.len() as u64);
+        for (&backend, h) in &self.history {
+            d.write_u64(backend as u64);
+            for q in [&h.utilization, &h.sessions, &h.rps] {
+                d.write_u64(q.len() as u64);
+                for &v in q {
+                    d.write_f64(v);
+                }
+            }
+        }
+        d.write_u64(self.alerts.len() as u64);
+        for &(t, kind) in &self.alerts {
+            d.write_u64(t.as_nanos());
+            match kind {
+                AlertKind::Backend(b) => d.write_u64(1).write_u64(b as u64),
+                AlertKind::Service(s) => d.write_u64(2).write_u64(s.0),
+                AlertKind::Tenant(tenant) => d.write_u64(3).write_u64(tenant.0 as u64),
+                AlertKind::Overload => d.write_u64(4),
+                AlertKind::ConfigRollout => d.write_u64(5),
+            };
+        }
+        d.write_u64(self.rollout_in_flight as u64)
+            .write_u64(self.rollbacks_seen);
     }
 }
 

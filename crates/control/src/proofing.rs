@@ -10,7 +10,7 @@
 //! service). Unlike ping meshes, this exercises L7 protocols end to end.
 
 use canal_net::AzId;
-use canal_sim::{SimDuration, SimTime};
+use canal_sim::{Digest, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// The probe app protocols deployed in every AZ.
@@ -74,6 +74,7 @@ pub enum FaultVerdict {
 pub struct FullMeshProber {
     azs: Vec<AzId>,
     /// Latest result per path.
+    // lint:allow(bounded-state) reason=keyed by the fixed AZ*AZ*protocol path set; inserts overwrite in place
     latest: BTreeMap<ProbePath, ProbeResult>,
     /// Probe staleness horizon: older results don't count as evidence.
     pub freshness: SimDuration,
@@ -179,6 +180,31 @@ impl FullMeshProber {
                 samples.iter().sum::<f64>() / samples.len() as f64,
             ))
         }
+    }
+
+    /// Fold the prober's evidence into a digest: the `azs` roster, every
+    /// path's `latest` result, the `freshness` horizon and `rounds` run.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.azs.len() as u64);
+        for &az in &self.azs {
+            d.write_u64(az.0 as u64);
+        }
+        d.write_u64(self.latest.len() as u64);
+        for (path, r) in &self.latest {
+            let proto = match path.protocol {
+                ProbeProtocol::Http => 1,
+                ProbeProtocol::Https => 2,
+                ProbeProtocol::WebSocket => 3,
+                ProbeProtocol::Grpc => 4,
+            };
+            d.write_u64(path.from.0 as u64)
+                .write_u64(path.to.0 as u64)
+                .write_u64(proto)
+                .write_u64(r.at.as_nanos())
+                .write_u64(r.success as u64)
+                .write_u64(r.latency.as_nanos());
+        }
+        d.write_u64(self.freshness.as_nanos()).write_u64(self.rounds);
     }
 }
 

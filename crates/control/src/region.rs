@@ -16,7 +16,7 @@ use crate::scaling::ScalingEngine;
 use canal_gateway::gateway::{Gateway, GatewayError};
 use canal_gateway::sandbox::MigrationReport;
 use canal_net::{AzId, Endpoint, FiveTuple, GlobalServiceId, VpcAddr, VpcId};
-use canal_sim::{Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries};
+use canal_sim::{Digest, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries};
 use canal_workload::rps::RpsProcess;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -62,6 +62,7 @@ pub struct RegionSimulation {
     pub gateway: Gateway,
     monitor: WaterLevelMonitor,
     engine: ScalingEngine,
+    // lint:allow(bounded-state) reason=one entry per registered service; workloads are attached at setup, never per request
     workloads: BTreeMap<GlobalServiceId, RpsProcess>,
     rng: SimRng,
     horizon: SimTime,
@@ -78,14 +79,15 @@ pub struct RegionSimulation {
 
 impl RegionSimulation {
     /// Build a region over an existing gateway; services must already be
-    /// registered on it.
-    pub fn new(gateway: Gateway, horizon: SimTime, seed: u64) -> Self {
+    /// registered on it. The caller supplies the `rng` so every random
+    /// stream in a run flows from an explicit seed at the call site.
+    pub fn new(gateway: Gateway, horizon: SimTime, rng: SimRng) -> Self {
         RegionSimulation {
             gateway,
             monitor: WaterLevelMonitor::new(),
             engine: ScalingEngine::new(),
             workloads: BTreeMap::new(),
-            rng: SimRng::seed(seed),
+            rng,
             horizon,
             monitor_period: SimDuration::from_secs(5),
             pending_scalings: BTreeSet::new(),
@@ -127,6 +129,39 @@ impl RegionSimulation {
             })
             .collect();
         self.report
+    }
+
+    /// Fold the whole region state into a digest: `gateway`, `monitor`,
+    /// `engine` and `rng` delegate to their own folds; `workloads` keys,
+    /// the clocking knobs, `pending_scalings`, `sample_divisor`, `sport`
+    /// and the accumulated `report` fold inline.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        self.gateway.fold_digest(d);
+        self.monitor.fold_digest(d);
+        self.engine.fold_digest(d);
+        d.write_u64(self.workloads.len() as u64);
+        for svc in self.workloads.keys() {
+            d.write_u64(svc.0);
+        }
+        self.rng.fold_digest(d);
+        d.write_u64(self.horizon.as_nanos())
+            .write_u64(self.monitor_period.as_nanos())
+            .write_u64(self.pending_scalings.len() as u64);
+        for svc in &self.pending_scalings {
+            d.write_u64(svc.0);
+        }
+        d.write_u64(self.sample_divisor).write_u64(self.sport as u64);
+        self.report.hot_utilization.fold_digest(d);
+        self.report.offered_rps.fold_digest(d);
+        d.write_u64(self.report.served)
+            .write_u64(self.report.errors)
+            .write_u64(self.report.scalings.len() as u64);
+        for &(exec, fin, reuse) in &self.report.scalings {
+            d.write_u64(exec.as_nanos())
+                .write_u64(fin.as_nanos())
+                .write_u64(reuse as u64);
+        }
+        d.write_u64(self.report.migrations.len() as u64);
     }
 
     fn tuple(&mut self) -> FiveTuple {
@@ -282,7 +317,7 @@ mod tests {
         let mut gw = Gateway::new(cfg);
         let mut rng = SimRng::seed(seed);
         gw.register_service(svc(1), &mut rng);
-        let mut region = RegionSimulation::new(gw, SimTime::from_secs(240), seed);
+        let mut region = RegionSimulation::new(gw, SimTime::from_secs(240), SimRng::seed(seed));
         region.engine_mut().latencies.reuse_median = SimDuration::from_secs(reuse_median_s);
         region.add_workload(
             svc(1),
@@ -364,7 +399,7 @@ mod tests {
         let mut gw = Gateway::new(cfg);
         let mut rng = SimRng::seed(4);
         gw.register_service(svc(1), &mut rng);
-        let mut region = RegionSimulation::new(gw, SimTime::from_secs(120), 4);
+        let mut region = RegionSimulation::new(gw, SimTime::from_secs(120), SimRng::seed(4));
         region.add_workload(svc(1), RpsProcess::Constant { rps: 50.0 });
         let report = region.run();
         assert!(report.scalings.is_empty());

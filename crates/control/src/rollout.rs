@@ -18,8 +18,8 @@
 //! * **Validate** — a version that fails controller-side validation is
 //!   never pushed anywhere (blast radius 0).
 //! * **Canary** — the first wave reaches a deliberately small slice of the
-//!   fleet, chosen by a caller-supplied [`SimRng`] shuffle (the `fault-seed`
-//!   lint rule forbids ambient randomness in `rollout*` files).
+//!   fleet, chosen by a caller-supplied [`SimRng`] shuffle (the
+//!   `seed-dataflow` lint rule polices how that generator is seeded).
 //! * **Promotion** — waves grow exponentially, and each wave must (a) fully
 //!   ack within `ack_timeout`, then (b) bake for `bake_time` with the
 //!   health signal (error-rate / P99 deltas vs the pre-rollout baseline)
@@ -198,9 +198,11 @@ struct ActiveRollout {
 pub struct RolloutController {
     cfg: RolloutConfig,
     store: VersionedConfigStore,
+    // lint:allow(bounded-state) reason=the fleet roster, registered at setup; add_target deduplicates
     targets: Vec<TargetId>,
     phase: RolloutPhase,
     active: Option<ActiveRollout>,
+    // lint:allow(bounded-state) reason=one audit record per driven rollout; the run horizon bounds the log
     outcomes: Vec<RolloutOutcome>,
     rollbacks: u64,
     /// The last version the whole fleet converged on (0 = nothing yet).
@@ -447,8 +449,9 @@ impl RolloutController {
         &self.store
     }
 
-    /// Fold phase, counters, and the audit log into `d` — the experiment's
-    /// double-run bit-identity covers the whole state machine.
+    /// Fold phase, fleet roster, in-flight rollout, counters, and the
+    /// audit log into `d` — the experiment's double-run bit-identity
+    /// covers the whole state machine.
     pub fn fold_digest(&self, d: &mut Digest) {
         let phase_tag = match self.phase {
             RolloutPhase::Idle => 0,
@@ -459,6 +462,31 @@ impl RolloutController {
         };
         d.write_u64(phase_tag);
         d.write_u64(self.store.version());
+        d.write_u64(self.targets.len() as u64);
+        for &t in &self.targets {
+            d.write_u64(t as u64);
+        }
+        match &self.active {
+            None => {
+                d.write_u64(0);
+            }
+            Some(a) => {
+                d.write_u64(1)
+                    .write_u64(a.version)
+                    .write_u64(a.last_known_good)
+                    .write_u64(a.started_at.as_nanos())
+                    .write_f64(a.baseline.error_rate)
+                    .write_u64(a.baseline.p99.as_nanos())
+                    .write_u64(a.order.len() as u64);
+                for &t in &a.order {
+                    d.write_u64(t as u64);
+                }
+                d.write_u64(a.pushed as u64)
+                    .write_u64(a.wave as u64)
+                    .write_u64(a.wave_pushed_at.as_nanos())
+                    .write_u64(a.wave_acked_at.map_or(u64::MAX, |t| t.as_nanos()));
+            }
+        }
         d.write_u64(self.last_good);
         d.write_u64(self.rollbacks);
         d.write_u64(self.outcomes.len() as u64);

@@ -12,7 +12,7 @@
 
 use canal_gateway::gateway::{BackendId, Gateway};
 use canal_net::{AzId, GlobalServiceId};
-use canal_sim::{SimDuration, SimRng, SimTime};
+use canal_sim::{Digest, SimDuration, SimRng, SimTime};
 
 /// Which scaling strategy was used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +88,7 @@ pub struct ScalingEngine {
     pub reuse_threshold: f64,
     /// Completion-time models.
     pub latencies: ScalingLatencies,
+    // lint:allow(bounded-state) reason=one record per executed scaling operation; the run horizon bounds the ledger
     ledger: Vec<ScalingRecord>,
 }
 
@@ -194,6 +195,28 @@ impl ScalingEngine {
             .filter(|r| r.kind == ScalingKind::Reuse)
             .count();
         (reuse, self.ledger.len() - reuse)
+    }
+
+    /// Fold the engine state into a digest: the `reuse_threshold`, the
+    /// `latencies` model parameters, and every `ledger` record.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_f64(self.reuse_threshold)
+            .write_u64(self.latencies.reuse_median.as_nanos())
+            .write_f64(self.latencies.reuse_sigma)
+            .write_u64(self.latencies.new_median.as_nanos())
+            .write_f64(self.latencies.new_sigma)
+            .write_u64(self.ledger.len() as u64);
+        for r in &self.ledger {
+            let kind = match r.kind {
+                ScalingKind::Reuse => 1,
+                ScalingKind::New => 2,
+            };
+            d.write_u64(kind)
+                .write_u64(r.service.0)
+                .write_u64(r.backend as u64)
+                .write_u64(r.executed_at.as_nanos())
+                .write_u64(r.finished_at.as_nanos());
+        }
     }
 }
 

@@ -232,7 +232,11 @@ impl ActiveConfig {
         self.rejections
     }
 
-    /// Fold running-state into a digest: version, commit/rejection counts.
+    /// Fold the whole `{running, staged}` pair into a digest: the running
+    /// version and spec, the uncommitted `staged` spec, `committed_at`,
+    /// and the commit/rejection counts. A gateway with a different staged
+    /// config (or a different commit instant) is in a different state even
+    /// while serving the same running version.
     pub fn fold_digest(&self, d: &mut Digest) {
         d.write_u64(self.running_version().unwrap_or(0));
         d.write_u64(self.commits);
@@ -240,6 +244,16 @@ impl ActiveConfig {
         if let Some(c) = &self.running {
             c.fold_digest(d);
         }
+        match &self.staged {
+            None => {
+                d.write_u64(0);
+            }
+            Some(s) => {
+                d.write_u64(1);
+                s.fold_digest(d);
+            }
+        }
+        d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
     }
 }
 

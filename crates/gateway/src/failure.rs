@@ -8,6 +8,7 @@
 //! build on.
 
 use canal_net::{AzId, GlobalServiceId};
+use canal_sim::Digest;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -51,8 +52,10 @@ struct BackendState {
 /// Placement plus failure state, with availability queries.
 #[derive(Debug, Default)]
 pub struct PlacementView {
+    // lint:allow(bounded-state) reason=the registered topology; backends are added at setup or by explicit scale operations
     backends: BTreeMap<BackendKey, BackendState>,
     failed_azs: BTreeSet<AzId>,
+    // lint:allow(bounded-state) reason=one entry per placed service; placements happen at registration and scale time, never per request
     placements: BTreeMap<GlobalServiceId, Vec<BackendKey>>,
 }
 
@@ -201,6 +204,34 @@ impl PlacementView {
     /// All registered backend keys.
     pub fn backend_keys(&self) -> Vec<BackendKey> {
         self.backends.keys().copied().collect()
+    }
+
+    /// Fold the whole placement + failure state into a digest: `backends`
+    /// with their per-replica failure sets, `failed_azs`, and the
+    /// service-to-backend `placements`.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.backends.len() as u64);
+        for (&key, be) in &self.backends {
+            d.write_u64(key as u64)
+                .write_u64(be.az.0 as u64)
+                .write_u64(be.replicas as u64)
+                .write_u64(be.failed_replicas.len() as u64);
+            for &r in &be.failed_replicas {
+                d.write_u64(r as u64);
+            }
+            d.write_u64(be.backend_failed as u64);
+        }
+        d.write_u64(self.failed_azs.len() as u64);
+        for az in &self.failed_azs {
+            d.write_u64(az.0 as u64);
+        }
+        d.write_u64(self.placements.len() as u64);
+        for (svc, backends) in &self.placements {
+            d.write_u64(svc.0).write_u64(backends.len() as u64);
+            for &b in backends {
+                d.write_u64(b as u64);
+            }
+        }
     }
 }
 

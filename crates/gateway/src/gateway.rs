@@ -16,7 +16,7 @@ use crate::redirector::{BucketTable, Redirector};
 use crate::sandbox::Sandbox;
 use crate::sharding::ShuffleShardPlanner;
 use canal_net::{FiveTuple, GlobalServiceId, Priority, SessionTable};
-use canal_sim::{CpuServer, SimDuration, SimRng, SimTime};
+use canal_sim::{CpuServer, Digest, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Identifier of a gateway backend.
@@ -121,13 +121,16 @@ pub struct Gateway {
     cfg: GatewayConfig,
     placement: PlacementView,
     planner: ShuffleShardPlanner,
+    // lint:allow(bounded-state) reason=one entry per replica VM in the deployed topology; grown only by explicit scale operations
     replicas: BTreeMap<(BackendId, usize), ReplicaState>,
     /// Per-backend redirector (per-service bucket tables inside).
+    // lint:allow(bounded-state) reason=one redirector per deployed backend; grown only by explicit scale operations
     redirectors: BTreeMap<BackendId, Redirector>,
     /// The sandbox/throttle machinery.
     pub sandbox: Sandbox,
     /// The overload-control pipeline, when enabled.
     overload: Option<OverloadControl>,
+    // lint:allow(bounded-state) reason=one entry per deployed backend; grown only by explicit scale operations
     backend_az: BTreeMap<BackendId, canal_net::AzId>,
     next_backend: BackendId,
     /// Per (backend, service) request counts in the current window.
@@ -137,6 +140,7 @@ pub struct Gateway {
     served: u64,
     /// Known services (everything ever registered/extended here), the
     /// ground truth `ActiveConfig` validation checks routes against.
+    // lint:allow(bounded-state) reason=one entry per service ever registered; registration is a control-plane setup operation, not a data-path event
     known_services: std::collections::BTreeSet<GlobalServiceId>,
     /// The version-skew-safe `{running, staged}` config pair.
     active_config: ActiveConfig,
@@ -565,6 +569,55 @@ impl Gateway {
             }
         }
         order
+    }
+
+    /// Fold the whole gateway into a digest, delegating to every
+    /// subsystem: `placement`, `planner`, per-replica `replicas` state,
+    /// per-backend `redirectors`, the `sandbox`, the `overload` pipeline,
+    /// `backend_az`, `next_backend`, the `window` counters and
+    /// `window_start`, `errors`/`served`, `known_services`, and the
+    /// `active_config` pair.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        self.placement.fold_digest(d);
+        self.planner.fold_digest(d);
+        d.write_u64(self.replicas.len() as u64);
+        for (&(b, r), st) in &self.replicas {
+            d.write_u64(b as u64).write_u64(r as u64);
+            st.cpu.fold_digest(d);
+            d.write_u64(st.sessions.len() as u64);
+        }
+        d.write_u64(self.redirectors.len() as u64);
+        for (&b, red) in &self.redirectors {
+            d.write_u64(b as u64);
+            red.fold_digest(d);
+        }
+        self.sandbox.fold_digest(d);
+        match &self.overload {
+            None => {
+                d.write_u64(0);
+            }
+            Some(ov) => {
+                d.write_u64(1);
+                ov.fold_digest(d);
+            }
+        }
+        d.write_u64(self.backend_az.len() as u64);
+        for (&b, az) in &self.backend_az {
+            d.write_u64(b as u64).write_u64(az.0 as u64);
+        }
+        d.write_u64(self.next_backend as u64);
+        d.write_u64(self.window.len() as u64);
+        for (&(b, s), w) in &self.window {
+            d.write_u64(b as u64).write_u64(s.0).write_u64(w.requests);
+        }
+        d.write_u64(self.window_start.as_nanos())
+            .write_u64(self.errors)
+            .write_u64(self.served)
+            .write_u64(self.known_services.len() as u64);
+        for s in &self.known_services {
+            d.write_u64(s.0);
+        }
+        self.active_config.fold_digest(d);
     }
 
     /// Execute one upgrade step: fail the replica, migrate its sessions'

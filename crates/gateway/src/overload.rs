@@ -46,7 +46,7 @@
 use crate::gateway::GatewayError;
 use canal_net::{FiveTuple, GlobalServiceId, Priority};
 use canal_sim::stats::percentile;
-use canal_sim::{ClassConfig, ClassId, FairCpuServer, QueueReject, SimDuration, SimTime};
+use canal_sim::{ClassConfig, ClassId, Digest, FairCpuServer, QueueReject, SimDuration, SimTime};
 use canal_telemetry::{HeadSampler, TelemetryCostModel, TelemetryMeter};
 use std::collections::BTreeMap;
 
@@ -803,6 +803,64 @@ impl OverloadControl {
         self.win_budget_rejected = 0;
         self.win_sojourns_ms.clear();
         out
+    }
+
+    /// Fold the whole pipeline into a digest: the `fair` scheduler, every
+    /// class's `codel` shedder, the retry `budget` ledger, the `brownout`
+    /// controller, parked `pending` requests, `weight_overrides`, the
+    /// `telemetry` attachment, the window counters and `total_shed`.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        self.fair.fold_digest(d);
+        d.write_u64(self.codel.len() as u64);
+        for (&class, c) in &self.codel {
+            d.write_u64(class)
+                .write_u64(c.target.as_nanos())
+                .write_u64(c.interval.as_nanos())
+                .write_u64(c.first_above.map_or(u64::MAX, |t| t.as_nanos()))
+                .write_u64(c.dropping as u64)
+                .write_u64(c.drop_next.as_nanos())
+                .write_u64(c.count as u64)
+                .write_u64(c.sheds);
+        }
+        d.write_f64(self.budget.ratio)
+            .write_f64(self.budget.cap)
+            .write_u64(self.budget.tokens.len() as u64);
+        for (&client, &tokens) in &self.budget.tokens {
+            d.write_u64(client).write_f64(tokens);
+        }
+        d.write_u64(self.budget.rejections);
+        d.write_f64(self.brownout.enter_observability)
+            .write_f64(self.brownout.enter_canary)
+            .write_f64(self.brownout.exit)
+            .write_f64(self.brownout.ewma_ms)
+            .write_u64(match self.brownout.level {
+                BrownoutLevel::Normal => 0,
+                BrownoutLevel::NoObservability => 1,
+                BrownoutLevel::NoCanary => 2,
+            });
+        d.write_u64(self.pending.len() as u64);
+        for (&ticket, p) in &self.pending {
+            d.write_u64(ticket)
+                .write_u64(p.service.0)
+                .write_u64(canal_net::hash_five_tuple(&p.tuple))
+                .write_u64(p.syn as u64)
+                .write_u64(p.client);
+        }
+        d.write_u64(self.weight_overrides.len() as u64);
+        for (&tenant, &w) in &self.weight_overrides {
+            d.write_u64(tenant as u64).write_u64(w as u64);
+        }
+        d.write_u64(self.telemetry.is_some() as u64);
+        d.write_u64(self.win_offered)
+            .write_u64(self.win_started)
+            .write_u64(self.win_shed_caps)
+            .write_u64(self.win_shed_codel)
+            .write_u64(self.win_budget_rejected)
+            .write_u64(self.win_sojourns_ms.len() as u64);
+        for &s in &self.win_sojourns_ms {
+            d.write_f64(s);
+        }
+        d.write_u64(self.total_shed);
     }
 }
 

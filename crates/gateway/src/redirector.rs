@@ -17,6 +17,7 @@
 //! eBPF execution (a cost constant, not a logic change).
 
 use canal_net::{bucket_of, FiveTuple, GlobalServiceId};
+use canal_sim::Digest;
 use std::collections::BTreeMap;
 
 /// Where a packet ended up and how many chain redirections it took.
@@ -135,11 +136,25 @@ impl BucketTable {
     pub fn max_chain_in_use(&self) -> usize {
         self.buckets.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Fold every bucket's chain (`buckets`) and the `max_chain` cap into
+    /// a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.buckets.len() as u64);
+        for chain in &self.buckets {
+            d.write_u64(chain.len() as u64);
+            for &r in chain {
+                d.write_u64(r as u64);
+            }
+        }
+        d.write_u64(self.max_chain as u64);
+    }
 }
 
 /// Per-service bucket tables, indexed by global service id (paper mod ii).
 #[derive(Debug, Default)]
 pub struct Redirector {
+    // lint:allow(bounded-state) reason=one table per service installed on this backend; installs happen at registration and scale time
     tables: BTreeMap<GlobalServiceId, BucketTable>,
     dispatches: u64,
     redirected: u64,
@@ -188,6 +203,17 @@ impl Redirector {
     /// "the redirection frequency is low" is checked against these.
     pub fn stats(&self) -> (u64, u64) {
         (self.dispatches, self.redirected)
+    }
+
+    /// Fold every service's `tables` plus the `dispatches`/`redirected`
+    /// counters into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.tables.len() as u64);
+        for (svc, table) in &self.tables {
+            d.write_u64(svc.0);
+            table.fold_digest(d);
+        }
+        d.write_u64(self.dispatches).write_u64(self.redirected);
     }
 }
 

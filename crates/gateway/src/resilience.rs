@@ -24,7 +24,7 @@
 use crate::gateway::{BackendId, GatewayError, GatewayServed};
 use canal_cluster::dns::DnsView;
 use canal_net::VpcAddr;
-use canal_sim::{SimDuration, SimRng, SimTime};
+use canal_sim::{Digest, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Tunable resilience policy. Each field is one knob so baselines compare
@@ -279,7 +279,9 @@ impl DispatchCounters {
 pub struct ResilientDispatcher {
     cfg: ResilienceConfig,
     rng: SimRng,
+    // lint:allow(bounded-state) reason=one detector per backend in the registered topology
     detectors: BTreeMap<BackendId, OutlierDetector>,
+    // lint:allow(bounded-state) reason=one health bit per backend in the registered topology
     dns_health: BTreeMap<BackendId, bool>,
     stats: ResilienceStats,
 }
@@ -510,6 +512,38 @@ impl ResilientDispatcher {
             }
         }
         flips
+    }
+
+    /// Fold the dispatcher state into a digest: the jitter `rng` stream,
+    /// every backend's `detectors` breaker (window, failure streak,
+    /// ejection timer), the published `dns_health` bits, and the lifetime
+    /// `stats` counters.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        self.rng.fold_digest(d);
+        d.write_u64(self.detectors.len() as u64);
+        for (&b, det) in &self.detectors {
+            d.write_u64(b as u64).write_u64(det.window.len() as u64);
+            for &ok in &det.window {
+                d.write_u64(ok as u64);
+            }
+            d.write_u64(det.consecutive_failures as u64)
+                .write_u64(det.ejected_until.map_or(u64::MAX, |t| t.as_nanos()))
+                .write_u64(det.ejections);
+        }
+        d.write_u64(self.dns_health.len() as u64);
+        for (&b, &healthy) in &self.dns_health {
+            d.write_u64(b as u64).write_u64(healthy as u64);
+        }
+        d.write_u64(self.stats.requests)
+            .write_u64(self.stats.attempts)
+            .write_u64(self.stats.retries)
+            .write_u64(self.stats.hedges)
+            .write_u64(self.stats.successes)
+            .write_u64(self.stats.failures)
+            .write_u64(self.stats.deadline_exceeded)
+            .write_u64(self.stats.ejections)
+            .write_u64(self.stats.dns_flips)
+            .write_u64(self.stats.budget_rejected);
     }
 }
 

@@ -13,7 +13,7 @@
 //!   the customer scales.
 
 use canal_net::{GlobalServiceId, TokenBucket};
-use canal_sim::{stats, SimDuration, SimTime};
+use canal_sim::{stats, Digest, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Which migration flavour.
@@ -148,6 +148,21 @@ impl Sandbox {
             Some(bucket) => bucket.admit(now),
             None => true,
         }
+    }
+
+    /// Fold the sandboxed `services`, the installed `throttles` (by keyed
+    /// service — the bucket fill level is a `canal_net` implementation
+    /// detail), and the `lossy_setup` knob into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.services.len() as u64);
+        for (svc, s) in &self.services {
+            d.write_u64(svc.0).write_u64(s.completed_at.as_nanos());
+        }
+        d.write_u64(self.throttles.len() as u64);
+        for svc in self.throttles.keys() {
+            d.write_u64(svc.0);
+        }
+        d.write_u64(self.lossy_setup.as_nanos());
     }
 }
 

@@ -8,7 +8,7 @@
 //! overlap).
 
 use canal_net::GlobalServiceId;
-use canal_sim::SimRng;
+use canal_sim::{Digest, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Assigns backend combinations to services with bounded pairwise overlap.
@@ -146,6 +146,24 @@ impl ShuffleShardPlanner {
             .filter(|(_, combo)| combo.iter().all(|b| failed.contains(b)))
             .map(|(&s, _)| s)
             .collect()
+    }
+
+    /// Fold the planner state into a digest: `pool_size` and the bounds,
+    /// every service's combination in `assignments`, and the `used_combos`
+    /// uniqueness set (its size — the combos themselves are the assignment
+    /// values, already folded).
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.pool_size as u64)
+            .write_u64(self.shard_size as u64)
+            .write_u64(self.max_overlap as u64)
+            .write_u64(self.assignments.len() as u64);
+        for (svc, combo) in &self.assignments {
+            d.write_u64(svc.0).write_u64(combo.len() as u64);
+            for &b in combo {
+                d.write_u64(b as u64);
+            }
+        }
+        d.write_u64(self.used_combos.len() as u64);
     }
 }
 

@@ -12,6 +12,7 @@
 //! pressure that Table 5's tunneling savings derive from.
 
 use canal_net::{ecmp::rss_core_for_sport, FiveTuple, Packet, VxlanFrame};
+use canal_sim::Digest;
 use std::collections::BTreeMap;
 
 /// Tunnel fan-out configuration.
@@ -125,6 +126,25 @@ impl SessionAggregator {
     /// Session churn: forget a closed session.
     pub fn session_closed(&mut self, tuple: &FiveTuple) -> bool {
         self.session_to_tunnel.remove(tuple).is_some()
+    }
+
+    /// Fold the aggregator state into a digest: the config, endpoints, the
+    /// `session_to_tunnel` map (session keys hashed through the same
+    /// deterministic five-tuple hash the tunnel choice uses), and the
+    /// `encapsulated` counter.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.cfg.tunnels_per_replica as u64)
+            .write_u64(self.cfg.replica_cores as u64)
+            .write_u64(self.cfg.sport_base as u64)
+            .write_u64(self.cfg.router_ip as u64)
+            .write_u64(self.replica_ip as u64)
+            .write_u64(self.vni as u64)
+            .write_u64(self.session_to_tunnel.len() as u64);
+        for (tuple, &tunnel) in &self.session_to_tunnel {
+            d.write_u64(canal_net::hash_five_tuple(tuple))
+                .write_u64(tunnel as u64);
+        }
+        d.write_u64(self.encapsulated);
     }
 }
 

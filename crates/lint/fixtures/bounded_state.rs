@@ -1,0 +1,20 @@
+// Fixture: a growable collection field that &mut self methods grow with
+// no cap const, eviction counter, or shrink path must trip the
+// `bounded-state` rule — unbounded long-lived state is an OOM waiting for
+// a million-pod run.
+pub struct GrowingAuditLog {
+    entries: Vec<u64>,
+}
+
+impl GrowingAuditLog {
+    pub fn record(&mut self, v: u64) {
+        self.entries.push(v);
+    }
+
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.entries.len() as u64);
+        for &e in &self.entries {
+            d.write_u64(e);
+        }
+    }
+}

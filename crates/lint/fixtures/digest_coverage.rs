@@ -1,0 +1,17 @@
+// Fixture: a mutable-state struct in a digest-participating crate that is
+// unreachable from every fold_digest impl must trip the `digest-coverage`
+// rule — state the double-run harness cannot see can silently diverge
+// between runs.
+pub struct ShadowTracker {
+    count: u64,
+}
+
+impl ShadowTracker {
+    pub fn bump(&mut self) {
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: the PR-5 `last_good` bug, in miniature. The struct *has* a
+// fold_digest, but one field its &mut self methods mutate never reaches
+// the fold — exactly the shape of drift the `digest-coverage` field-fold
+// prong exists to catch structurally.
+pub struct MiniRollout {
+    version: u64,
+    last_good: u64,
+}
+
+impl MiniRollout {
+    pub fn promote(&mut self) {
+        self.version += 1;
+        self.last_good = self.version;
+    }
+
+    pub fn fold_digest(&self, d: &mut Digest) {
+        // BUG (deliberate): last_good is mutated above but never folded.
+        d.write_u64(self.version);
+    }
+}

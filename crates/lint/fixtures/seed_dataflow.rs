@@ -1,0 +1,16 @@
+// Fixture: a library fn that seeds a private SimRng without taking a
+// SimRng in its signature — and with no in-file caller chain that does —
+// must trip the `seed-dataflow` rule. All randomness must be steered by
+// the one experiment seed, so private streams can only be forks of a
+// caller-supplied generator.
+pub fn make_hidden_plan() -> u64 {
+    let mut rng = SimRng::seed(0xBAD_5EED);
+    rng.u64()
+}
+
+// A compliant neighbour for contrast: the private stream is a fork of the
+// caller's generator, so the signature carries SimRng and nothing fires.
+pub fn make_forked_plan(rng: &mut SimRng) -> u64 {
+    let mut sub = SimRng::seed(rng.u64());
+    sub.u64()
+}

@@ -235,18 +235,34 @@ fn mask(source: &str) -> (String, Vec<(usize, String)>) {
             }
         }
     }
-    if state == State::LineComment {
+    // Flush a comment the file ends inside (no trailing newline after a
+    // line comment; rustc rejects an unterminated block comment but the
+    // lexer must still not lose the body it saw).
+    if matches!(state, State::LineComment | State::BlockComment) {
         comments.push((cur_comment_line, cur_comment));
     }
     (out, comments)
 }
 
+/// Whether a collected comment body marks a *doc* comment. Matches rustc's
+/// definition: `///` and `/**` open doc comments but `////` and `/***` are
+/// ordinary comments again, and `//!`/`/*!` are inner doc comments. The
+/// body we get has the opening `//` or `/*` already stripped.
+fn is_doc_comment(body: &str) -> bool {
+    let mut chars = body.chars();
+    match chars.next() {
+        Some('!') => true,
+        Some('/') => chars.next() != Some('/'),
+        Some('*') => chars.next() != Some('*'),
+        _ => false,
+    }
+}
+
 /// Parse `lint:allow(rule) reason=...` out of a comment body. Doc comments
-/// (`///`, `//!`, `/** */`, `/*! */` — whose collected body starts with
-/// `/`, `!` or `*`) are documentation, not directives: prose about the
-/// annotation syntax must not register as a suppression.
+/// (`///`, `//!`, `/** */`, `/*! */`) are documentation, not directives:
+/// prose about the annotation syntax must not register as a suppression.
 fn parse_suppression(line: usize, comment: &str) -> Option<Suppression> {
-    if matches!(comment.chars().next(), Some('/' | '!' | '*')) {
+    if is_doc_comment(comment) {
         return None;
     }
     let idx = comment.find("lint:allow(")?;
@@ -398,5 +414,123 @@ let y = 1; /* HashMap */ let z = 2;
         let lexed = lex(src);
         assert!(!lexed.code_lines[0].contains("unwrap"));
         assert!(lexed.code_lines[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_ignore_shorter_terminators() {
+        // The embedded "# must not close an r##"..."## string.
+        let src = "let s = r##\"panic!() \"# unwrap()\"##; let ok = after();";
+        let lexed = lex(src);
+        assert!(!lexed.code_lines[0].contains("panic"));
+        assert!(!lexed.code_lines[0].contains("unwrap"));
+        assert!(lexed.code_lines[0].contains("let ok = after();"));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_blanked() {
+        let src = "let b = br#\"Instant::now()\"#; let c = b\"HashMap\"; real();";
+        let lexed = lex(src);
+        assert!(!lexed.code_lines[0].contains("Instant"));
+        assert!(!lexed.code_lines[0].contains("HashMap"));
+        assert!(lexed.code_lines[0].contains("real();"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        // r#fn is a raw identifier, not an unterminated raw string: the
+        // unwrap() after it is real code and must survive masking.
+        let src = "let r#fn = 1; x.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.code_lines[0].contains("r#fn"));
+        assert!(lexed.code_lines[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn multi_line_strings_preserve_line_numbers() {
+        // Both the backslash-continuation form and a plain embedded newline
+        // must keep later lines aligned so findings point at real lines.
+        let src = "let a = \"one \\\n  two\";\nlet b = \"three\nfour\";\nx.unwrap(); // lint:allow(panic) reason=r\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.code_lines.len(), 5);
+        assert!(!lexed.code_lines[0].contains("one"));
+        assert!(!lexed.code_lines[1].contains("two"));
+        assert!(!lexed.code_lines[3].contains("four"));
+        assert!(lexed.code_lines[4].contains(".unwrap()"));
+        assert_eq!(lexed.suppressions.len(), 1);
+        assert_eq!(lexed.suppressions[0].line, 5);
+    }
+
+    #[test]
+    fn char_and_byte_escapes_are_contained() {
+        // Multi-character escapes must not let the literal swallow the
+        // code after it.
+        let src =
+            "let a = '\\n'; let b = '\\''; let c = '\\\\'; let d = '\\x41'; let e = '\\u{1F600}'; let f = b'\\xFF'; tail();";
+        let lexed = lex(src);
+        assert!(!lexed.code_lines[0].contains("x41"));
+        assert!(!lexed.code_lines[0].contains("1F600"));
+        assert!(!lexed.code_lines[0].contains("xFF"));
+        assert!(lexed.code_lines[0].contains("tail();"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        let src = "let q = '\"'; x.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.code_lines[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_balance() {
+        let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ live(); /* plain */ more();";
+        let lexed = lex(src);
+        assert!(lexed.code_lines[0].contains("live();"));
+        assert!(lexed.code_lines[0].contains("more();"));
+        assert!(!lexed.code_lines[0].contains('1'));
+        assert!(!lexed.code_lines[0].contains("plain"));
+    }
+
+    #[test]
+    fn comment_openers_inside_strings_are_inert() {
+        let src = "let url = \"http://example/*x\"; live();\nnext.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.code_lines[0].contains("live();"));
+        assert!(lexed.code_lines[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn escaped_backslash_then_quote_closes_the_string() {
+        // "x\\" ends at the second quote; the unwrap after it is code.
+        let src = "let s = \"x\\\\\"; y.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.code_lines[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn four_slash_comments_are_not_doc_comments() {
+        // `////` and `/***` are ordinary comments in Rust (doc comments are
+        // exactly `///`, `//!`, `/**`, `/*!`), so directives inside them
+        // must still register.
+        let src = "//// lint:allow(panic) reason=quad slash is a plain comment\nf();\n/*** lint:allow(stdout) reason=triple star is a plain comment */\ng();\n";
+        let lexed = lex(src);
+        let rules: Vec<&str> = lexed.suppressions.iter().map(|s| s.rule.as_str()).collect();
+        assert_eq!(rules, ["panic", "stdout"], "{:?}", lexed.suppressions);
+    }
+
+    #[test]
+    fn unterminated_trailing_comments_still_yield_suppressions() {
+        // No trailing newline after a line comment; rustc would reject an
+        // unterminated block comment but the lexer must not lose its body.
+        let lexed = lex("f(); // lint:allow(panic) reason=tail");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let lexed = lex("g(); /* lint:allow(stdout) reason=tail");
+        assert_eq!(lexed.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn same_line_cfg_test_items_end_at_the_semicolon() {
+        let src = "#[cfg(test)] use foo::bar;\nfn live() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.in_test, vec![true, false]);
     }
 }

@@ -1,29 +1,74 @@
 //! `cargo run -p canal-lint` — scan the workspace (or, with
-//! `--fixtures <dir>`, a fixture directory) and print a human report.
+//! `--fixtures <dir>`, a fixture directory) and print a report.
+//! `--json` switches the report to the machine-readable form;
+//! `--explain [<rule>]` prints rule rationale and suppression syntax.
 //! Exits nonzero when any rule fires.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let result = match args.next().as_deref() {
-        None => canal_lint::scan_workspace(&canal_lint::workspace_root()),
-        Some("--fixtures") => match args.next() {
-            Some(dir) => canal_lint::scan_fixture_dir(&PathBuf::from(dir)),
+const USAGE: &str = "usage: canal-lint [--json] [--fixtures <dir>] | canal-lint --explain [<rule>]";
+
+fn explain(rule: Option<&str>) -> ExitCode {
+    match rule {
+        None => {
+            for doc in canal_lint::rules::RULE_DOCS {
+                println!("{:<16} {}", doc.id, doc.summary);
+            }
+            println!("\nrun `canal-lint --explain <rule>` for rationale and suppression syntax");
+            ExitCode::SUCCESS
+        }
+        Some(id) => match canal_lint::rules::rule_doc(id) {
+            Some(doc) => {
+                println!("rule: {}", doc.id);
+                println!("summary: {}", doc.summary);
+                println!("rationale: {}", doc.rationale);
+                println!("suppression: {}", doc.suppression);
+                ExitCode::SUCCESS
+            }
             None => {
-                eprintln!("usage: canal-lint [--fixtures <dir>]");
-                return ExitCode::from(2);
+                eprintln!("unknown rule `{id}`; valid rules:");
+                for known in canal_lint::rules::RULE_IDS {
+                    eprintln!("  {known}");
+                }
+                ExitCode::from(2)
             }
         },
-        Some(other) => {
-            eprintln!("unknown argument `{other}`; usage: canal-lint [--fixtures <dir>]");
-            return ExitCode::from(2);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => match args.next() {
+                Some(dir) => fixtures = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => return explain(args.next().as_deref()),
+            other => {
+                eprintln!("unknown argument `{other}`; {USAGE}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    let result = match fixtures {
+        Some(dir) => canal_lint::scan_fixture_dir(&dir),
+        None => canal_lint::scan_workspace(&canal_lint::workspace_root()),
     };
     match result {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,882 @@
+//! A std-only item parser layered on the masked lexer output.
+//!
+//! [`parse`] extracts the symbols the graph-aware rules need from one
+//! lexed file: `use` edges and qualified-path crate references (with
+//! `use x as y` alias resolution) for the layering rule, struct
+//! definitions with their fields, `impl` blocks binding methods to their
+//! owning type, free and associated fns with the parts of their bodies
+//! the rules query (idents, call edges, `SimRng::seed` sites, `self.f`
+//! mutations), and consts (cap-constant evidence for `bounded-state`).
+//!
+//! This is deliberately not a full Rust grammar: it token-scans with
+//! brace/angle matching, which is exact for the rustfmt-formatted code in
+//! this workspace and degrades to "sees nothing" (never to a spurious
+//! symbol) on constructs it does not model. Rules built on it are tuned
+//! for precision: a miss weakens coverage, a false symbol would create a
+//! false violation.
+
+use crate::lexer::LexedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One token of masked code: an identifier/number or a punctuation blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+/// One resolved internal-crate reference (layering input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateRef {
+    /// 1-based line of the reference.
+    pub line: usize,
+    /// Referenced crate ident (`canal_sim`, `bytes`, ...), alias-resolved.
+    pub name: String,
+}
+
+/// One struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name (tuple fields are `"0"`, `"1"`, ...).
+    pub name: String,
+    /// Field type as a space-joined token string (`Vec < SpanRecord >`).
+    pub ty: String,
+    /// 1-based line of the field.
+    pub line: usize,
+}
+
+/// One struct definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name (generics stripped).
+    pub name: String,
+    /// 1-based line of the `struct` item.
+    pub line: usize,
+    /// Declared fields, in order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// How a `self.<field>` expression is touched inside a method body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldOpKind {
+    /// `self.f = ...` or a compound assignment (`+=`, `|=`, ...).
+    Assign,
+    /// `self.f.method(...)` — the method name, mutating or not.
+    Call(String),
+    /// `&mut self.f` handed out (e.g. to `mem::take` or a helper).
+    MutBorrow,
+}
+
+/// One `self.<field>` operation observed in a fn body.
+#[derive(Debug, Clone)]
+pub struct FieldOp {
+    /// The field name.
+    pub field: String,
+    /// What was done to it.
+    pub kind: FieldOpKind,
+    /// 1-based line of the operation.
+    pub line: usize,
+}
+
+/// The body facts a fn contributes to the symbol graph.
+#[derive(Debug, Clone, Default)]
+pub struct BodyInfo {
+    /// Every identifier appearing in the body (field-fold coverage check).
+    pub idents: BTreeSet<String>,
+    /// Callee names: `foo(...)`, `self.foo(...)`, `Type::foo(...)` all
+    /// contribute `foo` (in-file call edges for `seed-dataflow`).
+    pub calls: Vec<String>,
+    /// Lines where the body seeds a fresh stream via `SimRng::seed(...)`.
+    pub rng_seed_lines: Vec<usize>,
+    /// `self.<field>` operations (mutation evidence).
+    pub field_ops: Vec<FieldOp>,
+}
+
+/// One fn definition (free or associated).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Fn name.
+    pub name: String,
+    /// 1-based line of the `fn` item.
+    pub line: usize,
+    /// `Some(Type)` when the fn sits in an `impl Type` / `impl Tr for Type`.
+    pub owner: Option<String>,
+    /// True for `&mut self` / `mut self` receivers.
+    pub takes_mut_self: bool,
+    /// Identifiers appearing in the parameter list (type names included),
+    /// e.g. `SimRng` for `rng: &mut SimRng`.
+    pub sig_idents: BTreeSet<String>,
+    /// Extracted body facts (empty for trait-method declarations).
+    pub body: BodyInfo,
+}
+
+/// One `const`/`static` item (associated or module-level).
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    /// Item name (conventionally SCREAMING_CASE).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// `Some(Type)` for associated consts.
+    pub owner: Option<String>,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyntax {
+    /// Internal-crate references, deduped per (line, crate).
+    pub crate_refs: Vec<CrateRef>,
+    /// Struct definitions (item position only, not inside fn bodies).
+    pub structs: Vec<StructDef>,
+    /// Fn definitions, with impl owners attached.
+    pub fns: Vec<FnDef>,
+    /// Const/static items.
+    pub consts: Vec<ConstDef>,
+}
+
+const MULTI_TOKS: &[&str] = &[
+    "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn tokenize(code_lines: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_char(c) {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+            if let Some(m) = MULTI_TOKS.iter().find(|m| rest.starts_with(**m)) {
+                toks.push(Tok {
+                    text: (*m).to_string(),
+                    line: lineno,
+                });
+                i += m.len();
+                continue;
+            }
+            toks.push(Tok {
+                text: c.to_string(),
+                line: lineno,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Crate idents the layering rule polices.
+fn is_internal_crate(name: &str) -> bool {
+    name == "bytes" || name.starts_with("canal_")
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    out: FileSyntax,
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn at(&self, off: usize) -> &str {
+        self.toks.get(self.i + off).map_or("", |t| t.text.as_str())
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Skip to just past the `;` that ends the current item, ignoring any
+    /// nested braces/brackets/parens (e.g. a const initializer).
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a balanced region that starts at the current `open` token.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0i64;
+        while let Some(t) = self.cur() {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip `<...>` generics if present at the cursor.
+    fn skip_generics(&mut self) {
+        if self.at(0) == "<" {
+            self.skip_balanced("<", ">");
+        }
+    }
+
+    /// Parse items until the matching `}` of the enclosing block (or EOF).
+    fn parse_items(&mut self, owner: Option<&str>) {
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "}" => {
+                    self.bump();
+                    return;
+                }
+                "#" => {
+                    // Attribute: `#[...]` or `#![...]`.
+                    self.bump();
+                    if self.at(0) == "!" {
+                        self.bump();
+                    }
+                    if self.at(0) == "[" {
+                        self.skip_balanced("[", "]");
+                    }
+                }
+                "pub" => {
+                    self.bump();
+                    if self.at(0) == "(" {
+                        self.skip_balanced("(", ")");
+                    }
+                }
+                "unsafe" | "async" | "default" => self.bump(),
+                "extern" => {
+                    // `extern crate x;` (a crate ref) or an extern block.
+                    self.bump();
+                    if self.at(0) == "crate" {
+                        self.bump();
+                        if let Some(t) = self.cur() {
+                            if is_internal_crate(&t.text) {
+                                let (line, name) = (t.line, t.text.clone());
+                                self.out.crate_refs.push(CrateRef { line, name });
+                            }
+                        }
+                        self.skip_to_semi();
+                    } else if self.at(0) == "\"" {
+                        // `extern "C"` — the masked ABI string is `"` `"`.
+                        self.bump();
+                        if self.at(0) == "\"" {
+                            self.bump();
+                        }
+                    }
+                }
+                "use" => self.skip_to_semi(),
+                "mod" => {
+                    self.bump();
+                    self.bump(); // name
+                    if self.at(0) == "{" {
+                        self.bump();
+                        self.parse_items(None);
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "struct" => self.parse_struct(),
+                "enum" | "union" | "trait" => {
+                    self.bump();
+                    self.bump(); // name
+                    self.skip_generics();
+                    while let Some(t) = self.cur() {
+                        match t.text.as_str() {
+                            "{" => {
+                                self.skip_balanced("{", "}");
+                                break;
+                            }
+                            ";" => {
+                                self.bump();
+                                break;
+                            }
+                            "<" => self.skip_generics(),
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                "impl" => self.parse_impl(),
+                "fn" => self.parse_fn(owner),
+                "const" | "static" => {
+                    self.bump();
+                    match self.at(0) {
+                        // `const fn` — reparse as a fn item.
+                        "fn" => continue,
+                        "mut" => self.bump(), // `static mut`
+                        _ => {}
+                    }
+                    if let Some(t) = self.cur() {
+                        if t.text.chars().next().is_some_and(is_ident_char) {
+                            self.out.consts.push(ConstDef {
+                                name: t.text.clone(),
+                                line: t.line,
+                                owner: owner.map(str::to_string),
+                            });
+                        }
+                    }
+                    self.skip_to_semi();
+                }
+                "type" => self.skip_to_semi(),
+                "macro_rules" => {
+                    self.bump(); // macro_rules
+                    self.bump(); // !
+                    self.bump(); // name
+                    match self.at(0) {
+                        "{" => self.skip_balanced("{", "}"),
+                        "(" => {
+                            self.skip_balanced("(", ")");
+                            self.skip_to_semi();
+                        }
+                        _ => {}
+                    }
+                }
+                "{" => self.skip_balanced("{", "}"),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        self.bump(); // struct
+        let Some(name_tok) = self.cur() else { return };
+        let (name, line) = (name_tok.text.clone(), name_tok.line);
+        self.bump();
+        self.skip_generics();
+        let mut def = StructDef {
+            name,
+            line,
+            fields: Vec::new(),
+        };
+        // Optional where clause, then `;` (unit), `(...)` (tuple) or `{...}`.
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                ";" => {
+                    self.bump();
+                    break;
+                }
+                "(" => {
+                    self.parse_tuple_fields(&mut def);
+                    self.skip_to_semi();
+                    break;
+                }
+                "{" => {
+                    self.parse_named_fields(&mut def);
+                    break;
+                }
+                "<" => self.skip_generics(),
+                _ => self.bump(),
+            }
+        }
+        self.out.structs.push(def);
+    }
+
+    fn parse_tuple_fields(&mut self, def: &mut StructDef) {
+        self.bump(); // (
+        let mut depth = 0i64;
+        let mut idx = 0usize;
+        let mut ty = Vec::new();
+        let mut line = self.cur().map_or(0, |t| t.line);
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" if depth > 0 => depth -= 1,
+                ")" => {
+                    if !ty.is_empty() {
+                        def.fields.push(FieldDef {
+                            name: idx.to_string(),
+                            ty: ty.join(" "),
+                            line,
+                        });
+                    }
+                    self.bump();
+                    return;
+                }
+                "," if depth == 0 => {
+                    def.fields.push(FieldDef {
+                        name: idx.to_string(),
+                        ty: ty.join(" "),
+                        line,
+                    });
+                    idx += 1;
+                    ty = Vec::new();
+                    line = self.toks.get(self.i + 1).map_or(line, |t| t.line);
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            if t.text != "pub" {
+                ty.push(t.text.clone());
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_named_fields(&mut self, def: &mut StructDef) {
+        self.bump(); // {
+        loop {
+            match self.at(0) {
+                "" | "}" => {
+                    self.bump();
+                    return;
+                }
+                "#" => {
+                    self.bump();
+                    if self.at(0) == "[" {
+                        self.skip_balanced("[", "]");
+                    }
+                    continue;
+                }
+                "pub" => {
+                    self.bump();
+                    if self.at(0) == "(" {
+                        self.skip_balanced("(", ")");
+                    }
+                    continue;
+                }
+                "," => {
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            let Some(name_tok) = self.cur() else { return };
+            let (name, line) = (name_tok.text.clone(), name_tok.line);
+            self.bump();
+            if self.at(0) != ":" {
+                // Not a field start we understand; resynchronize.
+                continue;
+            }
+            self.bump(); // :
+            let mut depth = 0i64;
+            let mut ty = Vec::new();
+            while let Some(t) = self.cur() {
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" if depth > 0 => depth -= 1,
+                    "," if depth == 0 => break,
+                    "}" if depth == 0 => break,
+                    _ => {}
+                }
+                ty.push(t.text.clone());
+                self.bump();
+            }
+            def.fields.push(FieldDef {
+                name,
+                ty: ty.join(" "),
+                line,
+            });
+        }
+    }
+
+    fn parse_impl(&mut self) {
+        self.bump(); // impl
+        self.skip_generics();
+        // Collect the type path; `Trait for Type` keeps what follows `for`.
+        let mut path: Vec<String> = Vec::new();
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "for" => {
+                    path.clear();
+                    self.bump();
+                }
+                "where" => {
+                    while self.cur().is_some_and(|t| t.text != "{") {
+                        if self.at(0) == "<" {
+                            self.skip_generics();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                }
+                "{" => break,
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "<" => self.skip_generics(),
+                _ => {
+                    if t.text.chars().next().is_some_and(is_ident_char) {
+                        path.push(t.text.clone());
+                    }
+                    self.bump();
+                }
+            }
+        }
+        let ty = path.last().cloned().unwrap_or_default();
+        if self.at(0) == "{" {
+            self.bump();
+            self.parse_items(if ty.is_empty() { None } else { Some(&ty) });
+        }
+    }
+
+    fn parse_fn(&mut self, owner: Option<&str>) {
+        self.bump(); // fn
+        let Some(name_tok) = self.cur() else { return };
+        let mut def = FnDef {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            owner: owner.map(str::to_string),
+            takes_mut_self: false,
+            sig_idents: BTreeSet::new(),
+            body: BodyInfo::default(),
+        };
+        self.bump();
+        self.skip_generics();
+        if self.at(0) == "(" {
+            // Parameter list: collect idents, detect the receiver.
+            let mut depth = 0i64;
+            let mut prev = String::new();
+            while let Some(t) = self.cur() {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.bump();
+                            break;
+                        }
+                    }
+                    "self" if depth == 1 => {
+                        def.takes_mut_self |= prev == "mut";
+                    }
+                    s if s.chars().next().is_some_and(is_ident_char) => {
+                        def.sig_idents.insert(s.to_string());
+                    }
+                    _ => {}
+                }
+                prev = t.text.clone();
+                self.bump();
+            }
+        }
+        // Return type / where clause, up to the body or `;`.
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "{" => break,
+                ";" => {
+                    self.bump();
+                    self.out.fns.push(def);
+                    return;
+                }
+                "<" => self.skip_generics(),
+                _ => self.bump(),
+            }
+        }
+        if self.at(0) == "{" {
+            self.walk_body(&mut def.body);
+        }
+        self.out.fns.push(def);
+    }
+
+    /// Walk a `{...}` body, extracting idents, call edges, `SimRng::seed`
+    /// sites and `self.<field>` operations. Nested items are swallowed
+    /// into the enclosing fn's body facts, which is what the in-file
+    /// dataflow rules want.
+    fn walk_body(&mut self, body: &mut BodyInfo) {
+        const NOT_CALLS: &[&str] = &[
+            "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "let", "else",
+            "move", "unsafe", "self", "Some", "Ok", "Err",
+        ];
+        let mut depth = 0i64;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            let text = t.text.clone();
+            let line = t.line;
+            if text.chars().next().is_some_and(is_ident_char) {
+                body.idents.insert(text.clone());
+                // Call edge: `name(` not preceded by `fn`/`.`-less paths are
+                // fine either way; a nested `fn helper(` is a definition.
+                let prev = self.i.checked_sub(1).map_or("", |p| self.toks[p].text.as_str());
+                if self.at(1) == "(" && prev != "fn" && !NOT_CALLS.contains(&text.as_str()) {
+                    body.calls.push(text.clone());
+                }
+                if text == "SimRng" && self.at(1) == "::" && self.at(2) == "seed" {
+                    body.rng_seed_lines.push(line);
+                }
+                if text == "self" && self.at(1) == "." {
+                    let field = self.at(2).to_string();
+                    if field.chars().next().is_some_and(is_ident_char) {
+                        let kind = match self.at(3) {
+                            "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|="
+                            | "<<=" | ">>=" => Some(FieldOpKind::Assign),
+                            "." => {
+                                let m = self.at(4);
+                                if m.chars().next().is_some_and(is_ident_char)
+                                    && self.at(5) == "("
+                                {
+                                    Some(FieldOpKind::Call(m.to_string()))
+                                } else {
+                                    None
+                                }
+                            }
+                            _ => {
+                                let p1 = self.i.checked_sub(1).map_or("", |p| self.toks[p].text.as_str());
+                                let p2 = self.i.checked_sub(2).map_or("", |p| self.toks[p].text.as_str());
+                                if p1 == "mut" && p2 == "&" {
+                                    Some(FieldOpKind::MutBorrow)
+                                } else {
+                                    None
+                                }
+                            }
+                        };
+                        if let Some(kind) = kind {
+                            body.field_ops.push(FieldOp { field, kind, line });
+                        }
+                    }
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Pre-pass over the token stream: `use` roots, `use ... as` aliases, and
+/// qualified path roots (`alias::` resolves through the alias map).
+fn collect_crate_refs(toks: &[Tok], out: &mut Vec<CrateRef>) {
+    // First pass: use-declaration roots and aliases.
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "use" {
+            i += 1;
+            continue;
+        }
+        // Statement start only (not `.use` — impossible — or idents).
+        let root_at = i + 1;
+        let Some(root) = toks.get(root_at) else { break };
+        if is_internal_crate(&root.text) {
+            out.push(CrateRef {
+                line: root.line,
+                name: root.text.clone(),
+            });
+        }
+        // Scan the use item for a top-level `as` alias of the root path.
+        let mut depth = 0i64;
+        let mut j = root_at;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                "as" if depth == 0 => {
+                    if let (Some(alias), true) =
+                        (toks.get(j + 1), is_internal_crate(&root.text))
+                    {
+                        aliases.insert(alias.text.clone(), root.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    // Second pass: qualified path roots `name::...` (skipping `x::name::`).
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !t.text.chars().next().is_some_and(is_ident_char) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "::") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].text == "::" {
+            continue; // not a path root
+        }
+        let resolved = if is_internal_crate(&t.text) {
+            Some(t.text.clone())
+        } else {
+            aliases.get(&t.text).cloned()
+        };
+        if let Some(name) = resolved {
+            out.push(CrateRef { line: t.line, name });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.name).cmp(&(b.line, &b.name)));
+    out.dedup();
+}
+
+/// Parse one lexed file into its symbol-level view.
+pub fn parse(lexed: &LexedFile) -> FileSyntax {
+    let toks = tokenize(&lexed.code_lines);
+    let mut parser = Parser {
+        toks: &toks,
+        i: 0,
+        out: FileSyntax::default(),
+    };
+    parser.parse_items(None);
+    let mut out = parser.out;
+    collect_crate_refs(&toks, &mut out.crate_refs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileSyntax {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn structs_and_fields_are_extracted() {
+        let src = "pub struct Ring {\n    items: VecDeque<u64>,\n    pub cap: usize,\n}\nstruct Pair(u32, Vec<u8>);\nstruct Unit;\n";
+        let syn = parse_src(src);
+        assert_eq!(syn.structs.len(), 3);
+        let ring = &syn.structs[0];
+        assert_eq!(ring.name, "Ring");
+        assert_eq!(ring.fields.len(), 2);
+        assert_eq!(ring.fields[0].name, "items");
+        assert!(ring.fields[0].ty.contains("VecDeque"));
+        assert_eq!(ring.fields[1].name, "cap");
+        let pair = &syn.structs[1];
+        assert_eq!(pair.fields[0].name, "0");
+        assert!(pair.fields[1].ty.contains("Vec"));
+        assert!(syn.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn generic_structs_and_where_clauses() {
+        let src = "struct Keyed<K: Ord, V> where V: Clone {\n    map: BTreeMap<K, V>,\n}\n";
+        let syn = parse_src(src);
+        assert_eq!(syn.structs[0].name, "Keyed");
+        assert_eq!(syn.structs[0].fields.len(), 1);
+        assert!(syn.structs[0].fields[0].ty.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn impl_binds_methods_to_owner() {
+        let src = "impl Ring {\n    pub fn push(&mut self, v: u64) { self.items.push_back(v); }\n    fn len(&self) -> usize { self.items.len() }\n}\nimpl fmt::Display for Ring {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"\") }\n}\nfn free(rng: &mut SimRng) {}\n";
+        let syn = parse_src(src);
+        let push = syn.fns.iter().find(|f| f.name == "push").unwrap();
+        assert_eq!(push.owner.as_deref(), Some("Ring"));
+        assert!(push.takes_mut_self);
+        let len = syn.fns.iter().find(|f| f.name == "len").unwrap();
+        assert!(!len.takes_mut_self);
+        let fmt = syn.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.owner.as_deref(), Some("Ring"));
+        let free = syn.fns.iter().find(|f| f.name == "free").unwrap();
+        assert!(free.owner.is_none());
+        assert!(free.sig_idents.contains("SimRng"));
+    }
+
+    #[test]
+    fn body_facts_record_mutations_and_seeds() {
+        let src = "impl S {\n    fn step(&mut self) {\n        self.count += 1;\n        self.log.push(self.count);\n        let r = SimRng::seed(7);\n        helper(&mut self.buf);\n    }\n}\n";
+        let syn = parse_src(src);
+        let step = &syn.fns[0];
+        assert_eq!(step.body.rng_seed_lines, vec![5]);
+        assert!(step.body.calls.contains(&"helper".to_string()));
+        let kinds: Vec<(&str, &FieldOpKind)> = step
+            .body
+            .field_ops
+            .iter()
+            .map(|o| (o.field.as_str(), &o.kind))
+            .collect();
+        assert!(kinds.contains(&("count", &FieldOpKind::Assign)));
+        assert!(kinds
+            .iter()
+            .any(|(f, k)| *f == "log" && matches!(k, FieldOpKind::Call(m) if m == "push")));
+        assert!(kinds.contains(&("buf", &FieldOpKind::MutBorrow)));
+    }
+
+    #[test]
+    fn equality_is_not_an_assignment() {
+        let src = "impl S {\n    fn check(&mut self) -> bool { self.count == 3 }\n}\n";
+        let syn = parse_src(src);
+        assert!(syn.fns[0].body.field_ops.is_empty());
+    }
+
+    #[test]
+    fn crate_refs_resolve_aliases_and_skip_locals() {
+        let src = "use canal_sim as cs;\nuse canal_net::link::Link;\nfn f() {\n    let t = cs::SimTime::ZERO;\n    let canal_bps = 3;\n    let b = pkt.bytes;\n    let x = other::bytes::thing();\n}\n";
+        let syn = parse_src(src);
+        let names: Vec<(usize, &str)> = syn
+            .crate_refs
+            .iter()
+            .map(|r| (r.line, r.name.as_str()))
+            .collect();
+        assert!(names.contains(&(1, "canal_sim")));
+        assert!(names.contains(&(2, "canal_net")));
+        assert!(names.contains(&(4, "canal_sim")), "{names:?}");
+        assert!(!names.iter().any(|(l, _)| *l >= 5), "{names:?}");
+    }
+
+    #[test]
+    fn multiline_use_groups_are_one_edge() {
+        let src = "use canal_gateway::{\n    config::ActiveConfig,\n    overload::Admission,\n};\n";
+        let syn = parse_src(src);
+        assert_eq!(syn.crate_refs.len(), 1);
+        assert_eq!(syn.crate_refs[0].name, "canal_gateway");
+    }
+
+    #[test]
+    fn consts_carry_owners() {
+        let src = "const TOP: usize = 4;\nimpl Ring {\n    const CAP: usize = 128;\n    fn id() {}\n}\nstatic NAME: &str = \"x\";\n";
+        let syn = parse_src(src);
+        let cap = syn.consts.iter().find(|c| c.name == "CAP").unwrap();
+        assert_eq!(cap.owner.as_deref(), Some("Ring"));
+        let top = syn.consts.iter().find(|c| c.name == "TOP").unwrap();
+        assert!(top.owner.is_none());
+        assert!(syn.consts.iter().any(|c| c.name == "NAME"));
+    }
+
+    #[test]
+    fn const_fn_is_a_fn_not_a_const() {
+        let src = "pub const fn zero() -> u64 { 0 }\n";
+        let syn = parse_src(src);
+        assert!(syn.consts.is_empty());
+        assert_eq!(syn.fns[0].name, "zero");
+    }
+
+    #[test]
+    fn nested_mods_are_traversed() {
+        let src = "mod inner {\n    pub struct Hidden { v: Vec<u8> }\n    impl Hidden { fn grow(&mut self) { self.v.push(0); } }\n}\n";
+        let syn = parse_src(src);
+        assert_eq!(syn.structs[0].name, "Hidden");
+        assert_eq!(syn.fns[0].owner.as_deref(), Some("Hidden"));
+    }
+}

@@ -11,6 +11,10 @@
 //! * **panic policy** — library code must not `unwrap`/`expect`/`panic!`
 //!   outside `#[cfg(test)]`; deliberate exceptions carry a
 //!   `// lint:allow(panic) reason=...` annotation.
+//! * **state discipline** (graph-aware, see [`crate::graph`]) —
+//!   `digest-coverage`, `bounded-state` and `seed-dataflow` run over the
+//!   parsed symbol graph rather than per-line patterns; their scope
+//!   constants ([`DIGEST_CRATES`]) and docs ([`RULE_DOCS`]) live here.
 
 /// What kind of compilation target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +30,17 @@ pub enum TargetKind {
     /// `benches/`.
     Bench,
 }
+
+/// Crates whose long-lived mutable state participates in the determinism
+/// digest: the `digest-coverage` and `bounded-state` rules police struct
+/// state here. A subset of [`DETERMINISM_CRATES`] — the facade and leaf
+/// protocol crates hold no cross-event state of their own.
+pub const DIGEST_CRATES: &[&str] = &[
+    "canal_sim",
+    "canal_control",
+    "canal_gateway",
+    "canal_telemetry",
+];
 
 /// Crates whose behaviour feeds the deterministic simulator. Wall clocks,
 /// ambient RNG and unordered-map iteration are forbidden here.
@@ -131,8 +146,125 @@ pub const RULE_IDS: &[&str] = &[
     "stdout",
     "panic",
     "suppression",
-    "fault-seed",
+    "global-state",
+    "digest-coverage",
+    "bounded-state",
+    "seed-dataflow",
 ];
+
+/// Documentation for one rule, served by `canal-lint --explain <rule>`.
+pub struct RuleDoc {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line summary (README table material).
+    pub summary: &'static str,
+    /// Why the rule exists — which paper/system invariant it protects.
+    pub rationale: &'static str,
+    /// How to annotate a deliberate exception.
+    pub suppression: &'static str,
+}
+
+const SUPPRESS_PLAIN: &str =
+    "// lint:allow(<rule>) reason=<why> on the offending line or the line above";
+
+/// Rationale and suppression syntax per rule, in [`RULE_IDS`] order.
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        id: "wallclock",
+        summary: "no Instant::now/SystemTime::now in simulation-facing code",
+        rationale: "Wall-clock reads make a seeded run irreproducible: the same seed must \
+                    yield the same event timeline, so all time flows from canal_sim::SimTime \
+                    virtual time. Only canal-bench's microbenchmarks measure the real clock.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "ambient-rng",
+        summary: "no thread_rng/OsRng/from_entropy ambient randomness",
+        rationale: "All randomness must derive from the experiment's single seed through \
+                    canal_sim::SimRng; ambient entropy desynchronizes double runs and makes \
+                    chaos/overload results unrepeatable.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "unordered-map",
+        summary: "no HashMap/HashSet in deterministic library code",
+        rationale: "Hash-ordered iteration depends on the hasher's random state, so any fold \
+                    over it diverges between runs. BTreeMap/BTreeSet iterate in key order, \
+                    which is what the digest discipline requires.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "layering",
+        summary: "crate references and manifest deps must follow the declared DAG",
+        rationale: "The dependency DAG (canal_lint::rules::LAYERING_DAG) is the architecture: \
+                    gateway code must not reach into control, leaf crates stay leaves. The rule \
+                    checks the parsed use-graph (aliases resolved) and every Cargo.toml.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "stdout",
+        summary: "only canal-bench and binaries may print to stdout",
+        rationale: "Library crates communicate through return values and metrics; stray prints \
+                    corrupt experiment reports that are parsed from stdout and hide real output.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "panic",
+        summary: "no unwrap/expect/panic! in library code outside tests",
+        rationale: "A panic in mesh code is a blast-radius event: one tenant's bad input must \
+                    not take down a shared gateway. Library code returns Result and lets the \
+                    caller decide; tests may assert freely.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "suppression",
+        summary: "lint:allow hygiene: known rule, reason given, actually used",
+        rationale: "Exceptions must not rot: an allow with no reason, an unknown rule id, a \
+                    digest-coverage allow without a derived:/transient: type, or an allow that \
+                    no longer suppresses anything is itself a violation.",
+        suppression: "not suppressible — fix the annotation it complains about",
+    },
+    RuleDoc {
+        id: "global-state",
+        summary: "no static mut/thread_local!/OnceLock ambient global state",
+        rationale: "Global mutable state survives across simulation runs in one process and \
+                    escapes both the digest fold and the per-tenant isolation story: two \
+                    back-to-back seeded runs would see different initial state.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "digest-coverage",
+        summary: "mutable structs in digest crates must be reachable from a fold_digest",
+        rationale: "The double-run harness only proves determinism for state that reaches a \
+                    digest. A struct mutated by &mut self methods but unreachable from every \
+                    fold_digest impl — or a field mutated but missing from its own fold \
+                    (the PR-5 last_good bug) — can silently diverge between runs.",
+        suppression: "// lint:allow(digest-coverage) reason=derived: <why> (recomputable from \
+                      folded state) or reason=transient: <why> (scratch state, reset per step)",
+    },
+    RuleDoc {
+        id: "bounded-state",
+        summary: "growable collection fields on long-lived structs must be bounded",
+        rationale: "A Vec/VecDeque/BTreeMap that &mut self methods grow without a cap const, \
+                    eviction counter, or shrink path is an OOM waiting for a million-pod run; \
+                    bounded rings with eviction counters keep memory flat and observable.",
+        suppression: SUPPRESS_PLAIN,
+    },
+    RuleDoc {
+        id: "seed-dataflow",
+        summary: "fns that seed a SimRng must take one from their callers",
+        rationale: "Fault plans, jitter, sampling and wave selection must all be steered by \
+                    the one experiment seed. A fn body calling SimRng::seed must receive a \
+                    SimRng in its signature — directly or through the in-file callers that \
+                    reach it — so private streams can only be forks of the caller's.",
+        suppression: SUPPRESS_PLAIN,
+    },
+];
+
+/// Look up the doc for a rule id.
+pub fn rule_doc(id: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.id == id)
+}
 
 /// One textual pattern a rule searches for.
 pub struct Pattern {
@@ -192,11 +324,16 @@ pub const UNORDERED_MAP_PATTERNS: &[Pattern] = &[word("HashMap"), word("HashSet"
 /// communicate through return values and metrics.
 pub const STDOUT_PATTERNS: &[Pattern] = &[tok("println!"), tok("print!"), tok("dbg!")];
 
-/// Faults-facing library code (`fault*`/`resilience*` modules in
-/// determinism crates) must take its `SimRng`/`SimTime` from the caller,
-/// never seed a stream of its own — otherwise a fault plan stops being
-/// steered by the experiment's single seed and chaos runs drift apart.
-pub const FAULT_SEED_PATTERNS: &[Pattern] = &[tok("SimRng::seed")];
+/// Ambient global state: survives across runs in one process, escapes the
+/// digest fold, and undermines per-tenant isolation reasoning.
+pub const GLOBAL_STATE_PATTERNS: &[Pattern] = &[
+    tok("static mut"),
+    tok("thread_local!"),
+    word("OnceLock"),
+    word("OnceCell"),
+    word("LazyLock"),
+    tok("lazy_static!"),
+];
 
 /// Panicking constructs forbidden in library code outside `#[cfg(test)]`.
 pub const PANIC_PATTERNS: &[Pattern] = &[
@@ -258,6 +395,24 @@ mod tests {
     fn unwrap_or_is_not_unwrap() {
         assert!(find_pattern("v.unwrap_or(0)", &method(".unwrap()")).is_empty());
         assert_eq!(find_pattern("v.unwrap()", &method(".unwrap()")).len(), 1);
+    }
+
+    #[test]
+    fn every_rule_id_has_a_doc_and_vice_versa() {
+        assert_eq!(RULE_IDS.len(), RULE_DOCS.len());
+        for (id, doc) in RULE_IDS.iter().zip(RULE_DOCS) {
+            assert_eq!(*id, doc.id, "RULE_DOCS must stay in RULE_IDS order");
+            assert!(!doc.summary.is_empty() && !doc.rationale.is_empty());
+        }
+        assert!(rule_doc("digest-coverage").is_some());
+        assert!(rule_doc("fault-seed").is_none(), "glob heuristic removed");
+    }
+
+    #[test]
+    fn digest_crates_are_determinism_crates() {
+        for c in DIGEST_CRATES {
+            assert!(DETERMINISM_CRATES.contains(c), "{c}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! directly, which keeps borrow scopes simple and the event order fully
 //! deterministic (ties broken by insertion sequence, FIFO).
 
-use crate::invariant::EventOrderMonitor;
+use crate::invariant::{Digest, EventOrderMonitor};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -26,8 +26,10 @@ pub trait Model {
 /// Events scheduled for the same instant fire in the order they were
 /// scheduled (stable FIFO), which the determinism of every experiment relies
 /// on.
+// lint:allow(digest-coverage) reason=transient: per-dispatch scratch; its pending events are drained into the digested Simulation queue before the handler returns
 pub struct Scheduler<E> {
     now: SimTime,
+    // lint:allow(bounded-state) reason=drained wholesale into the Simulation queue after every single dispatch
     pending: Vec<(SimTime, E)>,
     halted: bool,
 }
@@ -122,6 +124,24 @@ impl<E> Simulation<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Fold the engine state into a digest: clock (`now`), insertion
+    /// sequence (`seq`), dispatch count (`events_fired`), the `(time, seq)`
+    /// shape of every event still in `queue` (canonical order), and the
+    /// `monitor` position. Event payloads are the model's to digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.now.as_nanos())
+            .write_u64(self.seq)
+            .write_u64(self.events_fired)
+            .write_u64(self.queue.len() as u64);
+        let mut shape: Vec<(SimTime, u64)> =
+            self.queue.iter().map(|q| (q.time, q.seq)).collect();
+        shape.sort_unstable();
+        for (t, seq) in shape {
+            d.write_u64(t.as_nanos()).write_u64(seq);
+        }
+        self.monitor.fold_digest(d);
     }
 
     /// Seed an event at an absolute instant before (or during) the run.

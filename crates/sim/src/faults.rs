@@ -157,6 +157,7 @@ impl FaultTopology {
 /// An ordered, reproducible fault schedule.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
+    // lint:allow(bounded-state) reason=plan is built once from a finite script or generator before the run starts
     events: Vec<FaultEvent>,
 }
 
@@ -653,6 +654,48 @@ impl FaultState {
     /// Whether the key server is hard-down (fallback path takes over).
     pub fn key_server_down(&self) -> bool {
         self.key_server_down
+    }
+
+    /// Fold the ground-truth fault picture into a digest: the `az_of` /
+    /// `replicas` topology view, every down set (`down_replicas`,
+    /// `down_backends`, `down_azs`), the config pipeline flags
+    /// (`config_blocked`, `config_extra`, `config_poisoned`), key-server
+    /// state (`key_server_down`, `key_server_extra`) and per-link `links`
+    /// degradation.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.az_of.len() as u64);
+        for (&b, &az) in &self.az_of {
+            d.write_u64(b as u64).write_u64(az as u64);
+        }
+        d.write_u64(self.replicas.len() as u64);
+        for (&b, &n) in &self.replicas {
+            d.write_u64(b as u64).write_u64(n as u64);
+        }
+        d.write_u64(self.down_replicas.len() as u64);
+        for &(b, r) in &self.down_replicas {
+            d.write_u64(b as u64).write_u64(r as u64);
+        }
+        d.write_u64(self.down_backends.len() as u64);
+        for &b in &self.down_backends {
+            d.write_u64(b as u64);
+        }
+        d.write_u64(self.down_azs.len() as u64);
+        for &a in &self.down_azs {
+            d.write_u64(a as u64);
+        }
+        d.write_u64(self.config_blocked as u64)
+            .write_u64(self.config_extra.as_nanos())
+            .write_u64(self.config_poisoned as u64)
+            .write_u64(self.key_server_down as u64)
+            .write_u64(self.key_server_extra.as_nanos());
+        d.write_u64(self.links.len() as u64);
+        for (&(a, b), st) in &self.links {
+            d.write_u64(a as u64)
+                .write_u64(b as u64)
+                .write_u64(st.crashed as u64)
+                .write_f64(st.loss)
+                .write_u64(st.extra.as_nanos());
+        }
     }
 
     /// Added key-server timeout per handshake (zero when healthy).

@@ -7,6 +7,7 @@
 //! * [`TimeSeries`] — (time, value) samples for the timeline figures.
 //! * [`MetricSet`] — a string-keyed registry an experiment can dump at the end.
 
+use crate::invariant::Digest;
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -37,6 +38,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value
     }
+
+    /// Fold the count (`value`) into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.value);
+    }
 }
 
 /// Last-value gauge.
@@ -64,6 +70,11 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> f64 {
         self.value
+    }
+
+    /// Fold the gauge (`value`, by bit pattern) into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_f64(self.value);
     }
 }
 
@@ -259,6 +270,24 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
     }
+
+    /// Fold the full distribution state into a digest: `count`, `sum`,
+    /// raw `min`/`max` (bit patterns, including the empty-histogram
+    /// infinities), every `buckets` cell and every `exemplars` entry.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.count)
+            .write_f64(self.sum)
+            .write_f64(self.min)
+            .write_f64(self.max)
+            .write_u64(self.buckets.len() as u64);
+        for (&idx, &c) in &self.buckets {
+            d.write_u64(idx as u64).write_u64(c);
+        }
+        d.write_u64(self.exemplars.len() as u64);
+        for (&idx, e) in &self.exemplars {
+            d.write_u64(idx as u64).write_f64(e.value).write_u64(e.trace_id);
+        }
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -279,6 +308,7 @@ impl fmt::Display for Histogram {
 /// (time, value) samples for timeline plots (Figs. 16, 18, 20).
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
+    // lint:allow(bounded-state) reason=one sample per sampling period; the run horizon bounds the series
     points: Vec<(SimTime, f64)>,
 }
 
@@ -348,14 +378,26 @@ impl TimeSeries {
             .find(|&&(t, v)| t >= from && pred(v))
             .map(|&(t, _)| t)
     }
+
+    /// Fold every sample in `points` into a digest (time then value).
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.points.len() as u64);
+        for &(t, v) in &self.points {
+            d.write_u64(t.as_nanos()).write_f64(v);
+        }
+    }
 }
 
 /// A string-keyed bundle of metrics an experiment dumps at the end.
 #[derive(Debug, Default)]
 pub struct MetricSet {
+    // lint:allow(bounded-state) reason=one entry per statically named metric; experiments register a fixed name set
     counters: BTreeMap<String, Counter>,
+    // lint:allow(bounded-state) reason=one entry per statically named metric; experiments register a fixed name set
     gauges: BTreeMap<String, Gauge>,
+    // lint:allow(bounded-state) reason=one entry per statically named metric; experiments register a fixed name set
     histograms: BTreeMap<String, Histogram>,
+    // lint:allow(bounded-state) reason=one entry per statically named metric; experiments register a fixed name set
     series: BTreeMap<String, TimeSeries>,
 }
 
@@ -403,6 +445,31 @@ impl MetricSet {
     /// Iterate histograms (name-sorted).
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold the whole registry into a digest: every named entry of
+    /// `counters`, `gauges`, `histograms` and `series`, in name order.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.counters.len() as u64);
+        for (name, c) in &self.counters {
+            d.write_str(name);
+            c.fold_digest(d);
+        }
+        d.write_u64(self.gauges.len() as u64);
+        for (name, g) in &self.gauges {
+            d.write_str(name);
+            g.fold_digest(d);
+        }
+        d.write_u64(self.histograms.len() as u64);
+        for (name, h) in &self.histograms {
+            d.write_str(name);
+            h.fold_digest(d);
+        }
+        d.write_u64(self.series.len() as u64);
+        for (name, s) in &self.series {
+            d.write_str(name);
+            s.fold_digest(d);
+        }
     }
 }
 

@@ -8,9 +8,11 @@ use std::fmt::Write as _;
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone)]
+// lint:allow(digest-coverage) reason=derived: render buffer assembled from already-digested metrics at print time
 pub struct Table {
     title: String,
     header: Vec<String>,
+    // lint:allow(bounded-state) reason=one row per reported table line; experiments emit a fixed row set at the end of a run
     rows: Vec<Vec<String>>,
 }
 

@@ -16,6 +16,7 @@
 //! on simulated time with `BTreeMap`-ordered state, so runs stay
 //! digest-deterministic.
 
+use crate::invariant::Digest;
 use crate::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -143,6 +144,20 @@ impl CpuServer {
     pub fn busy_cores(&self, now: SimTime) -> usize {
         self.core_free.iter().filter(|&&t| t > now).count()
     }
+
+    /// Fold the full server state into a digest: every `core_free` instant,
+    /// integrated `busy` time, `jobs` served, and the `window_start` /
+    /// `window_busy` accounting window.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.core_free.len() as u64);
+        for &t in &self.core_free {
+            d.write_u64(t.as_nanos());
+        }
+        d.write_u64(self.busy.as_nanos())
+            .write_u64(self.jobs)
+            .write_u64(self.window_start.as_nanos())
+            .write_u64(self.window_busy.as_nanos());
+    }
 }
 
 /// Identifier of a scheduling class on a [`FairCpuServer`]. Callers encode
@@ -237,6 +252,7 @@ pub struct FairCpuServer {
     /// DRR quantum: nanoseconds of CPU credit added per round per weight
     /// unit. One typical job demand is a good value.
     quantum: SimDuration,
+    // lint:allow(bounded-state) reason=one entry per registered tenant class; classes are added at setup, never per request
     classes: BTreeMap<ClassId, ClassState>,
     /// Round-robin order over currently-backlogged classes.
     rr: VecDeque<ClassId>,
@@ -245,6 +261,7 @@ pub struct FairCpuServer {
     /// per job, or the front class would never yield).
     front_topped: bool,
     /// Jobs started since the last [`FairCpuServer::take_started`].
+    // lint:allow(bounded-state) reason=drained wholesale by take_started on every pump event
     started: Vec<FairServed>,
     next_ticket: u64,
     busy: SimDuration,
@@ -467,6 +484,52 @@ impl FairCpuServer {
     /// Total CPU busy time integrated since creation.
     pub fn total_busy(&self) -> SimDuration {
         self.busy
+    }
+
+    /// Fold the full scheduler state into a digest: `core_free` instants,
+    /// the `quantum`, every class in `classes` (config, queue shape, bytes,
+    /// `deficit`, `granted`, `served`, `rejected`), the `rr` rotation with
+    /// its `front_topped` flag, undrained `started` jobs, `next_ticket` and
+    /// integrated `busy` time.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.core_free.len() as u64);
+        for &t in &self.core_free {
+            d.write_u64(t.as_nanos());
+        }
+        d.write_u64(self.quantum.as_nanos());
+        d.write_u64(self.classes.len() as u64);
+        for (&cid, c) in &self.classes {
+            d.write_u64(cid)
+                .write_u64(u64::from(c.cfg.weight))
+                .write_u64(c.cfg.max_slots as u64)
+                .write_u64(c.cfg.max_bytes)
+                .write_u64(c.queue.len() as u64);
+            for job in &c.queue {
+                d.write_u64(job.ticket)
+                    .write_u64(job.arrival.as_nanos())
+                    .write_u64(job.demand.as_nanos())
+                    .write_u64(job.bytes);
+            }
+            d.write_u64(c.queued_bytes)
+                .write_u64(c.deficit)
+                .write_u64(c.granted.as_nanos())
+                .write_u64(c.served)
+                .write_u64(c.rejected);
+        }
+        d.write_u64(self.rr.len() as u64);
+        for &cid in &self.rr {
+            d.write_u64(cid);
+        }
+        d.write_u64(self.front_topped as u64);
+        d.write_u64(self.started.len() as u64);
+        for j in &self.started {
+            d.write_u64(j.class)
+                .write_u64(j.ticket)
+                .write_u64(j.arrival.as_nanos())
+                .write_u64(j.start.as_nanos())
+                .write_u64(j.finish.as_nanos());
+        }
+        d.write_u64(self.next_ticket).write_u64(self.busy.as_nanos());
     }
 }
 

@@ -5,6 +5,8 @@
 //! (inverse-CDF / Box–Muller / rejection-free Zipf) to avoid extra
 //! dependencies and to keep their behaviour stable across `rand` versions.
 
+use crate::invariant::Digest;
+
 /// splitmix64 step — used only to expand a 64-bit seed into xoshiro state.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -177,6 +179,15 @@ impl SimRng {
     /// Raw u64 (for hashing salts).
     pub fn u64(&mut self) -> u64 {
         self.inner.next_u64()
+    }
+
+    /// Fold the generator state (`inner`) into a digest. Two runs whose RNG
+    /// streams have diverged produce different folds even if every sampled
+    /// value happened to agree so far.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        for word in self.inner.s {
+            d.write_u64(word);
+        }
     }
 }
 

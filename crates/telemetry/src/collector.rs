@@ -158,6 +158,7 @@ impl AssembledTrace {
 /// Span sink + assembler.
 #[derive(Debug, Clone, Default)]
 pub struct Collector {
+    // lint:allow(bounded-state) reason=the collector retains every sampled trace for end-of-run assembly; the run horizon and the samplers bound it
     traces: BTreeMap<u64, Vec<Span>>,
     ingested: u64,
 }
@@ -207,12 +208,15 @@ impl Collector {
     }
 
     /// Fold every assembled trace into a digest (trace-id order, canonical
-    /// span order — bit-identical across runs and arrival orders).
+    /// span order — bit-identical across runs and arrival orders), plus
+    /// the `ingested` span counter: two collectors holding the same traces
+    /// after different ingest histories are different states.
     pub fn fold_digest(&self, d: &mut Digest) {
         d.write_u64(self.traces.len() as u64);
         for tr in self.assemble_all() {
             tr.fold_digest(d);
         }
+        d.write_u64(self.ingested);
     }
 }
 

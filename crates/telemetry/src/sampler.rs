@@ -6,8 +6,8 @@
 //! flip) means every recording site — and a second run with the same salt —
 //! reaches the same decision, which is both how real tracers behave and what
 //! the digest-stability contract requires. The salt comes from a
-//! *caller-supplied* [`SimRng`] (the `fault-seed` lint rule polices this
-//! file): the sampler never seeds its own generator.
+//! *caller-supplied* [`SimRng`] (the `seed-dataflow` lint rule polices the
+//! seeding dataflow): the sampler never seeds its own generator.
 //!
 //! **Tail sampling** runs at the collector after a trace completes: error
 //! traces and the slowest percentile are always kept, whatever the head
@@ -20,7 +20,7 @@
 //! and the per-span recording cost is refunded to the request path (see
 //! [`TelemetryMeter`](crate::TelemetryMeter)).
 
-use canal_sim::{Histogram, SimDuration, SimRng};
+use canal_sim::{Digest, Histogram, SimDuration, SimRng};
 
 /// Deterministic, propagation-consistent head sampler.
 #[derive(Debug, Clone)]
@@ -202,6 +202,18 @@ impl TailPolicy {
         } else {
             self.totals_ms.quantile(self.slow_quantile)
         }
+    }
+
+    /// Fold the policy state into a digest: the configuration, the running
+    /// `totals_ms` latency distribution, and the
+    /// `kept_error`/`kept_slow`/`kept_warmup`/`dropped` verdict counters.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_f64(self.slow_quantile).write_u64(self.warmup);
+        self.totals_ms.fold_digest(d);
+        d.write_u64(self.kept_error)
+            .write_u64(self.kept_slow)
+            .write_u64(self.kept_warmup)
+            .write_u64(self.dropped);
     }
 }
 

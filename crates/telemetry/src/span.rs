@@ -166,6 +166,7 @@ pub struct Span {
     /// Whether this hop observed a failure.
     pub error: bool,
     /// Exclusive-time breakdown (kind, duration), in recording order.
+    // lint:allow(bounded-state) reason=a few segments appended per hop while the request is in flight; spans are short-lived per-request records
     pub segments: Vec<(SegmentKind, SimDuration)>,
 }
 
@@ -282,6 +283,16 @@ impl SpanRing {
     /// Spans lost to eviction.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Fold the ring into a digest: the `cap`, every buffered span in
+    /// `buf` (recording order), and the `recorded`/`evicted` counters.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.cap as u64).write_u64(self.buf.len() as u64);
+        for s in &self.buf {
+            s.fold_digest(d);
+        }
+        d.write_u64(self.recorded).write_u64(self.evicted);
     }
 }
 

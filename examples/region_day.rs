@@ -35,7 +35,7 @@ fn main() {
     // A compressed "day": 1 simulated hour at 1/1 scale stands in for the
     // 24-hour cycle (divisor keeps the run fast while the shapes hold).
     let horizon = SimTime::from_secs(3600);
-    let mut region = RegionSimulation::new(gw, horizon, 77);
+    let mut region = RegionSimulation::new(gw, horizon, SimRng::seed(77));
     region.sample_divisor = 4;
     for (i, &s) in services.iter().enumerate() {
         region.add_workload(

@@ -4,14 +4,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Lint first: canal-lint is std-only and builds in seconds, so contract
+# violations surface before the full workspace build. The JSON report is
+# written either way (CI archives it as an artifact).
+echo "==> canal-lint (determinism / layering / panic-policy / state discipline)"
+mkdir -p target
+cargo run -q -p canal-lint -- --json > target/canal-lint.json || true
+cargo run -q -p canal-lint
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
-
-echo "==> canal-lint (determinism / layering / panic-policy)"
-cargo run -q -p canal-lint
 
 # Chaos smoke: a compressed fault-injection run. The binary exits nonzero
 # if the availability invariant breaks (a service with >=1 live replica in

@@ -7,8 +7,9 @@
 //! ```
 //! use canal::testbed::{Testbed, TestbedConfig};
 //! use canal::http::Request;
+//! use canal::sim::SimRng;
 //!
-//! let mut tb = Testbed::new(TestbedConfig::default());
+//! let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
 //! let svc = tb.add_service(1, "orders", &[("/orders", "v1", 100)]);
 //! tb.allow(svc, 100); // identity 100 may call the service
 //! let out = tb.send(100, svc, Request::get("/orders/1")).unwrap();
@@ -34,8 +35,6 @@ use std::collections::BTreeMap;
 pub struct TestbedConfig {
     /// Gateway deployment shape.
     pub gateway: GatewayConfig,
-    /// RNG seed (placement, traffic splitting).
-    pub seed: u64,
     /// Modeled gateway L7 processing latency per request.
     pub l7_latency: SimDuration,
 }
@@ -44,7 +43,6 @@ impl Default for TestbedConfig {
     fn default() -> Self {
         TestbedConfig {
             gateway: GatewayConfig::default(),
-            seed: 42,
             l7_latency: SimDuration::from_micros(120),
         }
     }
@@ -93,12 +91,14 @@ pub struct Testbed {
 }
 
 impl Testbed {
-    /// Build an empty testbed.
-    pub fn new(cfg: TestbedConfig) -> Self {
+    /// Build an empty testbed. The caller supplies the seeded `rng` that
+    /// drives placement and traffic splitting, so the whole run is
+    /// reproducible from wherever that seed came from (`seed-dataflow`).
+    pub fn new(cfg: TestbedConfig, rng: SimRng) -> Self {
         Testbed {
             gateway: Gateway::new(cfg.gateway),
             services: BTreeMap::new(),
-            rng: SimRng::seed(cfg.seed),
+            rng,
             now: SimTime::ZERO,
             trace_counter: 0,
             node_obs: NodeObservability::new(),
@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn quickstart_flow() {
-        let mut tb = Testbed::new(TestbedConfig::default());
+        let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
         let svc = tb.add_service(1, "orders", &[("/orders", "v1", 90), ("/orders", "v2", 10)]);
         tb.allow(svc, 100);
         let out = tb.send(100, svc, Request::get("/orders/1")).unwrap();
@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn zero_trust_denies_unknown_identities() {
-        let mut tb = Testbed::new(TestbedConfig::default());
+        let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
         let svc = tb.add_service(1, "orders", &[("/orders", "v1", 100)]);
         tb.allow(svc, 100);
         let denied = tb.send(31337, svc, Request::get("/orders/1")).unwrap();
@@ -325,7 +325,7 @@ mod tests {
 
     #[test]
     fn unrouted_path_is_404_and_unknown_service_errors() {
-        let mut tb = Testbed::new(TestbedConfig::default());
+        let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
         let svc = tb.add_service(1, "orders", &[("/orders", "v1", 100)]);
         tb.allow(svc, 1);
         let out = tb.send(1, svc, Request::get("/nowhere")).unwrap();
@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn observability_collects_both_sides() {
-        let mut tb = Testbed::new(TestbedConfig::default());
+        let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
         let svc = tb.add_service(2, "api", &[("/", "v1", 1)]);
         tb.allow(svc, 5);
         for _ in 0..10 {
@@ -361,7 +361,7 @@ mod tests {
 
     #[test]
     fn canary_split_holds_through_the_facade() {
-        let mut tb = Testbed::new(TestbedConfig::default());
+        let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(42));
         let svc = tb.add_service(1, "shop", &[("/", "v1", 90), ("/", "v2", 10)]);
         tb.allow(svc, 1);
         let mut v2 = 0;

@@ -19,10 +19,7 @@ const REQUESTS: usize = 400;
 
 /// Run the scenario and fold every observable outcome into a digest.
 fn run_scenario(seed: u64) -> u64 {
-    let mut tb = Testbed::new(TestbedConfig {
-        seed,
-        ..TestbedConfig::default()
-    });
+    let mut tb = Testbed::new(TestbedConfig::default(), SimRng::seed(seed));
     // Traffic driver randomness is split from the testbed's own stream so
     // the two evolve independently, as separate components would.
     let mut driver = SimRng::seed(seed ^ 0xD16E_57A7_E0F0_0D5E);

@@ -49,4 +49,25 @@ fn fixtures_trip_every_rule() {
         report.suppressed.iter().any(|s| s.rule == "panic"),
         "expected at least one honoured suppression in fixtures"
     );
+    // The graph-aware rules fire on their dedicated fixture, not by
+    // accident somewhere else — and the PR-5-shaped fixture trips the
+    // field-fold prong by name.
+    let at = |rule: &str, file: &str| {
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == rule && v.file.contains(file))
+    };
+    assert!(at("digest-coverage", "digest_coverage.rs"));
+    assert!(at("digest-coverage", "rollout_last_good.rs"));
+    assert!(at("bounded-state", "bounded_state.rs"));
+    assert!(at("seed-dataflow", "seed_dataflow.rs"));
+    assert!(at("global-state", "global_state.rs"));
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.file.contains("rollout_last_good.rs") && v.message.contains("last_good")),
+        "the field-fold prong must name the unfolded field"
+    );
 }
