@@ -1,0 +1,128 @@
+//! CLI driver for the certificate-rotation handshake-storm experiment.
+//!
+//! ```text
+//! rotation                          # full 110 s timeline, 100k certs
+//! rotation --fast                   # compressed smoke run (scripts/check.sh)
+//! rotation --seed 7                 # different seed
+//! rotation --json target/rot.json   # also write a machine-readable report
+//! ```
+//!
+//! Exit code is non-zero unless the cert-lifecycle invariant holds: the
+//! rotating tenant fully re-keys with zero availability loss for everyone
+//! else, the clock-skew-poisoned bundle is NACKed at the canary (zero
+//! commits, automatic rollback, clean retry), the compromise revocation
+//! floor sticks and swept tickets never resume, resumption keeps the
+//! steady state in the accelerator's bubble regime while the storm fills
+//! batches, and the key-server backlog fully drains. Double runs must be
+//! bit-identical. At full scale every report check gates too.
+
+use canal_bench::experiments::handshake::{report_for, run_handshake, HandshakeParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let mut json_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json takes a path");
+            std::process::exit(2);
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast {
+        HandshakeParams::fast()
+    } else {
+        HandshakeParams::full()
+    };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let outcome = run_handshake(seed, &params);
+    let rerun = run_handshake(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+
+    if let Some(path) = json_path {
+        let json = render_json(seed, fast, &outcome, &report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+
+    if outcome.digest() != rerun.digest() {
+        eprintln!("FAIL: double run diverged (determinism broken)");
+        std::process::exit(1);
+    }
+    if !outcome.rotation_ok() {
+        eprintln!("FAIL: cert-lifecycle invariant violated (storm / rollback / revocation)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} handshake checks missed");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): the CI-archived artifact.
+fn render_json(
+    seed: u64,
+    fast: bool,
+    outcome: &canal_bench::experiments::handshake::HandshakeOutcome,
+    report: &canal_bench::ExperimentReport,
+) -> String {
+    let c = &outcome.canal;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"handshake\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"digest\": \"{:#018x}\",\n", outcome.digest()));
+    s.push_str(&format!("  \"rotation_ok\": {},\n", outcome.rotation_ok()));
+    s.push_str("  \"canal\": {\n");
+    s.push_str(&format!("    \"rotated_certs\": {},\n", c.rotated_certs));
+    s.push_str(&format!("    \"full_handshakes\": {},\n", c.full_handshakes));
+    s.push_str(&format!("    \"resumed_handshakes\": {},\n", c.resumed_handshakes));
+    s.push_str(&format!("    \"steady_occupancy\": {:.4},\n", c.steady_occupancy));
+    s.push_str(&format!("    \"storm_occupancy\": {:.4},\n", c.storm_occupancy));
+    s.push_str(&format!("    \"storm_full_p99_ms\": {:.3},\n", c.storm_full_p99_us / 1000.0));
+    s.push_str(&format!("    \"peak_sojourn_s\": {:.3},\n", c.peak_sojourn_s));
+    s.push_str(&format!("    \"nonrotating_errors\": {},\n", c.nonrotating_errors));
+    s.push_str(&format!("    \"poison_exposed\": {},\n", c.poison_exposed));
+    s.push_str(&format!("    \"poison_committed\": {},\n", c.poison_committed));
+    s.push_str(&format!("    \"poison_rolled_back\": {},\n", c.poison_rolled_back));
+    s.push_str(&format!("    \"tickets_swept\": {},\n", c.tickets_swept));
+    s.push_str(&format!("    \"rotations_converged\": {},\n", c.rotations_converged));
+    s.push_str(&format!("    \"rotations_rolled_back\": {}\n", c.rotations_rolled_back));
+    s.push_str("  },\n");
+    s.push_str("  \"checks\": [\n");
+    for (i, check) in report.checks.iter().enumerate() {
+        let comma = if i + 1 == report.checks.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": {:?}, \"pass\": {}}}{comma}\n",
+            check.name, check.pass
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

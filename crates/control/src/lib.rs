@@ -30,11 +30,16 @@
 //!   validate → canary wave → health-gated exponential promotion →
 //!   converged, with automatic rollback to last-known-good on NACK,
 //!   health regression, or ack timeout, and a per-version audit log.
+//! * [`certrotation`] — certificate rotation waves: expiry-driven (and
+//!   compromise-forced) bundle cutting, distributed through [`rollout`] so
+//!   a poisoned bundle NACKs at the canary and rolls the fleet back to the
+//!   last converged trust state while gateways serve fail-static.
 
 #![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
+pub mod certrotation;
 pub mod configure;
 pub mod inphase;
 pub mod monitor;
@@ -45,6 +50,7 @@ pub mod rollout;
 pub mod versioned;
 pub mod scaling;
 
+pub use certrotation::{CertRotationController, RotationConfig, RotationRecord};
 pub use configure::{ConfigPlane, PushReport};
 pub use inphase::{InPhasePlanner, MigrationPlan};
 pub use monitor::{

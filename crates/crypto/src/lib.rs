@@ -19,6 +19,10 @@
 //!   the keyless mode of Appendix B (user-premises key server).
 //! * [`mtls`] — the handshake state machine gluing it together: asymmetric
 //!   negotiation through a backend, then ChaCha20 symmetric transport.
+//! * [`lifecycle`] — certificate lifecycle: per-tenant CAs issuing certs
+//!   with expiry, generation-based rotation and revocation, distributable
+//!   trust bundles, and session-ticket resumption (resumed handshakes skip
+//!   the asymmetric step entirely).
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +33,7 @@ pub mod chacha20;
 pub mod dh;
 pub mod keyserver;
 pub mod keystore;
+pub mod lifecycle;
 pub mod mtls;
 
 pub use accel::{AccelConfig, AsymmetricBackend, BatchAccelerator, SoftwareBackend};
@@ -36,4 +41,5 @@ pub use chacha20::ChaCha20;
 pub use dh::{DhKeyPair, DhParams, SharedSecret};
 pub use keyserver::{KeyServer, KeyServerConfig, KeyServerPlacement};
 pub use keystore::KeyStore;
-pub use mtls::{HandshakeOutcome, MtlsEndpoint, MtlsState};
+pub use lifecycle::{Cert, SessionTicket, TenantCa, TicketCache, TicketMiss, TrustBundle};
+pub use mtls::{HandshakeOutcome, MtlsEndpoint, MtlsError, MtlsState};

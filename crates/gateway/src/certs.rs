@@ -1,0 +1,421 @@
+//! Fail-static certificate-bundle serving: the cert analogue of
+//! [`crate::config`]'s `{running, staged}` contract.
+//!
+//! A gateway terminates mTLS for every pod behind it (§4.1.3), so the
+//! trust state it validates peer certs against — CA generation, revocation
+//! floor, expiry horizon — is distributed control-plane state with the same
+//! outage potential as a route table (§2.2). This module applies the same
+//! discipline the PR-5 rollout gave configs:
+//!
+//! * A pushed [`CertBundleSpec`] is **staged**; handshakes keep validating
+//!   against the last committed `running` bundle.
+//! * `commit_staged` runs semantic validation — mismatched tenant, a CA
+//!   generation of zero or one that regressed, a clock-skewed `not_after`
+//!   (already expired on arrival, or not after its own issuance instant),
+//!   a stale version — and either swaps atomically or rejects with a
+//!   [`BundleRejection`] the data plane NACKs upstream.
+//! * On rejection the staged bundle is discarded and the gateway keeps
+//!   serving `running` unchanged — **fail-static**: a poisoned bundle
+//!   never takes tenant handshakes down with it.
+//!
+//! The rotation controller (`canal_control::certrotation`) drives waves of
+//! these commits through the rollout controller and rolls the fleet back
+//! to the last converged bundle when any gateway NACKs.
+//!
+//! [`CertFault`] is the typed bridge from [`MtlsError`] into the
+//! resilience layer: expiry is retryable-after-refresh, revocation is
+//! terminal (not retry fuel for the retry budget).
+
+use canal_crypto::mtls::MtlsError;
+use canal_sim::{Digest, SimTime};
+
+// Re-exported so upstream crates (the rotation controller in
+// `canal_control`) can build bundles through the gateway's cert surface
+// without taking a direct `canal_crypto` dependency — the layering DAG
+// keeps crypto below the gateway only.
+pub use canal_crypto::lifecycle::TrustBundle;
+
+/// A versioned, distributable cert bundle: the trust view gateways should
+/// validate a tenant's handshakes against, plus the issuance metadata the
+/// commit-time sanity checks need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertBundleSpec {
+    /// The validation view (carries `version`, tenant, generation,
+    /// revocation floor, individual revocations).
+    pub trust: TrustBundle,
+    /// When the controller cut the bundle.
+    pub issued_at: SimTime,
+    /// Expiry horizon of certs issued under this bundle; the commit check
+    /// rejects horizons at or before `issued_at` (and at or before the
+    /// committing gateway's clock) as issuance-clock skew.
+    pub not_after: SimTime,
+}
+
+impl CertBundleSpec {
+    /// Distribution version (from the rotation controller's store).
+    pub fn version(&self) -> u64 {
+        self.trust.version
+    }
+
+    /// Fold the spec into a digest (content-sensitive).
+    pub fn fold_digest(&self, d: &mut Digest) {
+        self.trust.fold_digest(d);
+        d.write_u64(self.issued_at.as_nanos())
+            .write_u64(self.not_after.as_nanos());
+    }
+}
+
+/// Why a staged cert bundle was rejected instead of committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BundleRejection {
+    /// The bundle is for a different tenant than this serving slot.
+    MismatchedTenant {
+        /// Tenant named in the bundle.
+        bundle: u64,
+        /// Tenant this slot serves.
+        serving: u64,
+    },
+    /// The CA generation is zero (never valid) or regressed below the
+    /// running bundle's — committing it would resurrect revoked certs.
+    BadCaGeneration {
+        /// Generation in the staged bundle.
+        staged: u64,
+        /// Generation currently running (0 when nothing runs yet).
+        running: u64,
+    },
+    /// The bundle's validity horizon is behind its own issuance instant or
+    /// behind the committing gateway's clock — the issuance clock is
+    /// skewed, and committing would instantly expire the tenant's fleet.
+    ClockSkewedNotAfter,
+    /// The staged version is not newer than the running one.
+    StaleVersion {
+        /// Version of the staged bundle.
+        staged: u64,
+        /// Version currently running.
+        running: u64,
+    },
+    /// Nothing is staged.
+    NothingStaged,
+}
+
+impl std::fmt::Display for BundleRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleRejection::MismatchedTenant { bundle, serving } => {
+                write!(f, "bundle for tenant {bundle} pushed to tenant {serving}")
+            }
+            BundleRejection::BadCaGeneration { staged, running } => {
+                write!(f, "bad CA generation {staged} (running {running})")
+            }
+            BundleRejection::ClockSkewedNotAfter => write!(f, "clock-skewed not_after"),
+            BundleRejection::StaleVersion { staged, running } => {
+                write!(f, "stale bundle version {staged} (running {running})")
+            }
+            BundleRejection::NothingStaged => write!(f, "nothing staged"),
+        }
+    }
+}
+
+/// The `{running, staged}` cert-bundle pair a gateway validates from.
+///
+/// Invariants (DESIGN.md §12):
+/// * Handshake validation always uses the last *committed* bundle.
+/// * Rejection leaves `running` untouched and clears `staged` (fail-static).
+/// * `running.version()` is strictly monotone across commits (rollback via
+///   [`Self::roll_back_to`] deliberately excepted, content checks intact).
+#[derive(Debug, Clone, Default)]
+pub struct ActiveCertBundle {
+    running: Option<CertBundleSpec>,
+    staged: Option<CertBundleSpec>,
+    committed_at: Option<SimTime>,
+    commits: u64,
+    rejections: u64,
+}
+
+impl ActiveCertBundle {
+    /// Empty pair: nothing running, nothing staged.
+    pub fn new() -> Self {
+        ActiveCertBundle::default()
+    }
+
+    /// Stage a pushed bundle without applying it. Handshake validation is
+    /// unaffected until [`Self::commit_staged`]. Staging twice replaces
+    /// the previous staged bundle (last push wins).
+    pub fn stage(&mut self, spec: CertBundleSpec) {
+        self.staged = Some(spec);
+    }
+
+    /// Content validation, independent of the running pair. Pure: used by
+    /// `commit_staged` and by controllers pre-validating before a push.
+    /// `running_generation` is 0 when nothing runs yet.
+    pub fn validate(
+        spec: &CertBundleSpec,
+        now: SimTime,
+        serving_tenant: u64,
+        running_generation: u64,
+    ) -> Result<(), BundleRejection> {
+        if spec.trust.tenant != serving_tenant {
+            return Err(BundleRejection::MismatchedTenant {
+                bundle: spec.trust.tenant,
+                serving: serving_tenant,
+            });
+        }
+        if spec.trust.generation == 0 || spec.trust.generation < running_generation {
+            return Err(BundleRejection::BadCaGeneration {
+                staged: spec.trust.generation,
+                running: running_generation,
+            });
+        }
+        if spec.not_after <= spec.issued_at || spec.not_after <= now {
+            return Err(BundleRejection::ClockSkewedNotAfter);
+        }
+        Ok(())
+    }
+
+    /// Atomically commit the staged bundle if it validates, else reject it
+    /// and keep validating against the running one. Either way `staged` is
+    /// cleared. Returns the committed version, or the rejection to NACK
+    /// with.
+    pub fn commit_staged(
+        &mut self,
+        now: SimTime,
+        serving_tenant: u64,
+    ) -> Result<u64, BundleRejection> {
+        let Some(spec) = self.staged.take() else {
+            return Err(BundleRejection::NothingStaged);
+        };
+        if let Some(run) = &self.running {
+            if spec.version() <= run.version() {
+                self.rejections += 1;
+                return Err(BundleRejection::StaleVersion {
+                    staged: spec.version(),
+                    running: run.version(),
+                });
+            }
+        }
+        let running_generation = self.running.as_ref().map_or(0, |r| r.trust.generation);
+        match Self::validate(&spec, now, serving_tenant, running_generation) {
+            Ok(()) => {
+                let v = spec.version();
+                self.running = Some(spec);
+                self.committed_at = Some(now);
+                self.commits += 1;
+                Ok(v)
+            }
+            Err(rej) => {
+                self.rejections += 1;
+                Err(rej)
+            }
+        }
+    }
+
+    /// Roll back to the last converged bundle, bypassing version
+    /// monotonicity and the generation-regression check (a rollback
+    /// deliberately re-runs the previous generation). Tenant and clock
+    /// sanity still apply: a rollback target that no longer validates is
+    /// refused, keeping fail-static intact.
+    pub fn roll_back_to(
+        &mut self,
+        now: SimTime,
+        spec: CertBundleSpec,
+        serving_tenant: u64,
+    ) -> Result<u64, BundleRejection> {
+        Self::validate(&spec, now, serving_tenant, 0)?;
+        let v = spec.version();
+        self.staged = None;
+        self.running = Some(spec);
+        self.committed_at = Some(now);
+        self.commits += 1;
+        Ok(v)
+    }
+
+    /// The bundle handshakes currently validate against, if any.
+    pub fn running(&self) -> Option<&CertBundleSpec> {
+        self.running.as_ref()
+    }
+
+    /// The staged-but-uncommitted bundle, if any.
+    pub fn staged(&self) -> Option<&CertBundleSpec> {
+        self.staged.as_ref()
+    }
+
+    /// Version being served, if a bundle has ever committed.
+    pub fn running_version(&self) -> Option<u64> {
+        self.running.as_ref().map(|c| c.version())
+    }
+
+    /// When the running bundle committed.
+    pub fn committed_at(&self) -> Option<SimTime> {
+        self.committed_at
+    }
+
+    /// Successful commits (including rollbacks).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Rejected staged bundles — each one is a NACK upstream.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Fold the `{running, staged}` pair into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.running_version().unwrap_or(0));
+        d.write_u64(self.commits);
+        d.write_u64(self.rejections);
+        if let Some(c) = &self.running {
+            c.fold_digest(d);
+        }
+        match &self.staged {
+            None => {
+                d.write_u64(0);
+            }
+            Some(s) => {
+                d.write_u64(1);
+                s.fold_digest(d);
+            }
+        }
+        d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
+    }
+}
+
+/// A certificate-lifecycle handshake failure, typed for the resilience
+/// layer: the two [`MtlsError`] variants whose retry semantics differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertFault {
+    /// The presented cert was past `not_after`. Retryable-after-refresh:
+    /// one retry is allowed, representing the workload fetching a
+    /// re-issued cert; if that also expires, the CA is broken and the
+    /// request fails.
+    Expired,
+    /// The presented serial is revoked. Terminal: retrying cannot succeed
+    /// until re-issuance, so the failure is not retry fuel.
+    Revoked,
+}
+
+impl TryFrom<MtlsError> for CertFault {
+    type Error = MtlsError;
+
+    /// Typed conversion from the handshake layer: lifecycle failures map
+    /// to a [`CertFault`]; every other [`MtlsError`] passes through as the
+    /// error (callers treat those as ordinary backend failures).
+    fn try_from(e: MtlsError) -> Result<Self, MtlsError> {
+        match e {
+            MtlsError::CertificateExpired => Ok(CertFault::Expired),
+            MtlsError::CertificateRevoked => Ok(CertFault::Revoked),
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_sim::SimDuration;
+
+    fn bundle(version: u64, tenant: u64, generation: u64, issued: u64, ttl: u64) -> CertBundleSpec {
+        CertBundleSpec {
+            trust: TrustBundle {
+                version,
+                tenant,
+                generation,
+                revocation_floor: generation << 32,
+                revoked: Vec::new(),
+            },
+            issued_at: SimTime::from_secs(issued),
+            not_after: SimTime::from_secs(issued + ttl),
+        }
+    }
+
+    #[test]
+    fn commit_swaps_atomically() {
+        let mut ac = ActiveCertBundle::new();
+        ac.stage(bundle(1, 7, 1, 0, 3600));
+        assert!(ac.running().is_none(), "staging does not serve");
+        let v = ac.commit_staged(SimTime::from_secs(1), 7);
+        assert_eq!(v, Ok(1));
+        assert_eq!(ac.running_version(), Some(1));
+        assert!(ac.staged().is_none());
+    }
+
+    #[test]
+    fn poisoned_bundles_rejected_fail_static() {
+        let now = SimTime::from_secs(10);
+        let mut ac = ActiveCertBundle::new();
+        ac.stage(bundle(1, 7, 1, 0, 3600));
+        ac.commit_staged(now, 7).ok();
+
+        // Mismatched tenant.
+        ac.stage(bundle(2, 9, 2, 10, 3600));
+        assert_eq!(
+            ac.commit_staged(now, 7),
+            Err(BundleRejection::MismatchedTenant { bundle: 9, serving: 7 })
+        );
+        // Clock-skewed not_after: already expired on arrival.
+        let mut skewed = bundle(3, 7, 2, 10, 3600);
+        skewed.not_after = SimTime::from_secs(5);
+        ac.stage(skewed);
+        assert_eq!(ac.commit_staged(now, 7), Err(BundleRejection::ClockSkewedNotAfter));
+        // Bad CA generation: zero, then regression.
+        ac.stage(bundle(4, 7, 0, 10, 3600));
+        assert_eq!(
+            ac.commit_staged(now, 7),
+            Err(BundleRejection::BadCaGeneration { staged: 0, running: 1 })
+        );
+        ac.stage(bundle(5, 7, 5, 10, 3600));
+        ac.commit_staged(now, 7).unwrap();
+        ac.stage(bundle(6, 7, 4, 10, 3600));
+        assert_eq!(
+            ac.commit_staged(now, 7),
+            Err(BundleRejection::BadCaGeneration { staged: 4, running: 5 })
+        );
+        // Fail-static throughout: the last good bundle kept serving.
+        assert_eq!(ac.running_version(), Some(5));
+        assert_eq!(ac.rejections(), 4);
+    }
+
+    #[test]
+    fn stale_version_rejected_but_rollback_allowed() {
+        let now = SimTime::from_secs(1);
+        let mut ac = ActiveCertBundle::new();
+        ac.stage(bundle(5, 3, 2, 0, 3600));
+        ac.commit_staged(now, 3).unwrap();
+        ac.stage(bundle(5, 3, 2, 0, 3600));
+        assert_eq!(
+            ac.commit_staged(now, 3),
+            Err(BundleRejection::StaleVersion { staged: 5, running: 5 })
+        );
+        assert_eq!(ac.commit_staged(now, 3), Err(BundleRejection::NothingStaged));
+        // Rollback reinstates an older version and generation...
+        let v = ac.roll_back_to(now, bundle(4, 3, 1, 0, 3600), 3);
+        assert_eq!(v, Ok(4));
+        assert_eq!(ac.running_version(), Some(4));
+        // ...but a rollback target that no longer validates is refused.
+        let bad = ac.roll_back_to(now, bundle(3, 9, 1, 0, 3600), 3);
+        assert!(bad.is_err());
+        assert_eq!(ac.running_version(), Some(4));
+    }
+
+    #[test]
+    fn cert_fault_conversion_is_typed() {
+        assert_eq!(CertFault::try_from(MtlsError::CertificateExpired), Ok(CertFault::Expired));
+        assert_eq!(CertFault::try_from(MtlsError::CertificateRevoked), Ok(CertFault::Revoked));
+        assert_eq!(CertFault::try_from(MtlsError::BadRecord), Err(MtlsError::BadRecord));
+        assert_eq!(CertFault::try_from(MtlsError::BadState), Err(MtlsError::BadState));
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let build = || {
+            let mut ac = ActiveCertBundle::new();
+            ac.stage(bundle(1, 7, 1, 0, 3600));
+            ac.commit_staged(SimTime::from_secs(1), 7).ok();
+            let mut d = Digest::new();
+            ac.fold_digest(&mut d);
+            d.value()
+        };
+        assert_eq!(build(), build());
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -26,6 +26,11 @@
 //!   (reactive, post-detection) composes with.
 //! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
 //!   redirector-level throttling (§6.2).
+//! * [`certs`] — rollback-safe certificate distribution: the gateway's
+//!   `ActiveCertBundle { running, staged }` pair mirrors [`config`] for
+//!   trust bundles (tenant/generation/clock validation → NACK, fail-static
+//!   serving on the running bundle), plus the typed bridge from handshake
+//!   [`canal_crypto::MtlsError`]s into the resilience layer.
 //! * [`config`] — version-skew-safe configuration: every gateway holds an
 //!   `ActiveConfig { running, staged }` pair, atomically commits or rejects
 //!   a staged version (semantic validation → NACK), and keeps serving the
@@ -39,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod certs;
 pub mod config;
 pub mod failure;
 pub mod gateway;
@@ -50,6 +56,7 @@ pub mod sandbox;
 pub mod sharding;
 pub mod tunnel;
 
+pub use certs::{ActiveCertBundle, BundleRejection, CertBundleSpec, CertFault};
 pub use config::{ActiveConfig, ConfigRejection, ConfigSpec, RouteSpec};
 pub use failure::{FailureDomain, PlacementView, UnknownDomain};
 pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};

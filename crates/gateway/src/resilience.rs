@@ -21,6 +21,7 @@
 //! closure, so a chaos run can overlay ground-truth fault state at the
 //! exact instant of each attempt.
 
+use crate::certs::CertFault;
 use crate::gateway::{BackendId, GatewayError, GatewayServed};
 use canal_cluster::dns::DnsView;
 use canal_net::VpcAddr;
@@ -184,6 +185,18 @@ pub enum AttemptError {
     /// The attempt reached this backend and the backend failed it (crash,
     /// packet loss, timeout) — feeds the backend's outlier detector.
     BackendFailure(BackendId),
+    /// The mTLS handshake for the attempt failed on certificate lifecycle
+    /// grounds (typed via [`CertFault::try_from`] on the `MtlsError`).
+    /// Expiry is retryable-after-refresh — one retry, representing the
+    /// workload re-fetching its cert; revocation is terminal and is *not*
+    /// retry fuel.
+    Handshake(CertFault),
+}
+
+impl From<CertFault> for AttemptError {
+    fn from(f: CertFault) -> Self {
+        AttemptError::Handshake(f)
+    }
 }
 
 /// The result of a resilient dispatch: what was served (if anything) and
@@ -226,6 +239,12 @@ pub struct ResilienceStats {
     /// Requests terminated by a retry-budget rejection from the overload
     /// layer (the rejection is terminal — no further retries fire).
     pub budget_rejected: u64,
+    /// Expired-certificate handshake failures that triggered the single
+    /// refresh-then-retry (each is one re-issuance round trip).
+    pub cert_refreshes: u64,
+    /// Requests terminated by a revoked certificate (terminal — revocation
+    /// is not retry fuel).
+    pub cert_revoked: u64,
 }
 
 /// Point-in-time snapshot of the dispatcher's work counters, for
@@ -248,6 +267,10 @@ pub struct DispatchCounters {
     pub deadline_misses: u64,
     /// Requests terminated by retry-budget rejection.
     pub budget_rejected: u64,
+    /// Expired-cert refresh retries fired.
+    pub cert_refreshes: u64,
+    /// Requests terminated by revoked certificates.
+    pub cert_revoked: u64,
 }
 
 impl DispatchCounters {
@@ -261,6 +284,8 @@ impl DispatchCounters {
             dns_flips: self.dns_flips - earlier.dns_flips,
             deadline_misses: self.deadline_misses - earlier.deadline_misses,
             budget_rejected: self.budget_rejected - earlier.budget_rejected,
+            cert_refreshes: self.cert_refreshes - earlier.cert_refreshes,
+            cert_revoked: self.cert_revoked - earlier.cert_revoked,
         }
     }
 
@@ -319,6 +344,8 @@ impl ResilientDispatcher {
             dns_flips: self.stats.dns_flips,
             deadline_misses: self.stats.deadline_exceeded,
             budget_rejected: self.stats.budget_rejected,
+            cert_refreshes: self.stats.cert_refreshes,
+            cert_revoked: self.stats.cert_revoked,
         }
     }
 
@@ -371,6 +398,7 @@ impl ResilientDispatcher {
         let mut t = now;
         let mut attempts = 0u32;
         let mut hedged = false;
+        let mut refreshed_cert = false;
         let mut failed_here: BTreeSet<BackendId> = BTreeSet::new();
         loop {
             attempts += 1;
@@ -417,6 +445,38 @@ impl ResilientDispatcher {
                         // ejection.
                         avoid = failed_here.clone();
                     }
+                }
+                Err(AttemptError::Handshake(CertFault::Revoked)) => {
+                    // Revocation is terminal by construction: the serial
+                    // stays revoked no matter how often we retry, so the
+                    // failure must not become retry fuel for the budget.
+                    self.stats.failures += 1;
+                    self.stats.cert_revoked += 1;
+                    return DispatchOutcome {
+                        served: None,
+                        attempts,
+                        completed_at: t,
+                        hedged,
+                        deadline_exceeded: false,
+                    };
+                }
+                Err(AttemptError::Handshake(CertFault::Expired)) => {
+                    // Retryable-after-refresh: allow exactly one retry,
+                    // standing in for the workload fetching a re-issued
+                    // cert. A second expiry means re-issuance itself is
+                    // broken — hammering the CA cannot fix that.
+                    if refreshed_cert {
+                        self.stats.failures += 1;
+                        return DispatchOutcome {
+                            served: None,
+                            attempts,
+                            completed_at: t,
+                            hedged,
+                            deadline_exceeded: false,
+                        };
+                    }
+                    refreshed_cert = true;
+                    self.stats.cert_refreshes += 1;
                 }
                 Err(AttemptError::Rejected(GatewayError::UnknownService)) => {
                     // No placement anywhere: retrying cannot help.
@@ -543,7 +603,9 @@ impl ResilientDispatcher {
             .write_u64(self.stats.deadline_exceeded)
             .write_u64(self.stats.ejections)
             .write_u64(self.stats.dns_flips)
-            .write_u64(self.stats.budget_rejected);
+            .write_u64(self.stats.budget_rejected)
+            .write_u64(self.stats.cert_refreshes)
+            .write_u64(self.stats.cert_revoked);
     }
 }
 
@@ -723,6 +785,45 @@ mod tests {
         assert!(!out.deadline_exceeded);
         assert_eq!(d.stats().budget_rejected, 1);
         assert_eq!(d.counters().budget_rejected, 1);
+    }
+
+    #[test]
+    fn revoked_cert_is_terminal_not_retry_fuel() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let out = d.dispatch(SimTime::ZERO, |_, _| {
+            Err(AttemptError::Handshake(CertFault::Revoked))
+        });
+        assert_eq!(out.attempts, 1, "no retries on revocation");
+        assert!(out.served.is_none());
+        assert_eq!(d.stats().cert_revoked, 1);
+        assert_eq!(d.stats().retries, 0);
+        assert_eq!(d.counters().cert_revoked, 1);
+    }
+
+    #[test]
+    fn expired_cert_retries_once_after_refresh() {
+        let mut d = dispatcher(ResilienceConfig::paper_canal());
+        let mut calls = 0;
+        let out = d.dispatch(SimTime::ZERO, |t, _| {
+            calls += 1;
+            if calls == 1 {
+                Err(AttemptError::Handshake(CertFault::Expired))
+            } else {
+                Ok(served(1, t))
+            }
+        });
+        assert_eq!(out.attempts, 2, "one refresh retry");
+        assert!(out.served.is_some());
+        assert_eq!(d.stats().cert_refreshes, 1);
+
+        // A second expiry after the refresh is terminal.
+        let out = d.dispatch(SimTime::from_secs(1), |_, _| {
+            Err(AttemptError::Handshake(CertFault::Expired))
+        });
+        assert_eq!(out.attempts, 2, "refresh retried once, then stopped");
+        assert!(out.served.is_none());
+        assert_eq!(d.stats().cert_refreshes, 2);
+        assert_eq!(d.counters().cert_refreshes, 2);
     }
 
     #[test]

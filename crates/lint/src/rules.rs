@@ -74,7 +74,17 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
     ("canal_telemetry", &["canal_sim", "canal_net"]),
     (
         "canal_gateway",
-        &["canal_sim", "canal_net", "canal_cluster", "canal_telemetry", "bytes"],
+        &[
+            "canal_sim",
+            "canal_net",
+            "canal_cluster",
+            // The gateway terminates mTLS for its tenants (§4.1.3), so the
+            // cert-bundle fail-static pair and the typed handshake-fault
+            // bridge need the crypto lifecycle types.
+            "canal_crypto",
+            "canal_telemetry",
+            "bytes",
+        ],
     ),
     (
         "canal_mesh",

@@ -61,6 +61,11 @@ impl Architecture {
 pub struct RequestCtx {
     /// First request of a new connection (pays the mTLS handshake).
     pub new_connection: bool,
+    /// The new connection resumes a cached session ticket: the handshake
+    /// is symmetric-only, so the asymmetric completion step (batch wait /
+    /// key-server RTT) is skipped entirely. Only meaningful with
+    /// `new_connection`.
+    pub resumed: bool,
     /// HTTPS (symmetric crypto on payloads; HTTPS costs ≈3× HTTP per §6.3).
     pub https: bool,
     /// Request payload bytes.
@@ -85,6 +90,7 @@ impl RequestCtx {
     pub fn light() -> Self {
         RequestCtx {
             new_connection: false,
+            resumed: false,
             https: false,
             req_bytes: 256,
             resp_bytes: 1024,
@@ -98,6 +104,7 @@ impl RequestCtx {
     pub fn new_https(concurrent: usize) -> Self {
         RequestCtx {
             new_connection: true,
+            resumed: false,
             https: true,
             req_bytes: 256,
             resp_bytes: 1024,
@@ -105,6 +112,14 @@ impl RequestCtx {
             priority: Priority::Interactive,
             trace: None,
         }
+    }
+
+    /// A fresh HTTPS connection resuming a cached session ticket: it still
+    /// opens a connection, but the handshake skips the asymmetric step.
+    pub fn resumed_https(concurrent: usize) -> Self {
+        let mut ctx = RequestCtx::new_https(concurrent);
+        ctx.resumed = true;
+        ctx
     }
 
     /// Mark the request as bulk/batch traffic.
@@ -181,6 +196,12 @@ fn handshake_steps(
 ) -> Vec<Step> {
     if !ctx.new_connection {
         return Vec::new();
+    }
+    if ctx.resumed {
+        // Session resumption: the ticket decrypt is symmetric node work;
+        // no batch slot is consumed and no key-server round trip happens,
+        // so the accelerator sees none of this handshake.
+        return vec![Step::cpu(node_stage, backend.node_cpu_cost())];
     }
     vec![
         // Node CPU to drive the handshake (marshalling / software crypto).
@@ -631,6 +652,38 @@ mod tests {
         // Key-server handshake adds ≈1.7ms.
         let delta = (fresh - light).as_micros_f64();
         assert!((1600.0..2200.0).contains(&delta), "{delta}");
+    }
+
+    #[test]
+    fn resumed_handshake_skips_the_asymmetric_step() {
+        for kind in [Architecture::Sidecar, Architecture::Ambient, Architecture::Canal] {
+            let arch = build(kind, CostModel::default());
+            let established =
+                PathExecutor::unloaded_latency(&arch.request_steps(&RequestCtx::light()));
+            let full = PathExecutor::unloaded_latency(&arch.request_steps(&RequestCtx::new_https(8)));
+            let resumed =
+                PathExecutor::unloaded_latency(&arch.request_steps(&RequestCtx::resumed_https(8)));
+            assert!(
+                resumed < full,
+                "{}: resumption must be cheaper than a full handshake",
+                arch.name()
+            );
+            assert!(
+                resumed > established,
+                "{}: resumption still opens a connection (node CPU)",
+                arch.name()
+            );
+        }
+        // A resumed Canal handshake pays no key-server RTT at all: the gap
+        // to an established connection is pure node CPU (≤ the software
+        // handshake cost), nowhere near the ≈1.7ms key-server round trip.
+        let canal = CanalMesh::new(CostModel::default());
+        let established =
+            PathExecutor::unloaded_latency(&canal.request_steps(&RequestCtx::light()));
+        let resumed =
+            PathExecutor::unloaded_latency(&canal.request_steps(&RequestCtx::resumed_https(64)));
+        let delta = (resumed - established).as_micros_f64();
+        assert!(delta < 500.0, "resumed handshake costs {delta}µs over established");
     }
 
     #[test]

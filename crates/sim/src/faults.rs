@@ -52,6 +52,20 @@ pub enum FaultTarget {
     ConfigPoison,
     /// The multi-tenant key server (`crypto::keyserver`).
     KeyServer,
+    /// The cert-issuance clock: while failed (or degraded with `extra`),
+    /// every cert bundle the rotation controller cuts carries a skewed
+    /// `not_after` (already in the past, or behind the fleet clock by
+    /// `extra`) — data planes are expected to NACK it at commit validation.
+    CertExpirySkew,
+    /// A tenant's CA private key is compromised: the incident response
+    /// revokes every cert the current generation signed, forcing the whole
+    /// tenant through re-issuance + full handshakes at once.
+    CaCompromiseRevoke(u32),
+    /// Synchronized restart of every pod in an AZ (kernel patch wave,
+    /// hypervisor reboot): all connections and resumption tickets in the
+    /// zone are lost at one instant, flooding the key server with *full*
+    /// handshakes.
+    AzMassRestart(u32),
     /// The inter-AZ link between two zones (undirected).
     Link {
         /// One endpoint AZ.
@@ -230,6 +244,23 @@ fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result
         "config-push" => Ok(FaultTarget::ConfigPush),
         "config-poison" => Ok(FaultTarget::ConfigPoison),
         "key-server" => Ok(FaultTarget::KeyServer),
+        "cert-expiry-skew" => Ok(FaultTarget::CertExpirySkew),
+        "ca-compromise-revoke" => {
+            let id = words
+                .next()
+                .ok_or_else(|| err(lineno, "ca-compromise-revoke needs a tenant id"))?;
+            Ok(FaultTarget::CaCompromiseRevoke(id.parse().map_err(|_| {
+                err(lineno, format!("bad tenant id `{id}`"))
+            })?))
+        }
+        "az-mass-restart" => {
+            let id = words
+                .next()
+                .ok_or_else(|| err(lineno, "az-mass-restart needs an az id"))?;
+            Ok(FaultTarget::AzMassRestart(id.parse().map_err(|_| {
+                err(lineno, format!("bad az id `{id}`"))
+            })?))
+        }
         "link" => {
             let spec = words
                 .next()
@@ -275,6 +306,9 @@ impl FaultPlan {
     /// at 50s degrade config-push extra 5s
     /// at 55s fail config-poison
     /// at 60s degrade key-server extra 15ms
+    /// at 70s degrade cert-expiry-skew extra 90s
+    /// at 80s fail ca-compromise-revoke 3
+    /// at 85s fail az-mass-restart 1
     /// ```
     ///
     /// Durations take `ns`/`us`/`ms`/`s` suffixes; loss takes a fraction or
@@ -472,6 +506,15 @@ impl FaultPlan {
                 FaultTarget::ConfigPoison => {
                     d.write_u64(7);
                 }
+                FaultTarget::CertExpirySkew => {
+                    d.write_u64(8);
+                }
+                FaultTarget::CaCompromiseRevoke(t) => {
+                    d.write_u64(9).write_u64(t as u64);
+                }
+                FaultTarget::AzMassRestart(a) => {
+                    d.write_u64(10).write_u64(a as u64);
+                }
             }
             match ev.kind {
                 FaultKind::Crash => {
@@ -513,6 +556,13 @@ pub struct FaultState {
     config_poisoned: bool,
     key_server_down: bool,
     key_server_extra: SimDuration,
+    cert_skew_active: bool,
+    cert_skew: SimDuration,
+    compromised_tenants: BTreeSet<u32>,
+    /// AZs whose pods restarted since the flag was last cleared. A restart
+    /// is an *instant* with lasting session damage: the model consumes the
+    /// flag (drops tickets/connections) and recovers it explicitly.
+    mass_restart_azs: BTreeSet<u32>,
     links: BTreeMap<(u32, u32), LinkState>,
 }
 
@@ -572,6 +622,35 @@ impl FaultState {
             (FaultTarget::KeyServer, FaultKind::Degrade { extra, .. }) => {
                 self.key_server_extra = extra;
             }
+            (FaultTarget::CertExpirySkew, FaultKind::Crash) => {
+                // A hard failure of the issuance clock: bundles are cut
+                // with an already-expired not_after.
+                self.cert_skew_active = true;
+            }
+            (FaultTarget::CertExpirySkew, FaultKind::Recover) => {
+                self.cert_skew_active = false;
+                self.cert_skew = SimDuration::ZERO;
+            }
+            (FaultTarget::CertExpirySkew, FaultKind::Degrade { extra, .. }) => {
+                self.cert_skew_active = true;
+                self.cert_skew = extra;
+            }
+            (FaultTarget::CaCompromiseRevoke(t), FaultKind::Crash) => {
+                self.compromised_tenants.insert(t);
+            }
+            (FaultTarget::CaCompromiseRevoke(t), FaultKind::Recover) => {
+                self.compromised_tenants.remove(&t);
+            }
+            // A compromise is binary: the key leaked or it did not.
+            (FaultTarget::CaCompromiseRevoke(_), FaultKind::Degrade { .. }) => {}
+            (FaultTarget::AzMassRestart(a), FaultKind::Crash) => {
+                self.mass_restart_azs.insert(a);
+            }
+            (FaultTarget::AzMassRestart(a), FaultKind::Recover) => {
+                self.mass_restart_azs.remove(&a);
+            }
+            // A restart either happened or it did not.
+            (FaultTarget::AzMassRestart(_), FaultKind::Degrade { .. }) => {}
             (FaultTarget::Link { a, b }, FaultKind::Crash) => {
                 self.links.entry(link_key(a, b)).or_default().crashed = true;
             }
@@ -656,12 +735,37 @@ impl FaultState {
         self.key_server_down
     }
 
+    /// Whether the cert-issuance clock is currently skewed (bundles cut
+    /// now carry an invalid `not_after` and should be NACKed downstream).
+    pub fn cert_skew_active(&self) -> bool {
+        self.cert_skew_active
+    }
+
+    /// Magnitude of the issuance-clock skew (zero = hard-expired bundles).
+    pub fn cert_skew(&self) -> SimDuration {
+        self.cert_skew
+    }
+
+    /// Whether a tenant's current CA generation is compromised (mass
+    /// revocation + forced re-issuance in flight).
+    pub fn tenant_compromised(&self, tenant: u32) -> bool {
+        self.compromised_tenants.contains(&tenant)
+    }
+
+    /// Whether an AZ is in a synchronized-restart window (all resumption
+    /// state in the zone is lost; every new connection is a full
+    /// handshake).
+    pub fn az_mass_restarting(&self, az: u32) -> bool {
+        self.mass_restart_azs.contains(&az)
+    }
+
     /// Fold the ground-truth fault picture into a digest: the `az_of` /
     /// `replicas` topology view, every down set (`down_replicas`,
     /// `down_backends`, `down_azs`), the config pipeline flags
     /// (`config_blocked`, `config_extra`, `config_poisoned`), key-server
-    /// state (`key_server_down`, `key_server_extra`) and per-link `links`
-    /// degradation.
+    /// state (`key_server_down`, `key_server_extra`), the cert-lifecycle
+    /// picture (`cert_skew_active`, `cert_skew`, `compromised_tenants`,
+    /// `mass_restart_azs`) and per-link `links` degradation.
     pub fn fold_digest(&self, d: &mut Digest) {
         d.write_u64(self.az_of.len() as u64);
         for (&b, &az) in &self.az_of {
@@ -687,7 +791,17 @@ impl FaultState {
             .write_u64(self.config_extra.as_nanos())
             .write_u64(self.config_poisoned as u64)
             .write_u64(self.key_server_down as u64)
-            .write_u64(self.key_server_extra.as_nanos());
+            .write_u64(self.key_server_extra.as_nanos())
+            .write_u64(self.cert_skew_active as u64)
+            .write_u64(self.cert_skew.as_nanos());
+        d.write_u64(self.compromised_tenants.len() as u64);
+        for &t in &self.compromised_tenants {
+            d.write_u64(t as u64);
+        }
+        d.write_u64(self.mass_restart_azs.len() as u64);
+        for &a in &self.mass_restart_azs {
+            d.write_u64(a as u64);
+        }
         d.write_u64(self.links.len() as u64);
         for (&(a, b), st) in &self.links {
             d.write_u64(a as u64)
@@ -718,6 +832,9 @@ impl FaultState {
             || self.config_extra > SimDuration::ZERO
             || self.key_server_down
             || self.key_server_extra > SimDuration::ZERO
+            || self.cert_skew_active
+            || !self.compromised_tenants.is_empty()
+            || !self.mass_restart_azs.is_empty()
             || !self.links.is_empty()
     }
 }
@@ -769,6 +886,46 @@ mod tests {
                 extra: SimDuration::from_millis(2)
             }
         );
+    }
+
+    #[test]
+    fn dsl_lifecycle_targets_parse_and_apply() {
+        let plan = FaultPlan::parse(
+            "at 10s degrade cert-expiry-skew extra 90s\n\
+             at 20s fail ca-compromise-revoke 3\n\
+             at 30s fail az-mass-restart 1\n\
+             at 40s recover cert-expiry-skew\n\
+             at 50s recover ca-compromise-revoke 3\n\
+             at 60s recover az-mass-restart 1\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 6);
+        let mut st = FaultState::new(&topo());
+        st.apply(&plan.events()[0]);
+        assert!(st.cert_skew_active());
+        assert_eq!(st.cert_skew(), SimDuration::from_secs(90));
+        st.apply(&plan.events()[1]);
+        assert!(st.tenant_compromised(3) && !st.tenant_compromised(4));
+        st.apply(&plan.events()[2]);
+        assert!(st.az_mass_restarting(1) && !st.az_mass_restarting(0));
+        assert!(st.any_active());
+        for ev in &plan.events()[3..] {
+            st.apply(ev);
+        }
+        assert!(!st.cert_skew_active());
+        assert!(!st.tenant_compromised(3));
+        assert!(!st.az_mass_restarting(1));
+        assert!(!st.any_active());
+        // Distinct lifecycle targets fold to distinct digests.
+        let one = FaultPlan::parse("at 1s fail ca-compromise-revoke 3").unwrap();
+        let two = FaultPlan::parse("at 1s fail az-mass-restart 3").unwrap();
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        one.fold_digest(&mut da);
+        two.fold_digest(&mut db);
+        assert_ne!(da.value(), db.value());
+        // Missing ids are parse errors, not defaults.
+        assert!(FaultPlan::parse("at 1s fail ca-compromise-revoke").is_err());
+        assert!(FaultPlan::parse("at 1s fail az-mass-restart").is_err());
     }
 
     #[test]

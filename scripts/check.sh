@@ -46,6 +46,17 @@ cargo run -q --release -p canal-bench --bin traceview -- --fast >/dev/null
 echo "==> rollout smoke (canary blast-radius + fail-static invariants)"
 cargo run -q --release -p canal-bench --bin rollout -- --fast >/dev/null
 
+# Rotation smoke: a compressed cert-rotation handshake-storm run. The
+# binary exits nonzero unless the rotating tenant fully re-keys with zero
+# availability loss for everyone else, the clock-skew-poisoned bundle is
+# NACKed at the canary (zero commits, automatic rollback, clean retry),
+# the compromise revocation sticks, the key-server backlog drains, and
+# double runs are bit-identical. The JSON report lands in target/ (CI
+# archives it as an artifact).
+echo "==> rotation smoke (cert-lifecycle + handshake-storm invariants)"
+cargo run -q --release -p canal-bench --bin rotation -- --fast \
+    --json target/rotation.json >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.
