@@ -1,0 +1,183 @@
+//! CLI driver for the disaster-drill experiment.
+//!
+//! ```text
+//! drill                              # full 90 s timeline
+//! drill --fast                       # 4x compressed smoke run (scripts/check.sh)
+//! drill --seed 7                     # different seed
+//! drill --json target/drill.json     # also write a machine-readable report
+//! drill --bench target/BENCH_x.json  # also write a throughput trajectory point
+//! ```
+//!
+//! Exit code is non-zero unless the drill invariant holds: the planned
+//! gateway drain loses zero established sessions (with real daisy-chained
+//! hand-offs observed), the gray gateway is quarantined within a bounded
+//! number of evidence windows with zero false-positive quarantines and
+//! clears after the heal, the in-flight config rollout survives the
+//! asymmetric control-plane partition without a rollback (unreachable is
+//! not a NACK), partitioned gateways serve fail-static under a valid
+//! config lease, and after the heal monotone catch-up converges the whole
+//! fleet on exactly one config version. Double runs must be bit-identical.
+//! At full scale every report check gates too.
+
+use std::time::Instant;
+
+use canal_bench::experiments::drill::{report_for, run_drill, DrillParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let mut json_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json takes a path");
+            std::process::exit(2);
+        }
+    }
+    let mut bench_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        args.remove(pos);
+        if pos < args.len() {
+            bench_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--bench takes a path");
+            std::process::exit(2);
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast { DrillParams::fast() } else { DrillParams::full() };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let started = Instant::now();
+    let outcome = run_drill(seed, &params);
+    let wall = started.elapsed().as_secs_f64();
+    let rerun = run_drill(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+
+    if let Some(path) = json_path {
+        let json = render_json(seed, fast, &outcome, &report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+    if let Some(path) = bench_path {
+        let json = render_bench(seed, fast, wall, &outcome);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench point written to {path}");
+    }
+
+    if outcome.digest() != rerun.digest() {
+        eprintln!("FAIL: double run diverged (determinism broken)");
+        std::process::exit(1);
+    }
+    if !outcome.drill_ok() {
+        eprintln!("FAIL: drill invariant violated (drain / gray / partition / convergence)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} drill checks missed");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): the CI-archived artifact.
+fn render_json(
+    seed: u64,
+    fast: bool,
+    outcome: &canal_bench::experiments::drill::DrillOutcome,
+    report: &canal_bench::ExperimentReport,
+) -> String {
+    let c = &outcome.canal;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"drill\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"digest\": \"{:#018x}\",\n", outcome.digest()));
+    s.push_str(&format!("  \"drill_ok\": {},\n", outcome.drill_ok()));
+    s.push_str("  \"canal\": {\n");
+    s.push_str(&format!("    \"requests\": {},\n", c.requests));
+    s.push_str(&format!("    \"errors\": {},\n", c.errors));
+    s.push_str(&format!("    \"gray_errors\": {},\n", c.gray_errors));
+    s.push_str(&format!("    \"detect_windows\": {},\n", c.detect_windows));
+    s.push_str(&format!("    \"quarantines\": {},\n", c.quarantines));
+    s.push_str(&format!(
+        "    \"false_positive_quarantines\": {},\n",
+        c.false_positive_quarantines
+    ));
+    s.push_str(&format!("    \"quarantine_cleared\": {},\n", c.quarantine_cleared));
+    s.push_str(&format!("    \"sessions_opened\": {},\n", c.sessions_opened));
+    s.push_str(&format!("    \"sessions_at_drain\": {},\n", c.sessions_at_drain));
+    s.push_str(&format!("    \"handed_off\": {},\n", c.handed_off));
+    s.push_str(&format!("    \"force_closed\": {},\n", c.force_closed));
+    s.push_str(&format!("    \"rollbacks\": {},\n", c.rollbacks));
+    s.push_str(&format!("    \"dropped_pushes\": {},\n", c.dropped_pushes));
+    s.push_str(&format!("    \"catch_up_pushes\": {},\n", c.catch_up_pushes));
+    s.push_str(&format!("    \"fail_static_served\": {},\n", c.fail_static_served));
+    s.push_str(&format!("    \"lease_violations\": {},\n", c.lease_violations));
+    s.push_str(&format!("    \"one_converged_version\": {},\n", c.one_converged_version));
+    s.push_str(&format!("    \"last_good\": {}\n", c.last_good));
+    s.push_str("  },\n");
+    s.push_str("  \"checks\": [\n");
+    for (i, check) in report.checks.iter().enumerate() {
+        let comma = if i + 1 == report.checks.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": {:?}, \"pass\": {}}}{comma}\n",
+            check.name, check.pass
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// One throughput-trajectory point: how fast this machine pushes the drill
+/// simulation, for the `BENCH_<date>.json` series CI archives per commit.
+fn render_bench(
+    seed: u64,
+    fast: bool,
+    wall_seconds: f64,
+    outcome: &canal_bench::experiments::drill::DrillOutcome,
+) -> String {
+    let c = &outcome.canal;
+    let wall = wall_seconds.max(1e-9);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"drill\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    s.push_str(&format!("  \"events\": {},\n", c.events));
+    s.push_str(&format!("  \"events_per_sec\": {:.1},\n", c.events as f64 / wall));
+    s.push_str(&format!("  \"requests_per_sec\": {:.1},\n", c.requests as f64 / wall));
+    s.push_str(&format!(
+        "  \"bytes_per_req\": {:.1}\n",
+        c.total_bytes as f64 / c.requests.max(1) as f64
+    ));
+    s.push_str("}\n");
+    s
+}

@@ -173,6 +173,7 @@ impl HandshakeParams {
             ack_timeout: SimDuration::from_secs(3).scale(self.time_scale),
             max_error_delta: 0.05,
             max_p99_inflation: 10.0,
+            ..RolloutConfig::default()
         }
     }
 }

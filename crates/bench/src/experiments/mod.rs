@@ -6,6 +6,7 @@ pub mod chaos;
 pub mod cloud;
 pub mod control;
 pub mod costs;
+pub mod drill;
 pub mod handshake;
 pub mod health;
 pub mod micro;

@@ -118,6 +118,7 @@ impl RolloutParams {
             ack_timeout: SimDuration::from_secs(4).scale(self.time_scale),
             max_error_delta: 0.01,
             max_p99_inflation: 1.5,
+            ..RolloutConfig::default()
         }
     }
 }

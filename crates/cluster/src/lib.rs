@@ -15,15 +15,21 @@
 //! * [`probe`] — the health-check framework: periodic probes, k-failure /
 //!   m-success hysteresis, and per-target state the §6.1 aggregation
 //!   machinery counts.
+//! * [`graydetect`] — differential gray-failure detection: active probes
+//!   fused with passive per-request evidence (EWMA error rate + latency
+//!   quantile vs the peer median) into a flap-damped `Quarantined` verdict
+//!   with cooloff-gated canary re-admission.
 
 #![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
 pub mod dns;
+pub mod graydetect;
 pub mod probe;
 pub mod topology;
 
 pub use dns::{CachingResolver, DnsTarget, DnsView};
+pub use graydetect::{GrayDetector, GrayPolicy, GrayVerdict};
 pub use probe::{HealthState, ProbeTracker};
 pub use topology::{Cluster, ClusterSpec, Pod, Service, Tenant};

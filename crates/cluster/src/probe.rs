@@ -301,4 +301,65 @@ mod tests {
         }
         assert_eq!(one.transitions().count(), 1);
     }
+
+    #[test]
+    fn sub_threshold_flapping_never_transitions() {
+        // Gray-failure edge: a target that alternates hard between streaks
+        // of (fail_threshold - 1) failures and (rise_threshold - 1)
+        // successes looks awful on the wire but never crosses either
+        // hysteresis edge — no transition may ever be recorded.
+        let policy = ProbePolicy::default();
+        let mut t = ProbeTracker::new(policy);
+        t.add_target(1);
+        let mut at = 0u64;
+        for _ in 0..200 {
+            for _ in 0..policy.fail_threshold - 1 {
+                assert_eq!(t.record_probe(&1, T(at), false), None);
+                at += 5;
+            }
+            // One success resets the failure streak; stay below the rise
+            // threshold so an Unhealthy target (there is none) could not
+            // recover either.
+            for _ in 0..(policy.rise_threshold - 1).max(1) {
+                assert_eq!(t.record_probe(&1, T(at), true), None);
+                at += 5;
+            }
+        }
+        assert_eq!(t.state(&1), Some(HealthState::Healthy));
+        assert_eq!(t.transitions_recorded(), 0);
+        assert_eq!(t.transitions_evicted(), 0);
+        assert_eq!(t.transitions().count(), 0);
+    }
+
+    #[test]
+    fn default_cap_evicts_with_counter_advancing() {
+        // Exercise DEFAULT_TRANSITION_CAP itself (not a small test cap):
+        // drive enough full down/up cycles to overflow 1024 retained
+        // transitions and check eviction accounting at the real bound.
+        let mut t = ProbeTracker::new(ProbePolicy::default());
+        t.add_target(1);
+        let cycles = (DEFAULT_TRANSITION_CAP / 2 + 10) as u64;
+        let mut at = 0u64;
+        for _ in 0..cycles {
+            for _ in 0..3 {
+                t.record_probe(&1, T(at), false);
+                at += 5;
+            }
+            for _ in 0..2 {
+                t.record_probe(&1, T(at), true);
+                at += 5;
+            }
+        }
+        let recorded = cycles * 2; // one down + one up per cycle
+        assert_eq!(t.transitions_recorded(), recorded);
+        assert_eq!(t.transitions().count(), DEFAULT_TRANSITION_CAP);
+        assert_eq!(
+            t.transitions_evicted(),
+            recorded - DEFAULT_TRANSITION_CAP as u64
+        );
+        // The retained window is the newest transitions, oldest first.
+        let first_kept = t.transitions().next().map(|(w, _, _)| w.as_nanos());
+        let last_kept = t.transitions().last().map(|(w, _, _)| w.as_nanos());
+        assert!(first_kept < last_kept);
+    }
 }

@@ -30,6 +30,15 @@
 //!   advances only when a rollout reaches `Converged`, so a version that
 //!   was NACKed, rolled back, or never fully acked can never become a
 //!   rollback target.
+//! * **Partition awareness** — a target the control plane cannot reach
+//!   ([`RolloutController::set_reachable`]) is *not* a NACK and never
+//!   triggers an ack-timeout rollback: waves ack on their reachable
+//!   members, promotion additionally requires a quorum fraction of pushed
+//!   targets to be reachable (below quorum the wave **holds**), a
+//!   partitioned gateway serves fail-static under a config lease
+//!   ([`RolloutController::lease_valid`]), and when the partition heals a
+//!   monotone catch-up push reconciles the stale target forward — never
+//!   backward — so at most one converged active version exists fleet-wide.
 //!
 //! The controller is payload-agnostic: it decides *who* gets *which
 //! version when*; the harness carries the actual `ConfigSpec` bytes and the
@@ -40,6 +49,7 @@
 
 use crate::versioned::{TargetId, VersionedConfigStore};
 use canal_sim::{Digest, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wave sizing, bake times, and health-gate thresholds.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +67,15 @@ pub struct RolloutConfig {
     pub max_error_delta: f64,
     /// Health gate: max tolerated P99 inflation over baseline (ratio).
     pub max_p99_inflation: f64,
+    /// Partition gate: the fraction of *pushed* targets that must be
+    /// reachable for the wave to ack and promote. Unreachable targets are
+    /// not NACKs — below quorum the rollout *holds* instead of rolling back
+    /// or promoting blind.
+    pub reachable_quorum: f64,
+    /// Config lease: how long a partitioned gateway's last-committed config
+    /// is considered fresh while it serves fail-static
+    /// ([`RolloutController::lease_valid`]).
+    pub lease_duration: SimDuration,
 }
 
 impl Default for RolloutConfig {
@@ -68,6 +87,8 @@ impl Default for RolloutConfig {
             ack_timeout: SimDuration::from_secs(10),
             max_error_delta: 0.01,
             max_p99_inflation: 1.5,
+            reachable_quorum: 0.5,
+            lease_duration: SimDuration::from_secs(60),
         }
     }
 }
@@ -210,6 +231,17 @@ pub struct RolloutController {
     /// what a rollback restores, so a NACKed / rolled-back / half-pushed
     /// version can never become the rollback target.
     last_good: u64,
+    /// Targets currently partitioned from the control plane. Unreachable
+    /// ≠ NACK: membership gates quorum and leases, never rollback. At most
+    /// one entry per registered target; removed again on heal.
+    unreachable: BTreeSet<TargetId>,
+    /// When each partitioned target was last reachable — the lease anchor.
+    unreachable_since: BTreeMap<TargetId, SimTime>,
+    /// Ticks an acked-but-quorum-starved wave spent holding instead of
+    /// promoting or rolling back.
+    partition_holds: u64,
+    /// Monotone catch-up pushes emitted when partitions healed.
+    catch_up_pushes: u64,
 }
 
 impl RolloutController {
@@ -225,6 +257,10 @@ impl RolloutController {
             outcomes: Vec::new(),
             rollbacks: 0,
             last_good: 0,
+            unreachable: BTreeSet::new(),
+            unreachable_since: BTreeMap::new(),
+            partition_holds: 0,
+            catch_up_pushes: 0,
         }
     }
 
@@ -304,6 +340,65 @@ impl RolloutController {
         self.store.nack(target, version)
     }
 
+    /// Record a reachability transition for `target` — the state of the
+    /// control-plane link, not of the target itself. Marking a target
+    /// unreachable starts its config lease and takes it out of quorum;
+    /// marking it reachable again ends the partition and emits the monotone
+    /// catch-up that reconciles it: the in-flight version if the target's
+    /// wave came and went while it was partitioned (with a fresh ack
+    /// clock), else the fleet's last-known-good when the target's acked
+    /// version is older. Catch-up only ever pushes *forward* — a healed
+    /// target is never downgraded — so once every partition heals at most
+    /// one converged active version exists fleet-wide.
+    pub fn set_reachable(
+        &mut self,
+        target: TargetId,
+        reachable: bool,
+        now: SimTime,
+    ) -> Vec<RolloutAction> {
+        if !reachable {
+            if self.unreachable.insert(target) {
+                self.unreachable_since.insert(target, now);
+            }
+            return Vec::new();
+        }
+        if !self.unreachable.remove(&target) {
+            return Vec::new();
+        }
+        self.unreachable_since.remove(&target);
+        let acked = self.store.ack_state(target).map_or(0, |s| s.acked);
+        if let Some(active) = &mut self.active {
+            if active.order[..active.pushed].contains(&target) && acked < active.version {
+                active.wave_pushed_at = now;
+                self.catch_up_pushes += 1;
+                return vec![RolloutAction::Push {
+                    version: active.version,
+                    targets: vec![target],
+                }];
+            }
+        }
+        if acked < self.last_good {
+            self.catch_up_pushes += 1;
+            return vec![RolloutAction::Push {
+                version: self.last_good,
+                targets: vec![target],
+            }];
+        }
+        Vec::new()
+    }
+
+    /// Whether `target`'s fail-static config lease is still fresh at `now`:
+    /// a reachable target always holds a valid lease; a partitioned
+    /// target's lease expires `lease_duration` after it was last reachable.
+    /// An expired lease does not stop fail-static serving — it marks the
+    /// served config as stale for operators and the drill gate.
+    pub fn lease_valid(&self, target: TargetId, now: SimTime) -> bool {
+        match self.unreachable_since.get(&target) {
+            None => true,
+            Some(&since) => now.since(since) < self.cfg.lease_duration,
+        }
+    }
+
     /// Advance the state machine at `now` with the latest health
     /// observation (if one is available this tick). Returns the actions the
     /// caller must apply to the data plane.
@@ -324,17 +419,33 @@ impl RolloutController {
         if let Some(target) = nacked {
             return self.roll_back(now, RollbackReason::Nack { target });
         }
-        // 2. Wave ack progress.
+        // 2. Wave ack progress. Unreachable targets neither ack nor NACK:
+        //    the wave acks once every *reachable* pushed target acked, and
+        //    promotion additionally requires the reachable fraction of
+        //    pushed targets to meet quorum. A quorum-starved wave holds —
+        //    the ack timeout fires only when a reachable target failed to
+        //    ack (a real fault, not a partition).
         if active.wave_acked_at.is_none() {
-            let wave_acked = active.order[..active.pushed].iter().all(|&t| {
+            let pushed_slice = &active.order[..active.pushed];
+            let reachable: Vec<TargetId> = pushed_slice
+                .iter()
+                .copied()
+                .filter(|t| !self.unreachable.contains(t))
+                .collect();
+            let reachable_acked = reachable.iter().all(|&t| {
                 self.store
                     .ack_state(t)
                     .is_some_and(|s| s.acked >= active.version)
             });
-            if wave_acked {
+            let quorum_met = reachable.len() as f64
+                >= self.cfg.reachable_quorum * pushed_slice.len() as f64;
+            if reachable_acked && quorum_met {
                 active.wave_acked_at = Some(now);
             } else if now.since(active.wave_pushed_at) >= self.cfg.ack_timeout {
-                return self.roll_back(now, RollbackReason::AckTimeout);
+                if !reachable_acked {
+                    return self.roll_back(now, RollbackReason::AckTimeout);
+                }
+                self.partition_holds += 1;
             }
         }
         // 3. Health gate: any regression past the thresholds while exposed.
@@ -433,6 +544,26 @@ impl RolloutController {
         self.rollbacks
     }
 
+    /// Whether the control plane can currently reach `target`.
+    pub fn is_reachable(&self, target: TargetId) -> bool {
+        !self.unreachable.contains(&target)
+    }
+
+    /// How many registered targets are currently partitioned.
+    pub fn unreachable_count(&self) -> usize {
+        self.unreachable.len()
+    }
+
+    /// Ticks a fully-acked-but-quorum-starved wave spent holding.
+    pub fn partition_holds(&self) -> u64 {
+        self.partition_holds
+    }
+
+    /// Monotone catch-up pushes emitted on partition heal.
+    pub fn catch_up_pushes(&self) -> u64 {
+        self.catch_up_pushes
+    }
+
     /// The last version the whole fleet converged on — what a rollback
     /// restores (0 until any rollout converges).
     pub fn last_known_good(&self) -> u64 {
@@ -488,6 +619,15 @@ impl RolloutController {
             }
         }
         d.write_u64(self.last_good);
+        d.write_u64(self.unreachable.len() as u64);
+        for &t in &self.unreachable {
+            d.write_u64(t as u64);
+        }
+        for (&t, &since) in &self.unreachable_since {
+            d.write_u64(t as u64).write_u64(since.as_nanos());
+        }
+        d.write_u64(self.partition_holds);
+        d.write_u64(self.catch_up_pushes);
         d.write_u64(self.rollbacks);
         d.write_u64(self.outcomes.len() as u64);
         for o in &self.outcomes {
@@ -796,5 +936,157 @@ mod tests {
             d.value()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unreachable_target_is_not_a_nack() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(31);
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { version, targets }) = actions.first() else {
+            panic!("expected canary push");
+        };
+        // One canary target partitions before it can ack; the other acks.
+        // Quorum (0.5 of 2) is met by the reachable half, so the wave acks
+        // and nothing ever rolls back — a partition is not a NACK.
+        assert!(c.set_reachable(targets[0], false, T(0)).is_empty());
+        c.ack(targets[1], *version, T(1));
+        let out = c.tick(T(11), None); // well past ack_timeout
+        assert!(!matches!(out.first(), Some(RolloutAction::Rollback { .. })));
+        assert_ne!(c.phase(), RolloutPhase::RolledBack);
+        assert_eq!(c.rollbacks(), 0);
+        assert_eq!(c.unreachable_count(), 1);
+        assert!(!c.is_reachable(targets[0]));
+    }
+
+    #[test]
+    fn reachable_ack_failure_still_times_out() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(33);
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { targets, .. }) = actions.first() else {
+            panic!("expected canary push");
+        };
+        // One target is partitioned, but the *reachable* one also fails to
+        // ack — that is a real fault and must still roll back on timeout.
+        c.set_reachable(targets[0], false, T(0));
+        let out = c.tick(T(11), None);
+        assert!(matches!(out.first(), Some(RolloutAction::Rollback { .. })));
+        let o = c.outcomes().last().unwrap();
+        assert_eq!(o.result, RolloutResult::RolledBack(RollbackReason::AckTimeout));
+    }
+
+    #[test]
+    fn quorum_starved_wave_holds_instead_of_rolling_back() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(37);
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { targets, .. }) = actions.first() else {
+            panic!("expected canary push");
+        };
+        // The whole canary wave partitions: every reachable target (none)
+        // has acked, but quorum is starved. The rollout holds — no rollback,
+        // no blind promotion — until the partition resolves.
+        for &t in targets {
+            c.set_reachable(t, false, T(0));
+        }
+        for s in 1..30 {
+            assert!(c.tick(T(s), None).is_empty());
+        }
+        assert!(c.in_flight(), "held, not rolled back or promoted");
+        assert!(c.partition_holds() > 0);
+        assert_eq!(c.rollbacks(), 0);
+    }
+
+    #[test]
+    fn mid_flight_heal_repushes_the_inflight_version() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(43);
+        let actions = c.begin(T(0), true, HealthSample::HEALTHY, &mut rng);
+        let Some(RolloutAction::Push { version, targets }) = actions.first() else {
+            panic!("expected canary push");
+        };
+        let (lost, ok) = (targets[0], targets[1]);
+        c.set_reachable(lost, false, T(0));
+        c.ack(ok, *version, T(1));
+        assert!(c.tick(T(2), None).is_empty(), "wave acks on the reachable half");
+        // The partition heals mid-flight: the in-flight version is re-pushed
+        // to the healed target with a fresh ack clock (a catch-up push).
+        let heal = c.set_reachable(lost, true, T(3));
+        assert_eq!(
+            heal,
+            vec![RolloutAction::Push { version: *version, targets: vec![lost] }]
+        );
+        assert_eq!(c.catch_up_pushes(), 1);
+        assert!(c.is_reachable(lost));
+    }
+
+    #[test]
+    fn heal_catch_up_converges_to_exactly_one_version() {
+        let mut c = controller(8);
+        let mut rng = SimRng::seed(41);
+        // v1 converges fleet-wide, then target 3 partitions.
+        let now = drive_to_converged(&mut c, &mut rng, T(0), &mut Vec::new());
+        assert_eq!(c.last_known_good(), 1);
+        let skip = 3u32;
+        c.set_reachable(skip, false, now);
+        // v2 rolls out and converges on the reachable fleet; the
+        // partitioned target silently misses every push.
+        let mut t = now;
+        let mut actions = c.begin(t, true, HealthSample::HEALTHY, &mut rng);
+        let mut guard = 0;
+        while c.phase() != RolloutPhase::Converged {
+            for a in &actions {
+                if let RolloutAction::Push { version, targets } = a {
+                    for &tg in targets {
+                        if tg != skip {
+                            c.ack(tg, *version, t);
+                        }
+                    }
+                }
+            }
+            t += SimDuration::from_secs(1);
+            actions = c.tick(t, Some(HealthSample::HEALTHY));
+            if actions.is_empty() && c.phase() != RolloutPhase::Converged {
+                t += RolloutConfig::default().bake_time;
+                actions = c.tick(t, Some(HealthSample::HEALTHY));
+            }
+            guard += 1;
+            assert!(guard < 50, "partition-tolerant rollout did not converge");
+        }
+        assert_eq!(c.last_known_good(), 2);
+        // Heal: exactly one monotone catch-up push of last-known-good.
+        let heal = c.set_reachable(skip, true, t);
+        assert_eq!(heal, vec![RolloutAction::Push { version: 2, targets: vec![skip] }]);
+        assert_eq!(c.catch_up_pushes(), 1);
+        c.ack(skip, 2, t);
+        assert!(c.store().converged(), "one converged version fleet-wide");
+        // Healing an already-reachable target is a no-op.
+        assert!(c.set_reachable(skip, true, t).is_empty());
+        assert_eq!(c.catch_up_pushes(), 1);
+    }
+
+    #[test]
+    fn config_lease_expires_after_lease_duration() {
+        let mut c = controller(4);
+        assert!(c.lease_valid(0, T(0)), "reachable targets always hold a lease");
+        c.set_reachable(0, false, T(10));
+        assert!(c.lease_valid(0, T(30)), "fresh within the lease window");
+        assert!(!c.lease_valid(0, T(90)), "stale past lease_duration");
+        c.set_reachable(0, true, T(95));
+        assert!(c.lease_valid(0, T(95)), "heal restores the lease");
+    }
+
+    #[test]
+    fn partition_state_reaches_the_digest() {
+        let fold = |c: &RolloutController| {
+            let mut d = Digest::new();
+            c.fold_digest(&mut d);
+            d.value()
+        };
+        let mut c = controller(4);
+        let before = fold(&c);
+        c.set_reachable(2, false, T(5));
+        assert_ne!(before, fold(&c), "partition membership is digested");
     }
 }

@@ -26,6 +26,10 @@
 //!   (reactive, post-detection) composes with.
 //! * [`sandbox`] — exception handling: lossy/lossless sandbox migration and
 //!   redirector-level throttling (§6.2).
+//! * [`drain`] — graceful gateway drain over the redirector's bucket
+//!   tables: `Draining` stops new sessions at once, established sessions
+//!   daisy-chain to their owner until they close, and a deadline bounds the
+//!   window — planned failover loses zero established sessions.
 //! * [`certs`] — rollback-safe certificate distribution: the gateway's
 //!   `ActiveCertBundle { running, staged }` pair mirrors [`config`] for
 //!   trust bundles (tenant/generation/clock validation → NACK, fail-static
@@ -46,6 +50,7 @@
 
 pub mod certs;
 pub mod config;
+pub mod drain;
 pub mod failure;
 pub mod gateway;
 pub mod health;
@@ -58,6 +63,7 @@ pub mod tunnel;
 
 pub use certs::{ActiveCertBundle, BundleRejection, CertBundleSpec, CertFault};
 pub use config::{ActiveConfig, ConfigRejection, ConfigSpec, RouteSpec};
+pub use drain::{DrainError, DrainPhase, DrainReject, GatewayDrain};
 pub use failure::{FailureDomain, PlacementView, UnknownDomain};
 pub use gateway::{BackendId, Gateway, GatewayConfig, ReplicaId};
 pub use health::HealthCheckPlan;

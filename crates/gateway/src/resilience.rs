@@ -185,6 +185,12 @@ pub enum AttemptError {
     /// The attempt reached this backend and the backend failed it (crash,
     /// packet loss, timeout) — feeds the backend's outlier detector.
     BackendFailure(BackendId),
+    /// The backend refused the connection because it is *draining* (planned
+    /// failover, see [`crate::drain`]). Steered away exactly like a
+    /// failure, but it is **not** outlier evidence: a planned drain is the
+    /// operator's choice, and counting its refusals would let every
+    /// maintenance window trip an ejection storm across the fleet.
+    BackendDraining(BackendId),
     /// The mTLS handshake for the attempt failed on certificate lifecycle
     /// grounds (typed via [`CertFault::try_from`] on the `MtlsError`).
     /// Expiry is retryable-after-refresh — one retry, representing the
@@ -245,6 +251,9 @@ pub struct ResilienceStats {
     /// Requests terminated by a revoked certificate (terminal — revocation
     /// is not retry fuel).
     pub cert_revoked: u64,
+    /// Connection refusals from *draining* backends. Steered around like
+    /// failures but exempt from outlier-ejection evidence.
+    pub drain_refusals: u64,
 }
 
 /// Point-in-time snapshot of the dispatcher's work counters, for
@@ -271,6 +280,8 @@ pub struct DispatchCounters {
     pub cert_refreshes: u64,
     /// Requests terminated by revoked certificates.
     pub cert_revoked: u64,
+    /// Draining-backend refusals steered around (never outlier evidence).
+    pub drain_refusals: u64,
 }
 
 impl DispatchCounters {
@@ -286,6 +297,7 @@ impl DispatchCounters {
             budget_rejected: self.budget_rejected - earlier.budget_rejected,
             cert_refreshes: self.cert_refreshes - earlier.cert_refreshes,
             cert_revoked: self.cert_revoked - earlier.cert_revoked,
+            drain_refusals: self.drain_refusals - earlier.drain_refusals,
         }
     }
 
@@ -346,6 +358,7 @@ impl ResilientDispatcher {
             budget_rejected: self.stats.budget_rejected,
             cert_refreshes: self.stats.cert_refreshes,
             cert_revoked: self.stats.cert_revoked,
+            drain_refusals: self.stats.drain_refusals,
         }
     }
 
@@ -443,6 +456,20 @@ impl ResilientDispatcher {
                         // request has actually seen fail, so the next attempt
                         // can reach pool members blocked solely by a stale
                         // ejection.
+                        avoid = failed_here.clone();
+                    }
+                }
+                Err(AttemptError::BackendDraining(b)) => {
+                    // Planned drain: steer away exactly like a failure, but
+                    // feed *nothing* to the outlier detector — refusals the
+                    // operator ordered are not evidence of a sick backend,
+                    // and counting them would turn every planned failover
+                    // into an ejection storm.
+                    self.stats.drain_refusals += 1;
+                    let was_avoided = avoid.contains(&b);
+                    failed_here.insert(b);
+                    avoid.insert(b);
+                    if was_avoided {
                         avoid = failed_here.clone();
                     }
                 }
@@ -605,7 +632,8 @@ impl ResilientDispatcher {
             .write_u64(self.stats.dns_flips)
             .write_u64(self.stats.budget_rejected)
             .write_u64(self.stats.cert_refreshes)
-            .write_u64(self.stats.cert_revoked);
+            .write_u64(self.stats.cert_revoked)
+            .write_u64(self.stats.drain_refusals);
     }
 }
 
@@ -824,6 +852,44 @@ mod tests {
         assert!(out.served.is_none());
         assert_eq!(d.stats().cert_refreshes, 2);
         assert_eq!(d.counters().cert_refreshes, 2);
+    }
+
+    #[test]
+    fn draining_refusals_steer_away_without_outlier_evidence() {
+        let cfg = ResilienceConfig::paper_canal();
+        let mut d = dispatcher(cfg);
+        // Far more drain refusals than the ejection threshold: backend 7 is
+        // draining, every first attempt hits it, retries land on 8.
+        for i in 0..(cfg.eject_consecutive_failures * 4) {
+            let now = SimTime::from_millis(i as u64);
+            let out = d.dispatch(now, |t, avoid| {
+                if avoid.contains(&7) {
+                    Ok(served(8, t))
+                } else {
+                    Err(AttemptError::BackendDraining(7))
+                }
+            });
+            assert_eq!(out.served.unwrap().backend, 8, "steered to the replacement");
+            assert_eq!(out.attempts, 2);
+        }
+        // The regression: planned-drain refusals must never trip ejection.
+        assert!(!d.is_ejected(SimTime::from_secs(1), 7));
+        assert_eq!(d.stats().ejections, 0);
+        assert_eq!(d.stats().drain_refusals, (cfg.eject_consecutive_failures * 4) as u64);
+        assert_eq!(d.counters().drain_refusals, d.stats().drain_refusals);
+        // Contrast: the same volume of *real* failures does trip it.
+        let mut real = dispatcher(cfg);
+        for i in 0..cfg.eject_consecutive_failures {
+            let now = SimTime::from_millis(i as u64);
+            real.dispatch(now, |t, avoid| {
+                if avoid.contains(&7) {
+                    Ok(served(8, t))
+                } else {
+                    Err(AttemptError::BackendFailure(7))
+                }
+            });
+        }
+        assert!(real.is_ejected(SimTime::from_millis(10), 7));
     }
 
     #[test]

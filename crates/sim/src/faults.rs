@@ -73,6 +73,24 @@ pub enum FaultTarget {
         /// The other endpoint AZ.
         b: u32,
     },
+    /// One *direction* of an inter-AZ link: traffic `from → to` is lost or
+    /// delayed while `to → from` stays clean. This is the asymmetric
+    /// partition that defeats symmetric health checks — A can't reach B but
+    /// B's probes of A still succeed.
+    LinkDirected {
+        /// Sending AZ (the degraded direction's source).
+        from: u32,
+        /// Receiving AZ.
+        to: u32,
+    },
+    /// Gray failure of a gateway: the target keeps answering health probes
+    /// normally while *real* requests error (`loss`) and/or slow (`extra`).
+    /// `fail` means every real request errors; probes stay green either way.
+    GrayDegrade(u32),
+    /// Control-plane partition: the gateway is unreachable from
+    /// `canal-control` (no config pushes, no ACK/NACK returns) while its
+    /// *data path* keeps serving whatever config it last committed.
+    ControlPartition(u32),
 }
 
 /// What happens to the target.
@@ -276,6 +294,37 @@ fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result
                 .map_err(|_| err(lineno, format!("bad az id `{b}`")))?;
             Ok(FaultTarget::Link { a, b })
         }
+        "link-directed" => {
+            let spec = words
+                .next()
+                .ok_or_else(|| err(lineno, "link-directed needs <from>><to>"))?;
+            let (from, to) = spec
+                .split_once('>')
+                .ok_or_else(|| err(lineno, format!("bad directed link spec `{spec}` (want from>to)")))?;
+            let from = from
+                .parse()
+                .map_err(|_| err(lineno, format!("bad az id `{from}`")))?;
+            let to = to
+                .parse()
+                .map_err(|_| err(lineno, format!("bad az id `{to}`")))?;
+            Ok(FaultTarget::LinkDirected { from, to })
+        }
+        "gray" => {
+            let id = words
+                .next()
+                .ok_or_else(|| err(lineno, "gray needs a gateway id"))?;
+            Ok(FaultTarget::GrayDegrade(id.parse().map_err(|_| {
+                err(lineno, format!("bad gateway id `{id}`"))
+            })?))
+        }
+        "control-partition" => {
+            let id = words
+                .next()
+                .ok_or_else(|| err(lineno, "control-partition needs a gateway id"))?;
+            Ok(FaultTarget::ControlPartition(id.parse().map_err(|_| {
+                err(lineno, format!("bad gateway id `{id}`"))
+            })?))
+        }
         other => Err(err(lineno, format!("unknown target `{other}`"))),
     }
 }
@@ -309,6 +358,9 @@ impl FaultPlan {
     /// at 70s degrade cert-expiry-skew extra 90s
     /// at 80s fail ca-compromise-revoke 3
     /// at 85s fail az-mass-restart 1
+    /// at 86s degrade link-directed 1>0 loss 80%   # A→B only; B→A clean
+    /// at 87s degrade gray 2 loss 60% extra 10ms   # probes stay green
+    /// at 88s fail control-partition 2             # unreachable from control
     /// ```
     ///
     /// Durations take `ns`/`us`/`ms`/`s` suffixes; loss takes a fraction or
@@ -515,6 +567,15 @@ impl FaultPlan {
                 FaultTarget::AzMassRestart(a) => {
                     d.write_u64(10).write_u64(a as u64);
                 }
+                FaultTarget::LinkDirected { from, to } => {
+                    d.write_u64(11).write_u64(from as u64).write_u64(to as u64);
+                }
+                FaultTarget::GrayDegrade(g) => {
+                    d.write_u64(12).write_u64(g as u64);
+                }
+                FaultTarget::ControlPartition(g) => {
+                    d.write_u64(13).write_u64(g as u64);
+                }
             }
             match ev.kind {
                 FaultKind::Crash => {
@@ -535,6 +596,14 @@ impl FaultPlan {
 #[derive(Debug, Clone, Copy, Default)]
 struct LinkState {
     crashed: bool,
+    loss: f64,
+    extra: SimDuration,
+}
+
+/// Per-gateway gray-failure state: what *real* requests see while health
+/// probes keep answering normally.
+#[derive(Debug, Clone, Copy, Default)]
+struct GrayState {
     loss: f64,
     extra: SimDuration,
 }
@@ -564,6 +633,13 @@ pub struct FaultState {
     /// flag (drops tickets/connections) and recovers it explicitly.
     mass_restart_azs: BTreeSet<u32>,
     links: BTreeMap<(u32, u32), LinkState>,
+    /// Directed degradations keyed `(from, to)` — independent of the
+    /// undirected `links` map; queries take the worse of the two.
+    directed_links: BTreeMap<(u32, u32), LinkState>,
+    /// Gateways whose real traffic is degraded while probes stay green.
+    gray: BTreeMap<u32, GrayState>,
+    /// Gateways unreachable from the control plane.
+    partitioned: BTreeSet<u32>,
 }
 
 fn link_key(a: u32, b: u32) -> (u32, u32) {
@@ -662,6 +738,35 @@ impl FaultState {
                 st.loss = loss;
                 st.extra = extra;
             }
+            (FaultTarget::LinkDirected { from, to }, FaultKind::Crash) => {
+                self.directed_links.entry((from, to)).or_default().crashed = true;
+            }
+            (FaultTarget::LinkDirected { from, to }, FaultKind::Recover) => {
+                self.directed_links.remove(&(from, to));
+            }
+            (FaultTarget::LinkDirected { from, to }, FaultKind::Degrade { loss, extra }) => {
+                let st = self.directed_links.entry((from, to)).or_default();
+                st.loss = loss;
+                st.extra = extra;
+            }
+            // A hard gray failure: every real request errors, probes green.
+            (FaultTarget::GrayDegrade(g), FaultKind::Crash) => {
+                self.gray.insert(g, GrayState { loss: 1.0, extra: SimDuration::ZERO });
+            }
+            (FaultTarget::GrayDegrade(g), FaultKind::Recover) => {
+                self.gray.remove(&g);
+            }
+            (FaultTarget::GrayDegrade(g), FaultKind::Degrade { loss, extra }) => {
+                self.gray.insert(g, GrayState { loss, extra });
+            }
+            (FaultTarget::ControlPartition(g), FaultKind::Crash) => {
+                self.partitioned.insert(g);
+            }
+            (FaultTarget::ControlPartition(g), FaultKind::Recover) => {
+                self.partitioned.remove(&g);
+            }
+            // A partition is binary: reachable or not.
+            (FaultTarget::ControlPartition(_), FaultKind::Degrade { .. }) => {}
             // Degrading a compute domain has no defined magnitude semantics;
             // treat it as a no-op rather than guessing.
             (
@@ -710,6 +815,59 @@ impl FaultState {
     /// Added latency on the (undirected) AZ link.
     pub fn link_extra(&self, a: u32, b: u32) -> SimDuration {
         self.links.get(&link_key(a, b)).map(|s| s.extra).unwrap_or_default()
+    }
+
+    /// Packet-loss probability for traffic `from → to`: the worse of the
+    /// undirected link state and any directed degradation of exactly this
+    /// direction. `directed_link_loss(a, b)` and `directed_link_loss(b, a)`
+    /// differ under an asymmetric partition — that asymmetry is the point.
+    pub fn directed_link_loss(&self, from: u32, to: u32) -> f64 {
+        let directed = match self.directed_links.get(&(from, to)) {
+            Some(st) if st.crashed => 1.0,
+            Some(st) => st.loss,
+            None => 0.0,
+        };
+        self.link_loss(from, to).max(directed)
+    }
+
+    /// Added latency for traffic `from → to` (worse of undirected and
+    /// directed state).
+    pub fn directed_link_extra(&self, from: u32, to: u32) -> SimDuration {
+        let directed = self
+            .directed_links
+            .get(&(from, to))
+            .map(|s| s.extra)
+            .unwrap_or_default();
+        self.link_extra(from, to).max(directed)
+    }
+
+    /// Whether a gateway is gray-failing (real requests degraded while its
+    /// health probes still succeed).
+    pub fn gray_active(&self, gateway: u32) -> bool {
+        self.gray.contains_key(&gateway)
+    }
+
+    /// Error probability a *real* request sees at a gray gateway (probes
+    /// are unaffected by construction).
+    pub fn gray_loss(&self, gateway: u32) -> f64 {
+        self.gray.get(&gateway).map(|g| g.loss).unwrap_or(0.0)
+    }
+
+    /// Added latency a *real* request sees at a gray gateway.
+    pub fn gray_extra(&self, gateway: u32) -> SimDuration {
+        self.gray.get(&gateway).map(|g| g.extra).unwrap_or_default()
+    }
+
+    /// Whether a gateway is unreachable from the control plane (config
+    /// pushes to it are dropped; its ACKs/NACKs never arrive).
+    pub fn control_partitioned(&self, gateway: u32) -> bool {
+        self.partitioned.contains(&gateway)
+    }
+
+    /// The gateways currently partitioned from the control plane,
+    /// ascending.
+    pub fn partitioned_targets(&self) -> impl Iterator<Item = u32> + '_ {
+        self.partitioned.iter().copied()
     }
 
     /// Whether config pushes are fully blocked.
@@ -765,7 +923,9 @@ impl FaultState {
     /// (`config_blocked`, `config_extra`, `config_poisoned`), key-server
     /// state (`key_server_down`, `key_server_extra`), the cert-lifecycle
     /// picture (`cert_skew_active`, `cert_skew`, `compromised_tenants`,
-    /// `mass_restart_azs`) and per-link `links` degradation.
+    /// `mass_restart_azs`), per-link `links` degradation, directed
+    /// `directed_links`, `gray` gateway degradation and the `partitioned`
+    /// control-plane reachability set.
     pub fn fold_digest(&self, d: &mut Digest) {
         d.write_u64(self.az_of.len() as u64);
         for (&b, &az) in &self.az_of {
@@ -810,6 +970,24 @@ impl FaultState {
                 .write_f64(st.loss)
                 .write_u64(st.extra.as_nanos());
         }
+        d.write_u64(self.directed_links.len() as u64);
+        for (&(from, to), st) in &self.directed_links {
+            d.write_u64(from as u64)
+                .write_u64(to as u64)
+                .write_u64(st.crashed as u64)
+                .write_f64(st.loss)
+                .write_u64(st.extra.as_nanos());
+        }
+        d.write_u64(self.gray.len() as u64);
+        for (&g, st) in &self.gray {
+            d.write_u64(g as u64)
+                .write_f64(st.loss)
+                .write_u64(st.extra.as_nanos());
+        }
+        d.write_u64(self.partitioned.len() as u64);
+        for &g in &self.partitioned {
+            d.write_u64(g as u64);
+        }
     }
 
     /// Added key-server timeout per handshake (zero when healthy).
@@ -836,6 +1014,9 @@ impl FaultState {
             || !self.compromised_tenants.is_empty()
             || !self.mass_restart_azs.is_empty()
             || !self.links.is_empty()
+            || !self.directed_links.is_empty()
+            || !self.gray.is_empty()
+            || !self.partitioned.is_empty()
     }
 }
 
@@ -1102,6 +1283,106 @@ mod tests {
         st.apply(&plan.events()[1]);
         assert!(!st.config_poisoned());
         assert!(!st.any_active());
+    }
+
+    #[test]
+    fn directed_link_is_asymmetric() {
+        let plan = FaultPlan::parse(
+            "at 10s degrade link-directed 1>0 loss 80% extra 3ms\n\
+             at 20s fail link-directed 0>1\n\
+             at 30s recover link-directed 1>0\n\
+             at 40s recover link-directed 0>1\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 4);
+        let mut st = FaultState::new(&topo());
+        st.apply(&plan.events()[0]);
+        // Degraded direction only; reverse is clean.
+        assert_eq!(st.directed_link_loss(1, 0), 0.8);
+        assert_eq!(st.directed_link_extra(1, 0), SimDuration::from_millis(3));
+        assert_eq!(st.directed_link_loss(0, 1), 0.0);
+        assert_eq!(st.directed_link_extra(0, 1), SimDuration::ZERO);
+        // The undirected query is untouched by directed state.
+        assert_eq!(st.link_loss(0, 1), 0.0);
+        st.apply(&plan.events()[1]);
+        assert_eq!(st.directed_link_loss(0, 1), 1.0, "crashed direction loses all");
+        assert!(st.any_active() && !st.any_crash_active());
+        st.apply(&plan.events()[2]);
+        st.apply(&plan.events()[3]);
+        assert_eq!(st.directed_link_loss(1, 0), 0.0);
+        assert!(!st.any_active());
+        // An undirected degradation floors both directed queries.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::Link { a: 0, b: 1 },
+            kind: FaultKind::Degrade { loss: 0.3, extra: SimDuration::from_millis(1) },
+        });
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::LinkDirected { from: 0, to: 1 },
+            kind: FaultKind::Degrade { loss: 0.1, extra: SimDuration::from_millis(5) },
+        });
+        assert_eq!(st.directed_link_loss(0, 1), 0.3, "worse of the two wins");
+        assert_eq!(st.directed_link_extra(0, 1), SimDuration::from_millis(5));
+        assert_eq!(st.directed_link_loss(1, 0), 0.3);
+        // `1>0` and `0>1` digest differently.
+        let one = FaultPlan::parse("at 1s fail link-directed 1>0").unwrap();
+        let two = FaultPlan::parse("at 1s fail link-directed 0>1").unwrap();
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        one.fold_digest(&mut da);
+        two.fold_digest(&mut db);
+        assert_ne!(da.value(), db.value());
+        assert!(FaultPlan::parse("at 1s fail link-directed 1-0").is_err());
+    }
+
+    #[test]
+    fn gray_and_partition_parse_and_track() {
+        let plan = FaultPlan::parse(
+            "at 10s degrade gray 2 loss 60% extra 10ms\n\
+             at 20s fail control-partition 3\n\
+             at 30s fail gray 4\n\
+             at 40s recover gray 2\n\
+             at 50s recover control-partition 3\n\
+             at 60s recover gray 4\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 6);
+        let mut st = FaultState::new(&topo());
+        st.apply(&plan.events()[0]);
+        assert!(st.gray_active(2) && !st.gray_active(4));
+        assert_eq!(st.gray_loss(2), 0.6);
+        assert_eq!(st.gray_extra(2), SimDuration::from_millis(10));
+        // Gray failure is invisible to crash-oriented queries: nothing in
+        // the compute hierarchy went down.
+        assert!(st.any_active() && !st.any_crash_active());
+        st.apply(&plan.events()[1]);
+        assert!(st.control_partitioned(3) && !st.control_partitioned(2));
+        assert_eq!(st.partitioned_targets().collect::<Vec<_>>(), vec![3]);
+        st.apply(&plan.events()[2]);
+        assert_eq!(st.gray_loss(4), 1.0, "hard gray fail errors every request");
+        // Partition degrade is a no-op: reachable or not.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::ControlPartition(3),
+            kind: FaultKind::Degrade { loss: 0.5, extra: SimDuration::from_millis(1) },
+        });
+        assert!(st.control_partitioned(3));
+        for ev in &plan.events()[3..] {
+            st.apply(ev);
+        }
+        assert!(!st.gray_active(2) && !st.gray_active(4));
+        assert!(!st.control_partitioned(3));
+        assert!(!st.any_active());
+        // Gray and partition targets with the same id digest differently.
+        let one = FaultPlan::parse("at 1s fail gray 3").unwrap();
+        let two = FaultPlan::parse("at 1s fail control-partition 3").unwrap();
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        one.fold_digest(&mut da);
+        two.fold_digest(&mut db);
+        assert_ne!(da.value(), db.value());
+        // Missing ids are parse errors.
+        assert!(FaultPlan::parse("at 1s fail gray").is_err());
+        assert!(FaultPlan::parse("at 1s fail control-partition").is_err());
     }
 
     #[test]

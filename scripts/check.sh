@@ -57,6 +57,19 @@ echo "==> rotation smoke (cert-lifecycle + handshake-storm invariants)"
 cargo run -q --release -p canal-bench --bin rotation -- --fast \
     --json target/rotation.json >/dev/null
 
+# Drill smoke: a compressed disaster drill — gray gateway, asymmetric
+# control-plane partition during an in-flight rollout, planned gateway
+# drain, heal. The binary exits nonzero unless the drain loses zero
+# established sessions, the gray gateway is quarantined within a bounded
+# window with zero false positives, the partition causes no rollback, the
+# fleet converges on exactly one config version after heal, and double
+# runs are bit-identical. The JSON report and the dated BENCH throughput
+# point both land in target/ (CI archives them as artifacts).
+echo "==> drill smoke (gray-failure + partition + drain invariants)"
+cargo run -q --release -p canal-bench --bin drill -- --fast \
+    --json target/drill.json \
+    --bench "target/BENCH_$(date +%F).json" >/dev/null
+
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
 # (minimal toolchains) downgrades to a note rather than a failure.
