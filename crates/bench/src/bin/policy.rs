@@ -1,0 +1,183 @@
+//! CLI driver for the policy-plane blast-radius experiment.
+//!
+//! ```text
+//! policy                              # full 90 s timeline
+//! policy --fast                       # 4x compressed smoke run (scripts/check.sh)
+//! policy --seed 7                     # different seed
+//! policy --json target/policy.json    # also write a machine-readable report
+//! policy --bench target/BENCH_x.json  # also write a throughput trajectory point
+//! ```
+//!
+//! Exit code is non-zero unless the policy invariant holds: the poisoned
+//! policy cut is NACKed at the canary and never committed anywhere
+//! (blast radius 0, fail-static serving), the wrong-scope deny-all change
+//! is contained to the canary wave and rolled back automatically off the
+//! deny-spike health gate, the compiled match tables agree with the naive
+//! reference bit-for-bit over the whole arrival stream, the two tenants
+//! with overlapping VPC address spaces never cross-match, and the
+//! compiled per-lookup cost beats the O(rules) scan. Double runs must be
+//! bit-identical. At full scale every report check gates too.
+
+use std::time::Instant;
+
+use canal_bench::experiments::policy::{report_for, run_policy, PolicyParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let mut json_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json takes a path");
+            std::process::exit(2);
+        }
+    }
+    let mut bench_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        args.remove(pos);
+        if pos < args.len() {
+            bench_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--bench takes a path");
+            std::process::exit(2);
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast { PolicyParams::fast() } else { PolicyParams::full() };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let started = Instant::now();
+    let outcome = run_policy(seed, &params);
+    let wall = started.elapsed().as_secs_f64();
+    let rerun = run_policy(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+
+    if let Some(path) = json_path {
+        let json = render_json(seed, fast, &outcome, &report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+    if let Some(path) = bench_path {
+        let json = render_bench(seed, fast, wall, &outcome);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench point written to {path}");
+    }
+
+    if outcome.digest() != rerun.digest() {
+        eprintln!("FAIL: double run diverged (determinism broken)");
+        std::process::exit(1);
+    }
+    if !outcome.policy_ok() {
+        eprintln!("FAIL: policy invariant violated (containment / isolation / differential / cost)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} policy checks missed");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): the CI-archived artifact.
+fn render_json(
+    seed: u64,
+    fast: bool,
+    outcome: &canal_bench::experiments::policy::PolicyBlastOutcome,
+    report: &canal_bench::ExperimentReport,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"policy\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"digest\": \"{:#018x}\",\n", outcome.digest()));
+    s.push_str(&format!("  \"policy_ok\": {},\n", outcome.policy_ok()));
+    s.push_str("  \"canal\": {\n");
+    s.push_str(&format!("    \"nacks\": {},\n", outcome.nacks));
+    s.push_str(&format!("    \"rollbacks\": {},\n", outcome.rollbacks));
+    s.push_str(&format!("    \"deny_exposed\": {},\n", outcome.deny_exposed));
+    s.push_str(&format!("    \"canary_size\": {},\n", outcome.canary_size));
+    s.push_str(&format!("    \"deny_errors\": {},\n", outcome.deny_errors));
+    s.push_str(&format!("    \"policy_alerts\": {},\n", outcome.policy_alerts));
+    s.push_str(&format!("    \"healthy_converged\": {},\n", outcome.healthy_converged));
+    s.push_str(&format!("    \"node_allowed\": {},\n", outcome.node_allowed));
+    s.push_str(&format!("    \"node_denied\": {},\n", outcome.node_denied));
+    s.push_str(&format!("    \"node_deferred\": {},\n", outcome.node_deferred));
+    s.push_str(&format!("    \"store_len\": {}\n", outcome.store_len));
+    s.push_str("  },\n");
+    s.push_str("  \"engine\": {\n");
+    s.push_str(&format!("    \"isolation_probes\": {},\n", outcome.isolation_probes));
+    s.push_str(&format!("    \"cross_tenant_matches\": {},\n", outcome.cross_tenant_matches));
+    s.push_str(&format!(
+        "    \"differential_equal\": {},\n",
+        outcome.compiled_digest == outcome.reference_digest
+    ));
+    s.push_str(&format!("    \"compiled_ops\": {},\n", outcome.compiled_ops));
+    s.push_str(&format!("    \"naive_ops\": {},\n", outcome.naive_ops));
+    s.push_str(&format!("    \"cost_rules\": {}\n", outcome.cost_rules));
+    s.push_str("  },\n");
+    s.push_str("  \"checks\": [\n");
+    for (i, check) in report.checks.iter().enumerate() {
+        let comma = if i + 1 == report.checks.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": {:?}, \"pass\": {}}}{comma}\n",
+            check.name, check.pass
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// One throughput-trajectory point: how fast this machine pushes the
+/// policy simulation, for the `BENCH_<date>.json` series CI archives per
+/// commit.
+fn render_bench(
+    seed: u64,
+    fast: bool,
+    wall_seconds: f64,
+    outcome: &canal_bench::experiments::policy::PolicyBlastOutcome,
+) -> String {
+    let wall = wall_seconds.max(1e-9);
+    let offered = outcome.arms.first().map(|a| a.offered).unwrap_or(0);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"policy\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    s.push_str(&format!("  \"events\": {},\n", outcome.events));
+    s.push_str(&format!("  \"events_per_sec\": {:.1},\n", outcome.events as f64 / wall));
+    s.push_str(&format!("  \"requests_per_sec\": {:.1},\n", offered as f64 / wall));
+    s.push_str(&format!(
+        "  \"bytes_per_req\": {:.1}\n",
+        outcome.total_bytes as f64 / offered.max(1) as f64
+    ));
+    s.push_str("}\n");
+    s
+}

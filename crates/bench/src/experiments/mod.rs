@@ -14,6 +14,7 @@ pub mod motivation;
 pub mod offload;
 pub mod overload;
 pub mod perf;
+pub mod policy;
 pub mod resource;
 pub mod rollout;
 pub mod trace;

@@ -1,0 +1,1127 @@
+//! Policy-plane blast-radius experiment: one poisoned and one wrong-scope
+//! tenant policy change, three distribution strategies, plus the compiled
+//! match-engine's isolation / differential / cost gates.
+//!
+//! The policy plane (DESIGN.md §14) compiles tenant-scoped L4–L7 rules
+//! into flat match tables evaluated at two points: the node's
+//! [`L4Filter`] (fast allow/deny on flow context, deferring L7-predicated
+//! rules) and the gateway's [`ActivePolicy`] (full request context,
+//! fail-static commit discipline). This experiment scripts two bad policy
+//! changes against a two-tenant fleet with *overlapping* VPC address
+//! spaces and pushes them through three arms under identical arrivals:
+//!
+//! * **istio-full-push** — the poisoned policy reaches every sidecar in
+//!   one blind push; enforcement fails closed fleet-wide until an
+//!   operator notices and re-pushes.
+//! * **ambient-waypoint** — per-waypoint sequential blind pushes, halted
+//!   mid-flight at operator detection; partial exposure.
+//! * **canal** — the [`RolloutController`] canaries every change.
+//!   The *semantically invalid* cut (`at 20s fail policy-poison` in the
+//!   fault DSL) is NACKed by the canary gateways' `ActivePolicy` —
+//!   never committed anywhere, serving continues from the running
+//!   tables, automatic rollback. The *valid but wrong-scope* deny-all
+//!   change later commits at the canary, drives tenant 1's deny rate
+//!   over the water line ([`AlertKind::PolicyDeny`]), and the health
+//!   gate rolls it back with exposure bounded by the canary wave.
+//!
+//! Alongside the rollout timeline, three engine gates run on the same
+//! seed: **isolation** (compile the two overlapping tenants together and
+//! each alone — verdicts must be identical packet-for-packet, zero
+//! cross-tenant matches), **differential** (compiled tables vs the naive
+//! per-rule reference scan over the whole arrival stream — digest-equal),
+//! and **match cost** (the compiled per-lookup op bound must stay well
+//! under the reference's O(rules) scan on a large synthetic rule set).
+//! Everything is seeded; double runs are bit-identical
+//! ([`PolicyBlastOutcome::digest`], asserted in
+//! `crates/bench/tests/policy.rs`).
+//!
+//! [`RolloutController`]: canal_control::RolloutController
+//! [`ActivePolicy`]: canal_gateway::ActivePolicy
+//! [`L4Filter`]: canal_mesh::L4Filter
+//! [`AlertKind::PolicyDeny`]: canal_control::AlertKind
+
+use crate::experiments::rollout::ArmOutcome;
+use crate::harness::{Check, ExperimentReport};
+use canal_control::configure::ConfigPlane;
+use canal_control::{
+    AlertKind, HealthSample, RolloutAction, RolloutConfig, RolloutController, RolloutResult,
+    WaterLevelMonitor,
+};
+use canal_gateway::ActivePolicy;
+use canal_mesh::arch::{Architecture, ClusterShape};
+use canal_mesh::L4Filter;
+use canal_net::{TenantId, VpcId};
+use canal_policy::{
+    reference_l7_verdict, Cidr, CompiledPolicySet, CompiledTenant, L4Ctx, L4Verdict, L7Ctx,
+    PolicyRule, PolicySpec, PolicyStore, PolicyVerdict, TenantPolicy, POLICY_RETAIN_CAP,
+};
+use canal_sim::faults::{FaultKind, FaultPlan, FaultState, FaultTarget, FaultTopology};
+use canal_sim::output::{num, pct, Table};
+use canal_sim::{Digest, SimDuration, SimRng, SimTime};
+use std::collections::BTreeSet;
+
+/// The two tenants sharing the 10.0.0.0/16 address space (their VPCs
+/// overlap on purpose — addresses alone never discriminate, §4.2).
+const TENANT_IDS: [u32; 2] = [1, 2];
+/// Source /24 both tenants block (rule 1, L4-only).
+const BLOCKED_CIDR: Cidr = Cidr { base: 0x0A00_C800, prefix_len: 24 };
+/// Operator detection delay for the blind-push arms, scaled by
+/// `time_scale`.
+const DETECT_SECS: f64 = 15.0;
+/// Ambient's per-waypoint push pacing (not time-compressed, as in the
+/// rollout experiment, so fast mode still shows partial exposure).
+const AMBIENT_GAP_SECS: f64 = 1.0;
+/// Steady tail latency fed to the health gate (the gate trips on the
+/// unexpected-deny rate here, never on latency).
+const STEADY_P99: SimDuration = SimDuration::from_millis(5);
+/// Request payload size charged per offered request.
+const REQUEST_BYTES: u64 = 2 << 10;
+/// Offered requests a gateway must accumulate before its deny fraction is
+/// fed to the water-level monitor — watermark decisions need evidence,
+/// not two-request windows.
+const MONITOR_QUANTUM: u64 = 16;
+/// Rule count of the synthetic tenant the match-cost gate compiles.
+const COST_RULES: usize = 512;
+/// Packets the isolation gate probes per seed.
+const ISOLATION_PROBES: usize = 1500;
+
+const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
+const PATHS: [&str; 5] = ["/", "/api/items", "/api/orders", "/admin/keys", "/healthz"];
+
+/// Policy-rollout run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyParams {
+    /// Time compression: scripted fault times, detection delays, bake and
+    /// ack windows are all multiplied by this.
+    pub time_scale: f64,
+    /// Offered load (requests/s, both tenants together).
+    pub rps: f64,
+    /// Data-plane fleet size (gateways and their nodes).
+    pub fleet: usize,
+}
+
+impl PolicyParams {
+    /// The full run: a 90 s timeline, 24 gateways, 200 rps.
+    pub fn full() -> Self {
+        PolicyParams { time_scale: 1.0, rps: 200.0, fleet: 24 }
+    }
+
+    /// CI smoke mode: the same scenario compressed 4× on a smaller fleet.
+    /// The offered rate goes *up*, not down: compressed time shrinks every
+    /// monitoring window, so the per-gateway evidence quanta need a higher
+    /// arrival rate to fill inside the (also compressed) bake window.
+    pub fn fast() -> Self {
+        PolicyParams { time_scale: 0.25, rps: 280.0, fleet: 12 }
+    }
+
+    /// Scenario horizon (scaled).
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_secs(90).scale(self.time_scale)
+    }
+
+    /// Controller tick period (scaled).
+    fn tick(&self) -> SimDuration {
+        SimDuration::from_millis(500).scale(self.time_scale)
+    }
+
+    /// The canal arm's wave sizing and gates (scaled).
+    fn rollout_cfg(&self) -> RolloutConfig {
+        RolloutConfig {
+            canary_size: 2,
+            wave_growth: 4,
+            // Long enough for a canary gateway to fill a full evidence
+            // quantum (and the monitor to alert) before wave 2 can ship.
+            bake_time: SimDuration::from_secs(8).scale(self.time_scale),
+            ack_timeout: SimDuration::from_secs(4).scale(self.time_scale),
+            max_error_delta: 0.01,
+            max_p99_inflation: 1.5,
+            ..RolloutConfig::default()
+        }
+    }
+}
+
+/// The scripted scenario: a window during which the policy *source* is
+/// poisoned, so any change cut inside it is semantically invalid.
+fn scripted_plan(scale: f64) -> FaultPlan {
+    let s = |t: f64| format!("{}ms", (t * 1000.0 * scale) as u64);
+    let script = format!(
+        "# one poisoned policy cut (times x{scale})\n\
+         at {t20} fail policy-poison      # operator ships the malformed policy\n\
+         at {t30} recover policy-poison   # source fixed upstream\n",
+        t20 = s(20.0),
+        t30 = s(30.0),
+    );
+    FaultPlan::parse(&script).unwrap_or_default()
+}
+
+/// One precomputed arrival: a request with full L4+L7 context.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    at: SimTime,
+    gw: usize,
+    tenant: u32,
+    src_ip: u32,
+    dst_port: u16,
+    identity: u64,
+    method: usize,
+    path: usize,
+}
+
+impl Arrival {
+    fn l4(&self) -> L4Ctx {
+        L4Ctx {
+            tenant: TenantId(self.tenant),
+            vpc: VpcId(self.tenant),
+            src_ip: self.src_ip,
+            dst_port: self.dst_port,
+            identity: self.identity,
+        }
+    }
+
+    fn l7(&self) -> L7Ctx<'static> {
+        L7Ctx::new(METHODS[self.method], PATHS[self.path])
+    }
+}
+
+/// One deterministic Poisson stream over both tenants, spread uniformly
+/// over the fleet. Both tenants draw sources from the *same* 10.0.0.0/16.
+fn arrivals(seed: u64, params: &PolicyParams) -> Vec<Arrival> {
+    let horizon_s = params.horizon().as_secs_f64();
+    let mut rng = SimRng::seed(seed ^ 0x0011_C7A5_7AB1_E500);
+    let mut all = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(1.0 / params.rps);
+        if t > horizon_s {
+            break;
+        }
+        // A thin slice of sources falls in the blocked /24, the rest
+        // spreads over the shared /16. Legitimate denies are kept rare
+        // (~1.6% total) so the deny-spike watermark separates cleanly
+        // from zero-trust background noise.
+        let src_ip = if rng.chance(0.005) {
+            BLOCKED_CIDR.base | (rng.u64() as u32 & 0xFF)
+        } else {
+            0x0A00_0000 | (rng.u64() as u32 & 0xFFFF)
+        };
+        // Port mix: mostly HTTP(S), a metrics slice the L4 path can allow
+        // outright, a telnet sliver it fast-denies.
+        let r = rng.f64();
+        let dst_port = if r < 0.45 {
+            443
+        } else if r < 0.87 {
+            80
+        } else if r < 0.995 {
+            9100
+        } else {
+            23
+        };
+        let m = rng.f64();
+        let method = if m < 0.72 {
+            0
+        } else if m < 0.89 {
+            1
+        } else if m < 0.97 {
+            2
+        } else {
+            3
+        };
+        all.push(Arrival {
+            at: SimTime::from_nanos((t * 1e9) as u64),
+            gw: rng.index(params.fleet),
+            tenant: TENANT_IDS[rng.index(2)],
+            src_ip,
+            dst_port,
+            identity: 100 + rng.index(8) as u64,
+            method,
+            path: rng.index(PATHS.len()),
+        });
+    }
+    all
+}
+
+/// The baseline (good) rule set both tenants run: an L4 CIDR deny, an L4
+/// telnet deny, an L4-only metrics allow (so the node path has a pure
+/// fast-allow slice), an L7 admin guard, then allow-any, default deny.
+fn baseline_rules() -> Vec<PolicyRule> {
+    vec![
+        PolicyRule::deny().with_source_cidr(BLOCKED_CIDR),
+        PolicyRule::deny().with_ports(23, 23),
+        PolicyRule::allow().with_ports(9100, 9100),
+        PolicyRule::deny().with_method("DELETE").with_path_prefix("/admin"),
+        PolicyRule::allow(),
+    ]
+}
+
+/// The policy content for `version`. A cut taken while the source is
+/// poisoned carries an inverted port range (semantically invalid — data
+/// planes must NACK). The wrong-scope cut is *valid* but replaces tenant
+/// 1's rules with deny-everything.
+fn spec_for(version: u64, poisoned: bool, deny_all: bool) -> PolicySpec {
+    let tenants = TENANT_IDS
+        .iter()
+        .map(|&t| {
+            let rules = if poisoned && t == 1 {
+                vec![PolicyRule::deny().with_ports(443, 80)]
+            } else if deny_all && t == 1 {
+                vec![PolicyRule::deny()]
+            } else {
+                baseline_rules()
+            };
+            TenantPolicy {
+                tenant: TenantId(t),
+                vpc: VpcId(t),
+                rules,
+                default_action: PolicyVerdict::Deny,
+            }
+        })
+        .collect();
+    PolicySpec { version, tenants }
+}
+
+/// The whole experiment's outcome.
+#[derive(Debug, Clone)]
+pub struct PolicyBlastOutcome {
+    /// Per-arm results for the poisoned change, in canal / ambient /
+    /// istio order.
+    pub arms: Vec<ArmOutcome>,
+    /// Fleet size shared by every arm.
+    pub fleet: usize,
+    /// Canal's canary wave size.
+    pub canary_size: usize,
+    /// NACKs the canal gateways sent for the poisoned version.
+    pub nacks: u64,
+    /// Automatic rollbacks the controller performed.
+    pub rollbacks: u64,
+    /// Gateways that committed the wrong-scope deny-all version before
+    /// the health gate rolled it back (must be ≤ canary).
+    pub deny_exposed: usize,
+    /// Tenant-1 requests wrongly denied by the deny-all canary.
+    pub deny_errors: u64,
+    /// Whether the initial healthy policy rollout converged fleet-wide.
+    pub healthy_converged: bool,
+    /// Waves the healthy rollout used.
+    pub healthy_waves: usize,
+    /// Targets the healthy rollout reached (must equal the fleet).
+    pub healthy_exposed: usize,
+    /// `PolicyDeny` alerts the water-level monitor raised.
+    pub policy_alerts: u64,
+    /// Node-path admission counters summed over the fleet.
+    pub node_allowed: u64,
+    /// Node-path fast denies (no L7 involvement).
+    pub node_denied: u64,
+    /// Node-path deferrals to the gateway L7 tables.
+    pub node_deferred: u64,
+    /// Versions the policy store retains after the run.
+    pub store_len: usize,
+    /// Isolation gate: packets probed against joint vs solo compiles.
+    pub isolation_probes: u64,
+    /// Isolation gate: verdict divergences (must be zero).
+    pub cross_tenant_matches: u64,
+    /// Differential gate: compiled verdict-stream digest.
+    pub compiled_digest: u64,
+    /// Differential gate: reference verdict-stream digest.
+    pub reference_digest: u64,
+    /// Match-cost gate: compiled per-lookup op bound on the large set.
+    pub compiled_ops: u64,
+    /// Match-cost gate: the reference's per-lookup rule evaluations.
+    pub naive_ops: u64,
+    /// Rules in the match-cost synthetic tenant.
+    pub cost_rules: usize,
+    /// Policy evaluations performed (node + gateway), for throughput.
+    pub events: u64,
+    /// Bytes offered over the horizon.
+    pub total_bytes: u64,
+    /// Controller + gateway + node + monitor state digest.
+    pub canal_state_digest: u64,
+}
+
+impl PolicyBlastOutcome {
+    /// The outcome for one arm.
+    pub fn arm(&self, name: &str) -> Option<&ArmOutcome> {
+        self.arms.iter().find(|a| a.name == name)
+    }
+
+    /// Fold the complete outcome into one value: equal seeds must produce
+    /// equal digests, bit for bit.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for a in &self.arms {
+            d.write_str(a.name)
+                .write_u64(a.fleet as u64)
+                .write_u64(a.exposed as u64)
+                .write_u64(a.offered)
+                .write_u64(a.errors)
+                .write_f64(a.ttr_s);
+        }
+        d.write_u64(self.fleet as u64)
+            .write_u64(self.canary_size as u64)
+            .write_u64(self.nacks)
+            .write_u64(self.rollbacks)
+            .write_u64(self.deny_exposed as u64)
+            .write_u64(self.deny_errors)
+            .write_u64(u64::from(self.healthy_converged))
+            .write_u64(self.healthy_waves as u64)
+            .write_u64(self.healthy_exposed as u64)
+            .write_u64(self.policy_alerts)
+            .write_u64(self.node_allowed)
+            .write_u64(self.node_denied)
+            .write_u64(self.node_deferred)
+            .write_u64(self.store_len as u64)
+            .write_u64(self.isolation_probes)
+            .write_u64(self.cross_tenant_matches)
+            .write_u64(self.compiled_digest)
+            .write_u64(self.reference_digest)
+            .write_u64(self.compiled_ops)
+            .write_u64(self.naive_ops)
+            .write_u64(self.cost_rules as u64)
+            .write_u64(self.events)
+            .write_u64(self.total_bytes)
+            .write_u64(self.canal_state_digest);
+        d.value()
+    }
+
+    /// The invariant the `policy` binary gates on: the poisoned policy is
+    /// NACKed and never committed under canal (blast radius 0), the
+    /// wrong-scope deny-all is contained to the canary wave and rolled
+    /// back by the deny-spike health gate, the compiled tables are
+    /// bit-identical to the naive reference, the overlapping tenants
+    /// never cross-match, and the compiled match cost beats the scan.
+    pub fn policy_ok(&self) -> bool {
+        let (Some(canal), Some(ambient), Some(istio)) = (
+            self.arm("canal"),
+            self.arm("ambient-waypoint"),
+            self.arm("istio-full-push"),
+        ) else {
+            return false;
+        };
+        canal.exposed == 0
+            && canal.errors == 0
+            && self.nacks > 0
+            && self.rollbacks >= 2
+            && self.deny_exposed >= 1
+            && self.deny_exposed <= self.canary_size
+            && self.deny_errors > 0
+            && self.healthy_converged
+            && self.healthy_exposed == self.fleet
+            && self.policy_alerts >= 1
+            && self.isolation_probes > 0
+            && self.cross_tenant_matches == 0
+            && self.compiled_digest == self.reference_digest
+            && self.compiled_ops < self.naive_ops
+            && canal.ttr_s < istio.ttr_s
+            && ambient.exposed > canal.exposed
+            && ambient.exposed < istio.exposed
+            && istio.exposed == self.fleet
+    }
+}
+
+/// When the poisoned policy change ships.
+fn t_bad(plan: &FaultPlan) -> SimTime {
+    plan.events()
+        .iter()
+        .find(|e| e.target == FaultTarget::PolicyPoison && e.kind == FaultKind::Crash)
+        .map(|e| e.at)
+        .unwrap_or(SimTime::MAX)
+}
+
+/// Everything the canal arm produces beyond its [`ArmOutcome`].
+struct CanalRun {
+    arm: ArmOutcome,
+    nacks: u64,
+    rollbacks: u64,
+    deny_exposed: usize,
+    deny_errors: u64,
+    healthy_converged: bool,
+    healthy_waves: usize,
+    healthy_exposed: usize,
+    policy_alerts: u64,
+    node_allowed: u64,
+    node_denied: u64,
+    node_deferred: u64,
+    store_len: usize,
+    events: u64,
+    state_digest: u64,
+}
+
+/// Drive the canal arm: controller ticks, fail-static gateway policy,
+/// per-node L4 filters, the scripted poison window, and three scheduled
+/// policy changes (healthy, poisoned, wrong-scope deny-all).
+///
+/// Serving model: a gateway with no committed policy forwards permissive
+/// (the migration bootstrap — enforcement turns on at the first commit);
+/// after that the node's [`L4Filter`] screens every arrival and defers
+/// L7-predicated candidates to the gateway tables.
+fn run_canal(seed: u64, params: &PolicyParams, plan: &FaultPlan, stream: &[Arrival]) -> CanalRun {
+    let ts = params.time_scale;
+    let tick = params.tick();
+    let ticks = params.horizon().as_nanos() / tick.as_nanos();
+    let baseline = HealthSample { error_rate: 0.0, p99: STEADY_P99 };
+    let baseline_set = CompiledPolicySet::compile(&spec_for(1, false, false)).ok();
+
+    let mut ctl = RolloutController::new(params.rollout_cfg(), SimDuration::ZERO);
+    for t in 0..params.fleet as u32 {
+        ctl.add_target(t);
+    }
+    let mut gws: Vec<ActivePolicy> = (0..params.fleet).map(|_| ActivePolicy::new()).collect();
+    let mut nodes: Vec<L4Filter> = (0..params.fleet).map(|_| L4Filter::new()).collect();
+    let mut committed: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); params.fleet];
+    let mut running: Vec<u64> = vec![0; params.fleet];
+    let mut store = PolicyStore::new();
+
+    let mut state = FaultState::new(&FaultTopology { backends: Vec::new() });
+    let mut monitor = WaterLevelMonitor::new();
+    let mut rng = SimRng::seed(seed ^ 0x0011_C7A5_C7F1_0001);
+
+    // The three scheduled changes (seconds, then scaled): the healthy
+    // baseline rollout, the poisoned cut (content keyed off the scripted
+    // fault state), and the valid-but-wrong-scope deny-all.
+    let begin_at = |secs: f64| SimTime::from_nanos((secs * ts * 1e9) as u64);
+    let schedule = [(begin_at(0.0), false), (t_bad(plan), false), (begin_at(45.0), true)];
+    let mut next_begin = 0usize;
+
+    let mut poisoned_versions: BTreeSet<u64> = BTreeSet::new();
+    let mut deny_version: Option<u64> = None;
+
+    let mut ev_idx = 0usize;
+    let mut ar_idx = 0usize;
+    let mut alerts_seen = 0usize;
+    let mut gw_window: Vec<(u64, u64)> = vec![(0, 0); params.fleet];
+    let mut errors_poison = 0u64;
+    let mut deny_errors = 0u64;
+    let mut nacks = 0u64;
+    let mut events = 0u64;
+
+    for step in 0..=ticks {
+        let now = SimTime::from_nanos(tick.as_nanos() * step);
+
+        // 1. Scripted ground truth advances.
+        while ev_idx < plan.events().len() && plan.events()[ev_idx].at <= now {
+            state.apply(&plan.events()[ev_idx]);
+            ev_idx += 1;
+        }
+
+        // 2. Arrivals since the last tick, screened at the node and (on
+        //    deferral) decided by the gateway's *running* tables.
+        while ar_idx < stream.len() && stream[ar_idx].at <= now {
+            let a = stream[ar_idx];
+            ar_idx += 1;
+            gw_window[a.gw].0 += 1;
+            let enforcing = running[a.gw] > 0;
+            let verdict = if enforcing {
+                events += 1;
+                match nodes[a.gw].admit(&a.l4()) {
+                    L4Verdict::Allow => PolicyVerdict::Allow,
+                    L4Verdict::Deny => PolicyVerdict::Deny,
+                    L4Verdict::NeedsL7 => {
+                        events += 1;
+                        gws[a.gw]
+                            .compiled()
+                            .map(|c| c.l7_verdict(&a.l4(), &a.l7()))
+                            .unwrap_or(PolicyVerdict::Deny)
+                    }
+                }
+            } else {
+                PolicyVerdict::Allow
+            };
+            if verdict == PolicyVerdict::Deny {
+                gw_window[a.gw].1 += 1;
+                // An unexpected deny is an error: the running tables deny
+                // what the intended baseline policy allows.
+                let intended = baseline_set
+                    .as_ref()
+                    .map(|s| s.l7_verdict(&a.l4(), &a.l7()))
+                    .unwrap_or(PolicyVerdict::Deny);
+                if intended == PolicyVerdict::Allow {
+                    let rv = running[a.gw];
+                    if poisoned_versions.contains(&rv) {
+                        errors_poison += 1;
+                    } else if deny_version == Some(rv) {
+                        deny_errors += 1;
+                    }
+                }
+            }
+        }
+
+        // 3. Policy health *is* the monitor's deny watermark: the health
+        //    sample the controller bakes against reports an error only
+        //    when a new PolicyDeny alert fired since the last tick. The
+        //    deny spike is therefore always detected (and alerted) before
+        //    the health gate can roll the change back.
+        let policy_alerts_now = monitor
+            .alerts()
+            .iter()
+            .filter(|(_, k)| *k == AlertKind::PolicyDeny)
+            .count();
+        let health = Some(HealthSample {
+            error_rate: if policy_alerts_now > alerts_seen { 1.0 } else { 0.0 },
+            p99: STEADY_P99,
+        });
+        alerts_seen = policy_alerts_now;
+
+        // 4. Scheduled changes + the controller's own state machine.
+        let mut actions: Vec<RolloutAction> = Vec::new();
+        if next_begin < schedule.len() && now >= schedule[next_begin].0 && !ctl.in_flight() {
+            let deny_all = schedule[next_begin].1;
+            next_begin += 1;
+            actions.extend(ctl.begin(now, true, baseline, &mut rng));
+            let version = ctl.store().version();
+            if state.policy_poisoned() {
+                poisoned_versions.insert(version);
+            }
+            if deny_all {
+                deny_version = Some(version);
+            }
+            store.record(spec_for(
+                version,
+                poisoned_versions.contains(&version),
+                deny_version == Some(version),
+            ));
+        }
+        actions.extend(ctl.tick(now, health));
+
+        // 5. Apply actions to the data plane. Every push runs through the
+        //    gateway's fail-static commit (validate + compile or NACK);
+        //    the node filter mirrors whatever the gateway committed.
+        for action in actions {
+            match action {
+                RolloutAction::Push { version, targets } => {
+                    let spec = spec_for(
+                        version,
+                        poisoned_versions.contains(&version),
+                        deny_version == Some(version),
+                    );
+                    for t in targets {
+                        let gw = &mut gws[t as usize];
+                        gw.stage(spec.clone());
+                        match gw.commit_staged(now) {
+                            Ok(v) => {
+                                running[t as usize] = v;
+                                committed[t as usize].insert(v);
+                                if let Some(c) = gw.compiled() {
+                                    nodes[t as usize].install(c.clone());
+                                }
+                                ctl.ack(t, v, now);
+                            }
+                            Err(_rejection) => {
+                                nacks += 1;
+                                ctl.nack(t, version);
+                            }
+                        }
+                    }
+                }
+                RolloutAction::Rollback { to, targets } => {
+                    if to == 0 {
+                        continue; // nothing ever committed; fail-static holds
+                    }
+                    let spec = spec_for(
+                        to,
+                        poisoned_versions.contains(&to),
+                        deny_version == Some(to),
+                    );
+                    for t in targets {
+                        let gw = &mut gws[t as usize];
+                        if gw.roll_back_to(now, spec.clone()).is_ok() {
+                            running[t as usize] = to;
+                            committed[t as usize].insert(to);
+                            if let Some(c) = gw.compiled() {
+                                nodes[t as usize].install(c.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 6. The water-level monitor watches *per-gateway* deny fractions
+        //    — per-gateway watermarks catch a wrong-scope canary while the
+        //    fleet average still looks healthy. A gateway's window is only
+        //    ingested once it holds a full evidence quantum, so the spike
+        //    line is never crossed on two-request noise.
+        for w in gw_window.iter_mut() {
+            if w.0 >= MONITOR_QUANTUM {
+                monitor.ingest_policy(now, w.0, w.1);
+                *w = (0, 0);
+            }
+        }
+    }
+
+    // Post-run bookkeeping from the controller's audit log.
+    let outcomes = ctl.outcomes();
+    let healthy = outcomes.first();
+    let poison_outcome = outcomes.iter().find(|o| poisoned_versions.contains(&o.version));
+    let committed_poison = committed
+        .iter()
+        .filter(|set| set.iter().any(|v| poisoned_versions.contains(v)))
+        .count();
+    let deny_exposed = deny_version
+        .map(|dv| committed.iter().filter(|set| set.contains(&dv)).count())
+        .unwrap_or(0);
+    let policy_alerts = monitor
+        .alerts()
+        .iter()
+        .filter(|(_, k)| *k == AlertKind::PolicyDeny)
+        .count() as u64;
+    let (mut node_allowed, mut node_denied, mut node_deferred) = (0u64, 0u64, 0u64);
+    for n in &nodes {
+        let (a, d, f) = n.counters();
+        node_allowed += a;
+        node_denied += d;
+        node_deferred += f;
+    }
+
+    let mut d = Digest::new();
+    ctl.fold_digest(&mut d);
+    for gw in &gws {
+        gw.fold_digest(&mut d);
+    }
+    for n in &nodes {
+        n.fold_digest(&mut d);
+    }
+    store.fold_digest(&mut d);
+    monitor.fold_digest(&mut d);
+    d.write_u64(nacks);
+
+    CanalRun {
+        arm: ArmOutcome {
+            name: "canal",
+            fleet: params.fleet,
+            exposed: committed_poison,
+            offered: stream.len() as u64,
+            errors: errors_poison,
+            ttr_s: poison_outcome
+                .map(|o| o.ended_at.since(o.started_at).as_secs_f64())
+                .unwrap_or(f64::INFINITY),
+        },
+        nacks,
+        rollbacks: ctl.rollbacks(),
+        deny_exposed,
+        deny_errors,
+        healthy_converged: healthy.is_some_and(|o| o.result == RolloutResult::Converged),
+        healthy_waves: healthy.map(|o| o.waves_pushed).unwrap_or(0),
+        healthy_exposed: healthy.map(|o| o.exposed_targets).unwrap_or(0),
+        policy_alerts,
+        node_allowed,
+        node_denied,
+        node_deferred,
+        store_len: store.len(),
+        events,
+        state_digest: d.value(),
+    }
+}
+
+/// Requests the intended baseline policy would allow — the ones a blindly
+/// applied broken policy (fail-closed) turns into errors.
+fn baseline_allows(stream: &[Arrival]) -> Vec<bool> {
+    let set = CompiledPolicySet::compile(&spec_for(1, false, false)).ok();
+    stream
+        .iter()
+        .map(|a| {
+            set.as_ref()
+                .map(|s| s.l7_verdict(&a.l4(), &a.l7()) == PolicyVerdict::Allow)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// The istio arm: one full southbound push, blind apply (enforcement
+/// fails closed under the malformed policy), operator-scale detection,
+/// one full restore push.
+fn run_istio(params: &PolicyParams, plan: &FaultPlan, stream: &[Arrival], allows: &[bool]) -> ArmOutcome {
+    let bad_at = t_bad(plan);
+    let push = ConfigPlane::new(Architecture::Sidecar)
+        .push_update(&ClusterShape::production(params.fleet))
+        .push_time
+        .scale(params.time_scale);
+    let detect = SimDuration::from_secs_f64(DETECT_SECS).scale(params.time_scale);
+    let applied = bad_at + push;
+    let restored = bad_at + detect + push;
+    let errors = stream
+        .iter()
+        .zip(allows)
+        .filter(|(a, &ok)| ok && a.at >= applied && a.at < restored)
+        .count() as u64;
+    ArmOutcome {
+        name: "istio-full-push",
+        fleet: params.fleet,
+        exposed: params.fleet,
+        offered: stream.len() as u64,
+        errors,
+        ttr_s: (detect + push).as_secs_f64(),
+    }
+}
+
+/// The ambient arm: per-waypoint sequential blind pushes, halted
+/// mid-flight at operator detection, sequential restore at the same pace.
+fn run_ambient(params: &PolicyParams, plan: &FaultPlan, stream: &[Arrival], allows: &[bool]) -> ArmOutcome {
+    let bad_at = t_bad(plan);
+    let gap = SimDuration::from_secs_f64(AMBIENT_GAP_SECS);
+    let detect = SimDuration::from_secs_f64(DETECT_SECS).scale(params.time_scale);
+    let exposed = ((detect.as_nanos() / gap.as_nanos()) as usize + 1).min(params.fleet);
+    let halt = bad_at + detect;
+    let errors = stream
+        .iter()
+        .zip(allows)
+        .filter(|(a, &ok)| {
+            if !ok || a.gw >= exposed {
+                return false;
+            }
+            let applied = bad_at + gap.times(a.gw as u64);
+            let restored = halt + gap.times(a.gw as u64 + 1);
+            a.at >= applied && a.at < restored
+        })
+        .count() as u64;
+    ArmOutcome {
+        name: "ambient-waypoint",
+        fleet: params.fleet,
+        exposed,
+        offered: stream.len() as u64,
+        errors,
+        ttr_s: (detect + gap.times(exposed as u64)).as_secs_f64(),
+    }
+}
+
+/// Isolation gate: compile the overlapping two-tenant spec jointly and
+/// each tenant alone; every probe packet must get the same verdict and
+/// the same matched-rule index from both — a divergence means one
+/// tenant's packet touched the other tenant's rules.
+fn isolation_gate(seed: u64, probes: usize) -> (u64, u64) {
+    let spec = spec_for(1, false, false);
+    let Ok(joint) = CompiledPolicySet::compile(&spec) else {
+        return (0, u64::MAX);
+    };
+    let solos: Vec<(u32, CompiledPolicySet)> = TENANT_IDS
+        .iter()
+        .filter_map(|&t| {
+            let solo = PolicySpec {
+                version: 1,
+                tenants: spec.tenants.iter().filter(|tp| tp.tenant.raw() == t).cloned().collect(),
+            };
+            CompiledPolicySet::compile(&solo).ok().map(|c| (t, c))
+        })
+        .collect();
+    let mut rng = SimRng::seed(seed ^ 0x0011_C7A5_1501_A7E0);
+    let mut cross = 0u64;
+    let mut probed = 0u64;
+    for _ in 0..probes {
+        let a = Arrival {
+            at: SimTime::ZERO,
+            gw: 0,
+            tenant: TENANT_IDS[rng.index(2)],
+            src_ip: 0x0A00_0000 | (rng.u64() as u32 & 0xFFFF),
+            dst_port: [80, 443, 9100, 23][rng.index(4)],
+            identity: 100 + rng.index(8) as u64,
+            method: rng.index(METHODS.len()),
+            path: rng.index(PATHS.len()),
+        };
+        let Some((_, solo)) = solos.iter().find(|(t, _)| *t == a.tenant) else {
+            continue;
+        };
+        probed += 1;
+        let (l4, l7) = (a.l4(), a.l7());
+        if joint.l7_verdict(&l4, &l7) != solo.l7_verdict(&l4, &l7)
+            || joint.l7_match(&l4, &l7) != solo.l7_match(&l4, &l7)
+            || joint.l4_verdict(&l4) != solo.l4_verdict(&l4)
+        {
+            cross += 1;
+        }
+    }
+    (probed, cross)
+}
+
+/// Differential gate: compiled tables vs the naive reference scan over
+/// the whole arrival stream, folded into two verdict-stream digests.
+fn differential_gate(stream: &[Arrival]) -> (u64, u64) {
+    let spec = spec_for(1, false, false);
+    let Ok(compiled) = CompiledPolicySet::compile(&spec) else {
+        return (0, u64::MAX);
+    };
+    let mut dc = Digest::new();
+    let mut dr = Digest::new();
+    let tag = |v: PolicyVerdict| match v {
+        PolicyVerdict::Allow => 1u64,
+        PolicyVerdict::Deny => 2u64,
+    };
+    for a in stream {
+        let (l4, l7) = (a.l4(), a.l7());
+        dc.write_u64(tag(compiled.l7_verdict(&l4, &l7)));
+        let rv = spec
+            .tenants
+            .iter()
+            .find(|tp| tp.tenant == l4.tenant)
+            .map(|tp| reference_l7_verdict(tp, &l4, &l7))
+            .unwrap_or(PolicyVerdict::Deny);
+        dr.write_u64(tag(rv));
+    }
+    (dc.value(), dr.value())
+}
+
+/// Match-cost gate: compile a large synthetic tenant and compare the
+/// compiled engine's deterministic per-lookup op bound against the
+/// reference's O(rules) scan.
+fn cost_gate(seed: u64) -> (u64, u64, usize) {
+    let mut rng = SimRng::seed(seed ^ 0x0011_C7A5_C057_0000);
+    let mut rules = Vec::with_capacity(COST_RULES);
+    for i in 0..COST_RULES {
+        let mut r = if rng.chance(0.5) { PolicyRule::allow() } else { PolicyRule::deny() };
+        let prefix = 18 + rng.index(13) as u8;
+        let base = (0x0A00_0000 | (rng.u64() as u32 & 0xFFFF)) & Cidr { base: 0, prefix_len: prefix }.mask();
+        r = r.with_source_cidr(Cidr { base, prefix_len: prefix });
+        if rng.chance(0.5) {
+            let lo = 1024 + rng.index(8000) as u16;
+            r = r.with_ports(lo, lo + rng.index(200) as u16);
+        }
+        if rng.chance(0.4) {
+            r = r.with_method(METHODS[rng.index(METHODS.len())]);
+        }
+        if rng.chance(0.4) {
+            r = r.with_path_prefix(PATHS[rng.index(PATHS.len())]);
+        }
+        if i % 7 == 0 {
+            r = r.with_identities(&[100 + rng.index(8) as u64]);
+        }
+        rules.push(r);
+    }
+    let tp = TenantPolicy {
+        tenant: TenantId(1),
+        vpc: VpcId(1),
+        rules,
+        default_action: PolicyVerdict::Deny,
+    };
+    match CompiledTenant::compile(&tp) {
+        Ok(c) => (c.lookup_ops(), tp.rules.len() as u64, c.rule_count()),
+        Err(_) => (u64::MAX, tp.rules.len() as u64, 0),
+    }
+}
+
+/// Run the whole policy blast-radius scenario. Fully deterministic in
+/// `seed`.
+pub fn run_policy(seed: u64, params: &PolicyParams) -> PolicyBlastOutcome {
+    let plan = scripted_plan(params.time_scale);
+    let stream = arrivals(seed, params);
+    let allows = baseline_allows(&stream);
+    let canal = run_canal(seed, params, &plan, &stream);
+    let ambient = run_ambient(params, &plan, &stream, &allows);
+    let istio = run_istio(params, &plan, &stream, &allows);
+    let (isolation_probes, cross_tenant_matches) = isolation_gate(seed, ISOLATION_PROBES);
+    let (compiled_digest, reference_digest) = differential_gate(&stream);
+    let (compiled_ops, naive_ops, cost_rules) = cost_gate(seed);
+    PolicyBlastOutcome {
+        arms: vec![canal.arm.clone(), ambient, istio],
+        fleet: params.fleet,
+        canary_size: params.rollout_cfg().canary_size,
+        nacks: canal.nacks,
+        rollbacks: canal.rollbacks,
+        deny_exposed: canal.deny_exposed,
+        deny_errors: canal.deny_errors,
+        healthy_converged: canal.healthy_converged,
+        healthy_waves: canal.healthy_waves,
+        healthy_exposed: canal.healthy_exposed,
+        policy_alerts: canal.policy_alerts,
+        node_allowed: canal.node_allowed,
+        node_denied: canal.node_denied,
+        node_deferred: canal.node_deferred,
+        store_len: canal.store_len,
+        isolation_probes,
+        cross_tenant_matches,
+        compiled_digest,
+        reference_digest,
+        compiled_ops,
+        naive_ops,
+        cost_rules,
+        events: canal.events,
+        total_bytes: stream.len() as u64 * REQUEST_BYTES,
+        canal_state_digest: canal.state_digest,
+    }
+}
+
+/// The `policy` experiment (full-scale run).
+pub fn policy(seed: u64) -> ExperimentReport {
+    report_for(seed, &PolicyParams::full())
+}
+
+/// Build the report for the given parameters (the `policy` binary's
+/// `--fast` smoke mode reuses this with [`PolicyParams::fast`]).
+pub fn report_for(seed: u64, params: &PolicyParams) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "policy",
+        "tenant policy plane: blast radius of bad policy pushes + compiled match-engine gates",
+    );
+    let outcome = run_policy(seed, params);
+
+    let mut blast = Table::new(
+        "blast radius of the poisoned policy",
+        &["arm", "exposed", "fleet", "exposed %", "errors", "availability", "ttr s"],
+    );
+    for a in &outcome.arms {
+        blast.row(&[
+            a.name.to_string(),
+            a.exposed.to_string(),
+            a.fleet.to_string(),
+            pct(a.exposed_fraction()),
+            a.errors.to_string(),
+            pct(a.availability()),
+            num(a.ttr_s),
+        ]);
+    }
+    report.tables.push(blast);
+
+    let mut plane = Table::new(
+        "canal policy plane",
+        &["metric", "value"],
+    );
+    for (k, v) in [
+        ("NACKs (poisoned cut)", outcome.nacks.to_string()),
+        ("automatic rollbacks", outcome.rollbacks.to_string()),
+        (
+            "deny-all exposure / canary",
+            format!("{} / {}", outcome.deny_exposed, outcome.canary_size),
+        ),
+        ("wrongly denied requests", outcome.deny_errors.to_string()),
+        ("PolicyDeny alerts", outcome.policy_alerts.to_string()),
+        ("healthy rollout waves", outcome.healthy_waves.to_string()),
+        ("node L4 allowed", outcome.node_allowed.to_string()),
+        ("node L4 fast-denied", outcome.node_denied.to_string()),
+        ("node deferred to L7", outcome.node_deferred.to_string()),
+        ("policy versions retained", outcome.store_len.to_string()),
+    ] {
+        plane.row(&[k.to_string(), v]);
+    }
+    report.tables.push(plane);
+
+    let mut engine = Table::new(
+        "compiled match engine gates",
+        &["gate", "measured"],
+    );
+    for (k, v) in [
+        (
+            "isolation probes / cross-tenant matches",
+            format!("{} / {}", outcome.isolation_probes, outcome.cross_tenant_matches),
+        ),
+        (
+            "differential digests (compiled vs reference)",
+            format!(
+                "{:#018x} vs {:#018x}",
+                outcome.compiled_digest, outcome.reference_digest
+            ),
+        ),
+        (
+            "per-lookup ops, compiled vs naive scan",
+            format!(
+                "{} vs {} ({} rules)",
+                outcome.compiled_ops, outcome.naive_ops, outcome.cost_rules
+            ),
+        ),
+    ] {
+        engine.row(&[k.to_string(), v]);
+    }
+    report.tables.push(engine);
+
+    let canal = outcome.arm("canal");
+    let ambient = outcome.arm("ambient-waypoint");
+    let istio = outcome.arm("istio-full-push");
+    if let (Some(canal), Some(ambient), Some(istio)) = (canal, ambient, istio) {
+        report.checks.push(Check::cond(
+            "canal never commits the poisoned policy",
+            "semantic validation NACKs at the canary; blast radius 0",
+            &format!("{} of {} gateways, {} NACKs", canal.exposed, canal.fleet, outcome.nacks),
+            canal.exposed == 0 && outcome.nacks > 0,
+        ));
+        report.checks.push(Check::cond(
+            "fail-static keeps the running tables enforcing",
+            "a rejected policy push never degrades serving",
+            &format!("{} poison-attributed errors", canal.errors),
+            canal.errors == 0,
+        ));
+        report.checks.push(Check::cond(
+            "rollback is automatic",
+            "NACK and deny-spike health-gate rollbacks, no operator",
+            &format!("{} rollbacks", outcome.rollbacks),
+            outcome.rollbacks >= 2,
+        ));
+        report.checks.push(Check::cond(
+            "wrong-scope deny-all contained to the canary wave",
+            "the monitor's deny-spike alert trips the health gate during bake",
+            &format!(
+                "{} of {} gateways (canary {}), {} wrong denies",
+                outcome.deny_exposed, outcome.fleet, outcome.canary_size, outcome.deny_errors
+            ),
+            outcome.deny_exposed >= 1
+                && outcome.deny_exposed <= outcome.canary_size
+                && outcome.deny_errors > 0,
+        ));
+        report.checks.push(Check::cond(
+            "deny spike surfaces as a monitor dimension",
+            "PolicyDeny alerts on the spike edge at the worst gateway",
+            &format!("{} alerts", outcome.policy_alerts),
+            outcome.policy_alerts >= 1,
+        ));
+        report.checks.push(Check::cond(
+            "healthy policy rollout converges in waves",
+            "canary then growing waves reach the whole fleet",
+            &format!(
+                "{} waves over {} targets",
+                outcome.healthy_waves, outcome.healthy_exposed
+            ),
+            outcome.healthy_converged
+                && outcome.healthy_exposed == outcome.fleet
+                && outcome.healthy_waves >= 3,
+        ));
+        report.checks.push(Check::cond(
+            "tenant isolation over overlapping address spaces",
+            "joint vs solo compiles agree on every probe; zero cross-tenant matches",
+            &format!(
+                "{} probes, {} divergences",
+                outcome.isolation_probes, outcome.cross_tenant_matches
+            ),
+            outcome.isolation_probes > 0 && outcome.cross_tenant_matches == 0,
+        ));
+        report.checks.push(Check::cond(
+            "compiled tables match the naive reference bit-for-bit",
+            "verdict-stream digests over the full arrival stream are equal",
+            if outcome.compiled_digest == outcome.reference_digest { "equal" } else { "DIVERGED" },
+            outcome.compiled_digest == outcome.reference_digest,
+        ));
+        report.checks.push(Check::band(
+            "compiled per-lookup cost vs naive scan",
+            "flat tables beat the O(rules) scan with headroom",
+            outcome.compiled_ops as f64 / outcome.naive_ops.max(1) as f64,
+            0.0,
+            0.5,
+        ));
+        report.checks.push(Check::cond(
+            "node L4 path splits fast-path from deferral",
+            "pure-L4 slices decide on the node; L7-predicated candidates defer",
+            &format!(
+                "{} allowed / {} denied / {} deferred",
+                outcome.node_allowed, outcome.node_denied, outcome.node_deferred
+            ),
+            outcome.node_allowed > 0 && outcome.node_denied > 0 && outcome.node_deferred > 0,
+        ));
+        report.checks.push(Check::cond(
+            "blind pushes burn the fleet",
+            "istio exposes 100%; ambient halts mid-push (partial)",
+            &format!(
+                "istio {} / ambient {} / canal {}",
+                istio.exposed, ambient.exposed, canal.exposed
+            ),
+            istio.exposed == outcome.fleet
+                && ambient.exposed < istio.exposed
+                && ambient.exposed > canal.exposed,
+        ));
+        report.checks.push(Check::band(
+            "canal time-to-rollback vs istio",
+            "automatic NACK rollback ≪ operator detection",
+            canal.ttr_s / istio.ttr_s.max(1e-9),
+            0.0,
+            0.1,
+        ));
+        report.checks.push(Check::cond(
+            "policy store retention stays bounded",
+            "version history capped at POLICY_RETAIN_CAP",
+            &format!("{} of {}", outcome.store_len, POLICY_RETAIN_CAP),
+            outcome.store_len <= POLICY_RETAIN_CAP && outcome.store_len > 0,
+        ));
+    }
+    report
+}

@@ -27,6 +27,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "rollout", // safe config rollout: canary blast radius vs blind pushes
     "handshake", // cert rotation waves, handshake storms, rollback-safe bundles
     "drill", // disaster drill: gray failure + asymmetric partition + graceful drain
+    "policy", // tenant policy plane: bad-push blast radius + compiled match gates
     "fig16", "fig17", "fig18", "fig19", "fig20", "tab4", // cloud infra
     "tab5", // deployment costs
     "tab6", "tab7", // health checks
@@ -59,6 +60,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentReport> {
         "rollout" => rollout::rollout(seed),
         "handshake" => handshake::handshake(seed),
         "drill" => drill::drill(seed),
+        "policy" => policy::policy(seed),
         "fig16" => cloud::fig16(seed),
         "fig17" => cloud::fig17(seed),
         "fig18" => cloud::fig18(seed),

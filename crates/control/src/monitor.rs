@@ -33,6 +33,11 @@ pub enum AlertKind {
     /// A config rollout entered flight or rolled back — any anomaly in the
     /// same window has "config change" as a suspect dimension (§2.2).
     ConfigRollout,
+    /// The network-policy plane denied an anomalous fraction of this
+    /// window's traffic — a deny spike is how a wrongly-scoped (but
+    /// semantically valid) policy push announces itself, and it must feed
+    /// the rollout health gate before the push leaves the canary.
+    PolicyDeny,
 }
 
 /// What the gateway's overload telemetry says about the pressure state.
@@ -90,6 +95,10 @@ struct BackendHistory {
 
 const HISTORY_CAP: usize = 24;
 
+/// Denied fraction of a window's policy decisions beyond which
+/// [`WaterLevelMonitor::ingest_policy`] raises [`AlertKind::PolicyDeny`].
+pub const POLICY_DENY_SPIKE: f64 = 0.2;
+
 /// Water-level monitor with per-backend history.
 #[derive(Debug, Default)]
 pub struct WaterLevelMonitor {
@@ -97,6 +106,8 @@ pub struct WaterLevelMonitor {
     alerts: Vec<(SimTime, AlertKind)>,
     rollout_in_flight: bool,
     rollbacks_seen: u64,
+    policy_spike: bool,
+    policy_denials: u64,
 }
 
 impl WaterLevelMonitor {
@@ -219,6 +230,31 @@ impl WaterLevelMonitor {
         self.rollout_in_flight = in_flight;
     }
 
+    /// Ingest one window of policy-plane decisions: how many flows/requests
+    /// the compiled policy evaluated (`offered`) and how many it denied.
+    /// Edge-triggered like [`ingest_rollout`](Self::ingest_rollout): the
+    /// window where the denied fraction first exceeds
+    /// [`POLICY_DENY_SPIKE`] raises one [`AlertKind::PolicyDeny`]; the
+    /// spike must clear before it can alert again.
+    pub fn ingest_policy(&mut self, now: SimTime, offered: u64, denied: u64) {
+        self.policy_denials += denied;
+        let spiking = offered > 0 && denied as f64 > offered as f64 * POLICY_DENY_SPIKE;
+        if spiking && !self.policy_spike {
+            self.alerts.push((now, AlertKind::PolicyDeny));
+        }
+        self.policy_spike = spiking;
+    }
+
+    /// Whether the last ingested policy window was a deny spike.
+    pub fn policy_deny_spike(&self) -> bool {
+        self.policy_spike
+    }
+
+    /// Lifetime policy denials across ingested windows.
+    pub fn policy_denials(&self) -> u64 {
+        self.policy_denials
+    }
+
     /// Whether a config change is currently in flight (last ingested state).
     pub fn config_change_in_flight(&self) -> bool {
         self.rollout_in_flight
@@ -257,10 +293,13 @@ impl WaterLevelMonitor {
                 AlertKind::Tenant(tenant) => d.write_u64(3).write_u64(tenant.0 as u64),
                 AlertKind::Overload => d.write_u64(4),
                 AlertKind::ConfigRollout => d.write_u64(5),
+                AlertKind::PolicyDeny => d.write_u64(6),
             };
         }
         d.write_u64(self.rollout_in_flight as u64)
-            .write_u64(self.rollbacks_seen);
+            .write_u64(self.rollbacks_seen)
+            .write_u64(self.policy_spike as u64)
+            .write_u64(self.policy_denials);
     }
 }
 
@@ -448,5 +487,29 @@ mod tests {
         // The next rollout alerts afresh.
         m.ingest_rollout(T(40), true, 1);
         assert_eq!(m.alerts().len(), 3);
+    }
+
+    #[test]
+    fn policy_deny_spike_alerts_on_the_edge() {
+        let mut m = WaterLevelMonitor::new();
+        // Healthy windows: a few denials are normal zero-trust noise.
+        m.ingest_policy(T(0), 100, 5);
+        assert!(!m.policy_deny_spike());
+        assert!(m.alerts().is_empty());
+        // A deny spike alerts once, not every window it persists.
+        m.ingest_policy(T(10), 100, 40);
+        m.ingest_policy(T(20), 100, 55);
+        assert!(m.policy_deny_spike());
+        assert_eq!(m.alerts().len(), 1);
+        assert_eq!(m.alerts()[0].1, AlertKind::PolicyDeny);
+        // Spike clears, then returns: a fresh alert.
+        m.ingest_policy(T(30), 100, 2);
+        assert!(!m.policy_deny_spike());
+        m.ingest_policy(T(40), 100, 90);
+        assert_eq!(m.alerts().len(), 2);
+        assert_eq!(m.policy_denials(), 5 + 40 + 55 + 2 + 90);
+        // An idle window (no offered traffic) is not a spike.
+        m.ingest_policy(T(50), 0, 0);
+        assert!(!m.policy_deny_spike());
     }
 }

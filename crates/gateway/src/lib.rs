@@ -40,6 +40,11 @@
 //!   a staged version (semantic validation → NACK), and keeps serving the
 //!   last committed config when pushes are blocked or poisoned
 //!   (fail-static, §2.2's bad-config outage vector).
+//! * [`policy`] — the same fail-static contract for the network-policy
+//!   plane: `ActivePolicy { running, staged }` validates *and compiles* a
+//!   staged [`canal_policy::PolicySpec`] atomically, NACKing semantic
+//!   poison while the datapath keeps enforcing the last committed
+//!   compiled set (DESIGN.md §14).
 //! * [`gateway`] — the assembled gateway: service placement, per-backend
 //!   CPU/session accounting, request dispatch, and the water-level signals
 //!   the control plane consumes.
@@ -55,6 +60,7 @@ pub mod failure;
 pub mod gateway;
 pub mod health;
 pub mod overload;
+pub mod policy;
 pub mod redirector;
 pub mod resilience;
 pub mod sandbox;
@@ -71,6 +77,7 @@ pub use overload::{
     AttemptKind, BrownoutController, BrownoutLevel, ClientId, CoDel, OverloadConfig,
     OverloadControl, OverloadSignals, RetryBudget, TelemetrySink,
 };
+pub use policy::{ActivePolicy, PolicyPushRejection};
 pub use redirector::{BucketTable, DispatchDecision, Redirector};
 pub use resilience::{
     AttemptError, DispatchCounters, DispatchOutcome, OutlierDetector, ResilienceConfig,

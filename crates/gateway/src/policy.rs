@@ -1,0 +1,289 @@
+//! Fail-static network-policy state at the gateway.
+//!
+//! [`ActivePolicy`] mirrors [`ActiveConfig`](crate::config::ActiveConfig)
+//! exactly, but for the policy plane: a pushed
+//! [`PolicySpec`](canal_policy::PolicySpec) is first **staged**, then
+//! `commit_staged` runs semantic validation *and compilation* atomically —
+//! a spec that fails either is rejected with a [`PolicyPushRejection`]
+//! (NACKed upstream by the data plane) and the gateway keeps enforcing the
+//! last committed compiled set unchanged. A poisoned policy push can
+//! therefore never widen or narrow enforcement beyond the canary that
+//! NACKed it.
+
+use canal_policy::{CompiledPolicySet, PolicyRejection, PolicySpec};
+use canal_sim::{Digest, SimTime};
+
+/// Why a staged policy push was rejected instead of committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyPushRejection {
+    /// Semantic validation / compilation failed.
+    Spec(PolicyRejection),
+    /// The staged version is not newer than the running one. Anything
+    /// older is a replay and must not regress enforcement.
+    StaleVersion {
+        /// Version of the staged spec.
+        staged: u64,
+        /// Version currently enforced.
+        running: u64,
+    },
+    /// Nothing is staged.
+    NothingStaged,
+}
+
+impl std::fmt::Display for PolicyPushRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyPushRejection::Spec(r) => write!(f, "invalid policy: {r}"),
+            PolicyPushRejection::StaleVersion { staged, running } => {
+                write!(f, "stale policy version {staged} (running {running})")
+            }
+            PolicyPushRejection::NothingStaged => write!(f, "nothing staged"),
+        }
+    }
+}
+
+/// The `{running, staged}` policy pair a gateway enforces from.
+///
+/// Invariants (DESIGN.md §14, mirroring §11's config contract):
+/// * `running` only ever advances to a spec that validated *and* compiled,
+///   atomically — the served spec and its compiled tables never diverge.
+/// * Rejection leaves `running` untouched and clears `staged` (fail-static).
+/// * The running version is strictly monotone across commits.
+#[derive(Debug, Clone, Default)]
+pub struct ActivePolicy {
+    running: Option<(PolicySpec, CompiledPolicySet)>,
+    staged: Option<PolicySpec>,
+    committed_at: Option<SimTime>,
+    commits: u64,
+    rejections: u64,
+}
+
+impl ActivePolicy {
+    /// Empty pair: nothing running, nothing staged. With no committed
+    /// policy the compiled set is empty, which denies every tenant
+    /// (zero trust) — gate enforcement on `running_version().is_some()`
+    /// if open-until-first-policy is wanted.
+    pub fn new() -> Self {
+        ActivePolicy::default()
+    }
+
+    /// Stage a pushed spec without applying it. Enforcement is unaffected
+    /// until [`Self::commit_staged`] validates, compiles and swaps it in.
+    /// Staging twice replaces the previous staged spec (last push wins).
+    pub fn stage(&mut self, spec: PolicySpec) {
+        self.staged = Some(spec);
+    }
+
+    /// Atomically commit the staged spec if it validates and compiles,
+    /// else reject it and keep enforcing the running set. Either way
+    /// `staged` is cleared. Returns the committed version, or the
+    /// rejection the data plane should NACK with.
+    pub fn commit_staged(&mut self, now: SimTime) -> Result<u64, PolicyPushRejection> {
+        let Some(spec) = self.staged.take() else {
+            return Err(PolicyPushRejection::NothingStaged);
+        };
+        if let Some((run, _)) = &self.running {
+            if spec.version <= run.version {
+                self.rejections += 1;
+                return Err(PolicyPushRejection::StaleVersion {
+                    staged: spec.version,
+                    running: run.version,
+                });
+            }
+        }
+        match CompiledPolicySet::compile(&spec) {
+            Ok(compiled) => {
+                let v = spec.version;
+                self.running = Some((spec, compiled));
+                self.committed_at = Some(now);
+                self.commits += 1;
+                Ok(v)
+            }
+            Err(rej) => {
+                self.rejections += 1;
+                Err(PolicyPushRejection::Spec(rej))
+            }
+        }
+    }
+
+    /// Roll back to an explicit last-known-good spec, bypassing the
+    /// version-monotonicity check (a rollback deliberately re-runs an
+    /// older version). Compilation still applies: a rollback target that
+    /// no longer compiles is refused, keeping fail-static intact.
+    pub fn roll_back_to(
+        &mut self,
+        now: SimTime,
+        spec: PolicySpec,
+    ) -> Result<u64, PolicyPushRejection> {
+        let compiled = CompiledPolicySet::compile(&spec).map_err(PolicyPushRejection::Spec)?;
+        let v = spec.version;
+        self.staged = None;
+        self.running = Some((spec, compiled));
+        self.committed_at = Some(now);
+        self.commits += 1;
+        Ok(v)
+    }
+
+    /// The spec currently being enforced (last committed), if any.
+    pub fn running_spec(&self) -> Option<&PolicySpec> {
+        self.running.as_ref().map(|(s, _)| s)
+    }
+
+    /// The compiled tables the datapath evaluates, if any policy has ever
+    /// committed.
+    pub fn compiled(&self) -> Option<&CompiledPolicySet> {
+        self.running.as_ref().map(|(_, c)| c)
+    }
+
+    /// The staged-but-uncommitted spec, if any.
+    pub fn staged(&self) -> Option<&PolicySpec> {
+        self.staged.as_ref()
+    }
+
+    /// Version being enforced, if any policy has ever committed.
+    pub fn running_version(&self) -> Option<u64> {
+        self.running.as_ref().map(|(s, _)| s.version)
+    }
+
+    /// When the running policy committed.
+    pub fn committed_at(&self) -> Option<SimTime> {
+        self.committed_at
+    }
+
+    /// Successful commits (including rollbacks).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Rejected staged specs — each one corresponds to a NACK upstream.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Fold the whole `{running, staged}` pair into a digest: the running
+    /// version, spec and compiled tables, the uncommitted `staged` spec,
+    /// `committed_at`, and the commit/rejection counts.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.running_version().unwrap_or(0));
+        d.write_u64(self.commits);
+        d.write_u64(self.rejections);
+        if let Some((spec, compiled)) = &self.running {
+            spec.fold_digest(d);
+            compiled.fold_digest(d);
+        }
+        match &self.staged {
+            None => {
+                d.write_u64(0);
+            }
+            Some(s) => {
+                d.write_u64(1);
+                s.fold_digest(d);
+            }
+        }
+        d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canal_net::{TenantId, VpcId};
+    use canal_policy::{L4Ctx, L4Verdict, PolicyRule, TenantPolicy};
+
+    fn spec(version: u64, rules: Vec<PolicyRule>) -> PolicySpec {
+        PolicySpec {
+            version,
+            tenants: vec![TenantPolicy {
+                tenant: TenantId(1),
+                vpc: VpcId(1),
+                rules,
+                default_action: canal_policy::PolicyVerdict::Deny,
+            }],
+        }
+    }
+
+    fn ctx() -> L4Ctx {
+        L4Ctx { tenant: TenantId(1), vpc: VpcId(1), src_ip: 1, dst_port: 80, identity: 0 }
+    }
+
+    #[test]
+    fn commit_swaps_spec_and_compiled_atomically() {
+        let mut ap = ActivePolicy::new();
+        assert!(ap.compiled().is_none());
+        ap.stage(spec(1, vec![PolicyRule::allow()]));
+        assert!(ap.running_spec().is_none(), "staging does not enforce");
+        assert_eq!(ap.commit_staged(SimTime::from_secs(1)), Ok(1));
+        assert_eq!(ap.running_version(), Some(1));
+        let compiled = ap.compiled().unwrap();
+        assert_eq!(compiled.l4_verdict(&ctx()), L4Verdict::Allow);
+        assert!(ap.staged().is_none());
+    }
+
+    #[test]
+    fn poisoned_policy_rejected_fail_static() {
+        let mut ap = ActivePolicy::new();
+        ap.stage(spec(1, vec![PolicyRule::allow()]));
+        ap.commit_staged(SimTime::ZERO).ok();
+        // Inverted port range: semantically invalid → NACK, keep enforcing v1.
+        ap.stage(spec(2, vec![PolicyRule::deny().with_ports(443, 80)]));
+        let r = ap.commit_staged(SimTime::from_secs(5));
+        assert!(matches!(r, Err(PolicyPushRejection::Spec(_))));
+        assert_eq!(ap.running_version(), Some(1), "fail-static: v1 still enforced");
+        assert_eq!(ap.compiled().unwrap().l4_verdict(&ctx()), L4Verdict::Allow);
+        assert!(ap.staged().is_none(), "poisoned staged spec discarded");
+        assert_eq!(ap.rejections(), 1);
+        assert_eq!(ap.commits(), 1);
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        let mut ap = ActivePolicy::new();
+        ap.stage(spec(5, vec![PolicyRule::allow()]));
+        ap.commit_staged(SimTime::ZERO).ok();
+        ap.stage(spec(5, vec![PolicyRule::deny()]));
+        assert_eq!(
+            ap.commit_staged(SimTime::from_secs(1)),
+            Err(PolicyPushRejection::StaleVersion { staged: 5, running: 5 })
+        );
+        assert_eq!(
+            ap.commit_staged(SimTime::from_secs(2)),
+            Err(PolicyPushRejection::NothingStaged)
+        );
+    }
+
+    #[test]
+    fn rollback_reinstates_older_version_but_still_compiles() {
+        let mut ap = ActivePolicy::new();
+        ap.stage(spec(1, vec![PolicyRule::allow()]));
+        ap.commit_staged(SimTime::ZERO).ok();
+        ap.stage(spec(2, vec![PolicyRule::deny()]));
+        ap.commit_staged(SimTime::from_secs(1)).ok();
+        assert_eq!(ap.roll_back_to(SimTime::from_secs(2), spec(1, vec![PolicyRule::allow()])), Ok(1));
+        assert_eq!(ap.running_version(), Some(1));
+        let bad = ap.roll_back_to(
+            SimTime::from_secs(3),
+            spec(0, vec![PolicyRule::allow().with_ports(9, 1)]),
+        );
+        assert!(bad.is_err());
+        assert_eq!(ap.running_version(), Some(1), "bad rollback target refused");
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = ActivePolicy::new();
+        a.stage(spec(1, vec![PolicyRule::allow()]));
+        a.commit_staged(SimTime::ZERO).ok();
+        let mut b = ActivePolicy::new();
+        b.stage(spec(1, vec![PolicyRule::allow()]));
+        b.commit_staged(SimTime::ZERO).ok();
+        let mut da = Digest::new();
+        a.fold_digest(&mut da);
+        let mut db = Digest::new();
+        b.fold_digest(&mut db);
+        assert_eq!(da.value(), db.value());
+        b.stage(spec(2, vec![PolicyRule::deny()]));
+        let mut dc = Digest::new();
+        b.fold_digest(&mut dc);
+        assert_ne!(da.value(), dc.value(), "staged spec is part of the state");
+    }
+}

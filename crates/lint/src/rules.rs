@@ -40,6 +40,7 @@ pub const DIGEST_CRATES: &[&str] = &[
     "canal_control",
     "canal_gateway",
     "canal_telemetry",
+    "canal_policy",
 ];
 
 /// Crates whose behaviour feeds the deterministic simulator. Wall clocks,
@@ -50,6 +51,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "canal_http",
     "canal_crypto",
     "canal_cluster",
+    "canal_policy",
     "canal_mesh",
     "canal_telemetry",
     "canal_gateway",
@@ -70,6 +72,9 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
     ("canal_http", &["bytes"]),
     ("canal_crypto", &["canal_sim", "canal_net", "bytes"]),
     ("canal_cluster", &["canal_sim", "canal_net"]),
+    // The policy plane compiles specs over net-layer addresses/identities;
+    // it must not know about HTTP types — both datapaths adapt to it.
+    ("canal_policy", &["canal_sim", "canal_net"]),
     ("canal_workload", &["canal_sim"]),
     ("canal_telemetry", &["canal_sim", "canal_net"]),
     (
@@ -78,6 +83,9 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_sim",
             "canal_net",
             "canal_cluster",
+            // Fail-static ActivePolicy: the gateway L7 path is one of the
+            // two policy enforcement points.
+            "canal_policy",
             // The gateway terminates mTLS for its tenants (§4.1.3), so the
             // cert-bundle fail-static pair and the typed handshake-fault
             // bridge need the crypto lifecycle types.
@@ -94,6 +102,9 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_http",
             "canal_crypto",
             "canal_cluster",
+            // The node L4 filter and the per-route authz check both
+            // evaluate the compiled policy tables.
+            "canal_policy",
             "bytes",
         ],
     ),
@@ -117,6 +128,7 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_http",
             "canal_crypto",
             "canal_cluster",
+            "canal_policy",
             "canal_gateway",
             "canal_mesh",
             "canal_telemetry",
@@ -133,6 +145,7 @@ pub const LAYERING_DAG: &[(&str, &[&str])] = &[
             "canal_http",
             "canal_crypto",
             "canal_cluster",
+            "canal_policy",
             "canal_gateway",
             "canal_mesh",
             "canal_telemetry",

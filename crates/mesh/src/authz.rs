@@ -4,8 +4,17 @@
 //! remotely: "input and processing logic being information carried by
 //! packets and traffic admission rules". Rules match on verified source
 //! identity, path and method; first match wins with a configurable default.
+//!
+//! Since the policy plane landed (DESIGN.md §14) there is exactly one
+//! enforcement point: [`AuthzPolicy`] keeps its small rule-builder API but
+//! compiles every rule into a [`canal_policy::CompiledTenant`] and
+//! evaluates requests through its flat match tables — the same bitmask
+//! intersection the gateway's `ActivePolicy` and the node L4 filter use.
+//! There is no per-rule scan left in the mesh.
 
 use canal_http::Request;
+use canal_net::{TenantId, VpcId};
+use canal_policy::{CompiledTenant, L4Ctx, L7Ctx, PolicyRule, PolicyVerdict, TenantPolicy};
 
 /// Allow or deny.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,51 +57,72 @@ impl AuthzRule {
         }
     }
 
-    fn matches(&self, source_identity: u64, req: &Request) -> bool {
-        if !self.source_identities.is_empty() && !self.source_identities.contains(&source_identity)
-        {
-            return false;
-        }
-        if !self.path_prefix.is_empty() && !req.path_only().starts_with(&self.path_prefix) {
-            return false;
-        }
+    /// Lower the rule into the policy plane's rule model.
+    fn to_policy_rule(&self) -> PolicyRule {
+        let mut r = match self.action {
+            AuthzAction::Allow => PolicyRule::allow(),
+            AuthzAction::Deny => PolicyRule::deny(),
+        };
+        r = r.with_identities(&self.source_identities).with_path_prefix(&self.path_prefix);
         if let Some(m) = &self.method {
-            if req.method.as_str() != m {
-                return false;
-            }
+            r = r.with_method(m);
         }
-        true
+        r
     }
 }
 
-/// An ordered authorization policy with a default verdict.
+/// The placeholder tenant an engine-local authz policy compiles under;
+/// the engine is already tenant-scoped, so the id never discriminates.
+const LOCAL_TENANT: TenantId = TenantId(0);
+
+/// An ordered authorization policy with a default verdict, evaluated
+/// through the compiled policy tables.
 #[derive(Debug, Clone)]
 pub struct AuthzPolicy {
     rules: Vec<AuthzRule>,
+    compiled: CompiledTenant,
     /// Verdict when no rule matches. Zero-trust default is deny.
     pub default_action: AuthzAction,
 }
 
 impl AuthzPolicy {
-    /// Zero-trust policy: default deny.
-    pub fn default_deny() -> Self {
+    fn empty(default_action: AuthzAction) -> Self {
         AuthzPolicy {
             rules: Vec::new(),
-            default_action: AuthzAction::Deny,
+            compiled: CompiledTenant::empty(PolicyVerdict::Deny),
+            default_action,
         }
+    }
+
+    /// Zero-trust policy: default deny.
+    pub fn default_deny() -> Self {
+        Self::empty(AuthzAction::Deny)
     }
 
     /// Permissive policy: default allow (tenants without L7 security).
     pub fn default_allow() -> Self {
-        AuthzPolicy {
-            rules: Vec::new(),
-            default_action: AuthzAction::Allow,
-        }
+        Self::empty(AuthzAction::Allow)
     }
 
-    /// Append a rule (evaluated in insertion order; first match wins).
+    /// Append a rule (evaluated in insertion order; first match wins) and
+    /// recompile the match tables. A rule set that exceeds the policy
+    /// plane's caps (`canal_policy::MAX_RULES_PER_TENANT`,
+    /// `MAX_PATH_PREFIX_BYTES`) is refused fail-static: the offending rule
+    /// is dropped and the previous tables keep enforcing.
     pub fn push(&mut self, rule: AuthzRule) -> &mut Self {
         self.rules.push(rule);
+        let tp = TenantPolicy {
+            tenant: LOCAL_TENANT,
+            vpc: VpcId(0),
+            rules: self.rules.iter().map(AuthzRule::to_policy_rule).collect(),
+            default_action: PolicyVerdict::Deny,
+        };
+        match CompiledTenant::compile(&tp) {
+            Ok(c) => self.compiled = c,
+            Err(_) => {
+                self.rules.pop();
+            }
+        }
         self
     }
 
@@ -107,13 +137,24 @@ impl AuthzPolicy {
     }
 
     /// Evaluate a request from a *verified* source identity (the mTLS layer
-    /// established it; see `canal_crypto::mtls`).
+    /// established it; see `canal_crypto::mtls`) through the compiled
+    /// tables: one bitmask intersection, first set bit wins.
     pub fn check(&self, source_identity: u64, req: &Request) -> AuthzAction {
-        self.rules
-            .iter()
-            .find(|r| r.matches(source_identity, req))
-            .map(|r| r.action)
-            .unwrap_or(self.default_action)
+        let l4 = L4Ctx {
+            tenant: LOCAL_TENANT,
+            vpc: VpcId(0),
+            src_ip: 0,
+            dst_port: 0,
+            identity: source_identity,
+        };
+        let l7 = L7Ctx::new(req.method.as_str(), req.path_only());
+        match self.compiled.l7_match(&l4, &l7) {
+            Some(i) => match self.rules.get(i) {
+                Some(r) => r.action,
+                None => self.default_action,
+            },
+            None => self.default_action,
+        }
     }
 }
 
@@ -180,5 +221,53 @@ mod tests {
         );
         // Path traversal outside the prefix stays denied.
         assert_eq!(p.check(1, &Request::get("/secrets?x=/api")), AuthzAction::Deny);
+    }
+
+    #[test]
+    fn compiled_check_agrees_with_a_reference_scan() {
+        // Regression: routing authz through the compiled policy tables
+        // must preserve the pre-policy-plane scan semantics exactly.
+        let rules = [
+            AuthzRule::deny(&[666], ""),
+            AuthzRule::allow(&[100, 101], "/api"),
+            AuthzRule::allow(&[], "/healthz"),
+            {
+                let mut r = AuthzRule::allow(&[], "/data");
+                r.method = Some("GET".into());
+                r
+            },
+        ];
+        let mut p = AuthzPolicy::default_deny();
+        for r in &rules {
+            p.push(r.clone());
+        }
+        let scan = |identity: u64, req: &Request| -> AuthzAction {
+            rules
+                .iter()
+                .find(|r| {
+                    (r.source_identities.is_empty()
+                        || r.source_identities.contains(&identity))
+                        && (r.path_prefix.is_empty()
+                            || req.path_only().starts_with(&r.path_prefix))
+                        && r.method.as_ref().is_none_or(|m| req.method.as_str() == m)
+                })
+                .map(|r| r.action)
+                .unwrap_or(AuthzAction::Deny)
+        };
+        let idents = [1u64, 100, 101, 666, 999];
+        let reqs = [
+            Request::get("/"),
+            Request::get("/api/x"),
+            Request::get("/api/items?id=2"),
+            Request::get("/healthz"),
+            Request::get("/data/1"),
+            Request::post("/data/1", &b""[..]),
+            Request::get("/secrets?x=/api"),
+        ];
+        for &id in &idents {
+            for req in &reqs {
+                assert_eq!(p.check(id, req), scan(id, req), "id={id} path={}", req.path);
+            }
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! * [`l7`] — the L7 engine every architecture shares: real HTTP parsing,
 //!   route control, weighted traffic splitting / canary / A-B, authorization
 //!   and rate limiting.
-//! * [`authz`] — zero-trust authorization policies.
+//! * [`authz`] — zero-trust authorization policies, evaluated through the
+//!   compiled `canal-policy` match tables (one enforcement point).
+//! * [`l4policy`] — the node-side L4 policy filter: fast allow/deny on
+//!   flow context, deferring L7-predicated rules to the gateway.
 //! * Rate limiting reuses [`canal_net::ratelimit::TokenBucket`] (shared with
 //!   the gateway's §6.2 throttling).
 //! * [`path`] — the request-path executor: a request is a sequence of
@@ -34,6 +37,7 @@
 pub mod arch;
 pub mod authz;
 pub mod costs;
+pub mod l4policy;
 pub mod l7;
 pub mod observability;
 pub mod path;
@@ -43,6 +47,7 @@ pub mod resources;
 pub use arch::{Architecture, MeshArchitecture, RequestCtx};
 pub use authz::{AuthzAction, AuthzPolicy, AuthzRule};
 pub use costs::CostModel;
+pub use l4policy::L4Filter;
 pub use l7::{L7Engine, L7Outcome, RouteInstallError};
 pub use path::{PathExecutor, StageId, Step};
 pub use canal_net::ratelimit::TokenBucket;

@@ -6,12 +6,58 @@
 //! aggregation (§4.4) exists to fix. [`SessionTable`] models exactly that:
 //! bounded capacity, idle-timeout aging, and occupancy accounting.
 
+use crate::addr::VpcAddr;
+use crate::ids::{TenantId, VpcId};
 use crate::packet::FiveTuple;
-use canal_sim::{SimDuration, SimTime};
+use canal_sim::{Digest, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Key identifying a session (the five-tuple).
 pub type SessionKey = FiveTuple;
+
+/// The metadata the node's L4 layer attaches to a flow before any policy
+/// or observability decision: which tenant and VPC the flow belongs to
+/// (addresses alone are ambiguous across VPCs, §4.2), the source address,
+/// the destination port, and the *verified* workload identity established
+/// by the mTLS layer. Upper layers (the node L4 policy filter, the
+/// gateway, per-pod labeling) consume this instead of re-deriving tenant
+/// context from raw headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowLabel {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// VPC the source address is scoped to.
+    pub vpc: VpcId,
+    /// Source IPv4 address as a big-endian u32.
+    pub src_ip: u32,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Verified source workload identity (0 = unauthenticated).
+    pub identity: u64,
+}
+
+impl FlowLabel {
+    /// Label a flow from its tenant, VPC-scoped source address,
+    /// destination port, and verified identity.
+    pub const fn new(tenant: TenantId, src: VpcAddr, dst_port: u16, identity: u64) -> Self {
+        FlowLabel {
+            tenant,
+            vpc: src.vpc,
+            src_ip: src.ip,
+            dst_port,
+            identity,
+        }
+    }
+
+    /// Fold the label into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.tenant.raw() as u64)
+            .write_u64(self.vpc.raw() as u64)
+            .write_u64(self.src_ip as u64)
+            .write_u64(self.dst_port as u64)
+            .write_u64(self.identity);
+    }
+}
 
 /// Why an insertion failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

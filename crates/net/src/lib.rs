@@ -31,7 +31,7 @@ pub mod vxlan;
 pub use addr::{Endpoint, VpcAddr};
 pub use conn::{TcpConn, TcpState};
 pub use ecmp::{bucket_of, ecmp_select, hash_five_tuple};
-pub use flow::{SessionKey, SessionTable};
+pub use flow::{FlowLabel, SessionKey, SessionTable};
 pub use ids::{AzId, GlobalServiceId, NodeId, PodId, ServiceId, TenantId, VpcId};
 pub use link::Link;
 pub use nagle::NagleBuffer;

@@ -1,0 +1,137 @@
+//! The naive scan-all-rules matcher: the executable specification the
+//! compiled form is differential-tested against.
+//!
+//! Every function here walks the rule list in order and returns on the
+//! first match — O(rules × predicates) per lookup, which is exactly the
+//! cost the compiled tables exist to avoid. The property tests (and the
+//! `policy` experiment's differential pass) require bit-identical verdicts
+//! between this and [`CompiledTenant`](crate::compile::CompiledTenant)
+//! over randomized rule sets, so any compiler bug shows up as a verdict
+//! divergence, not a silent policy hole.
+
+use crate::compile::L4Verdict;
+use crate::spec::{HeaderPredicate, L4Ctx, L7Ctx, PolicyRule, PolicyVerdict, SniMatch, TenantPolicy};
+
+/// Whether the rule's L4 predicates admit the flow.
+fn l4_matches(r: &PolicyRule, ctx: &L4Ctx) -> bool {
+    if let Some(c) = r.source_cidr {
+        if !c.contains(ctx.src_ip) {
+            return false;
+        }
+    }
+    if let Some(p) = r.dest_ports {
+        if ctx.dst_port < p.lo || ctx.dst_port > p.hi {
+            return false;
+        }
+    }
+    if !r.source_identities.is_empty() && !r.source_identities.contains(&ctx.identity) {
+        return false;
+    }
+    true
+}
+
+/// Whether one header predicate is satisfied by some request header
+/// (names case-insensitive, values exact).
+fn header_holds(pred: &HeaderPredicate, headers: &[(&str, &str)]) -> bool {
+    headers.iter().any(|&(name, value)| {
+        name.eq_ignore_ascii_case(&pred.name)
+            && pred.value.as_deref().is_none_or(|want| value == want)
+    })
+}
+
+/// Whether the rule's L7 predicates admit the request.
+fn l7_matches(r: &PolicyRule, l7: &L7Ctx<'_>) -> bool {
+    if !r.methods.is_empty() && !r.methods.iter().any(|m| m == l7.method) {
+        return false;
+    }
+    if !r.path_prefix.is_empty() && !l7.path.starts_with(&r.path_prefix) {
+        return false;
+    }
+    let sni_holds = match &r.sni {
+        None => true,
+        Some(SniMatch::Exact(want)) => l7.sni == Some(want.as_str()),
+        // Label-boundary semantics: the suffix is stored with its leading
+        // dot, so `ends_with` cannot match a partial label.
+        Some(SniMatch::Suffix(suffix)) => {
+            l7.sni.is_some_and(|name| name.ends_with(suffix.as_str()))
+        }
+    };
+    if !sni_holds {
+        return false;
+    }
+    r.headers.iter().all(|p| header_holds(p, l7.headers))
+}
+
+/// First rule matching the full L4+L7 context, scanning in order.
+pub fn reference_l7_match(tp: &TenantPolicy, l4: &L4Ctx, l7: &L7Ctx<'_>) -> Option<usize> {
+    tp.rules
+        .iter()
+        .position(|r| l4_matches(r, l4) && l7_matches(r, l7))
+}
+
+/// Verdict under full context: first match wins, else the default.
+pub fn reference_l7_verdict(tp: &TenantPolicy, l4: &L4Ctx, l7: &L7Ctx<'_>) -> PolicyVerdict {
+    match reference_l7_match(tp, l4, l7) {
+        Some(i) => tp.rules[i].action,
+        None => tp.default_action,
+    }
+}
+
+/// What the node L4 path can conclude by scanning: the first rule whose
+/// L4 predicates admit the flow decides — or defers, if it also carries
+/// L7 predicates.
+pub fn reference_l4_verdict(tp: &TenantPolicy, ctx: &L4Ctx) -> L4Verdict {
+    for r in &tp.rules {
+        if !l4_matches(r, ctx) {
+            continue;
+        }
+        if r.has_l7_predicates() {
+            return L4Verdict::NeedsL7;
+        }
+        return match r.action {
+            PolicyVerdict::Allow => L4Verdict::Allow,
+            PolicyVerdict::Deny => L4Verdict::Deny,
+        };
+    }
+    match tp.default_action {
+        PolicyVerdict::Allow => L4Verdict::Allow,
+        PolicyVerdict::Deny => L4Verdict::Deny,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Cidr;
+    use canal_net::{TenantId, VpcId};
+
+    #[test]
+    fn reference_agrees_with_compiled_on_a_hand_case() {
+        let tp = TenantPolicy {
+            tenant: TenantId(1),
+            vpc: VpcId(1),
+            rules: vec![
+                PolicyRule::deny().with_source_cidr(Cidr::new(0x0A00_C800, 24)),
+                PolicyRule::deny().with_method("DELETE").with_path_prefix("/admin"),
+                PolicyRule::allow(),
+            ],
+            default_action: PolicyVerdict::Deny,
+        };
+        let compiled = crate::compile::CompiledTenant::compile(&tp).unwrap();
+        let ctxs = [
+            (0x0A00_C801u32, 80u16),
+            (0x0A00_0001, 80),
+            (0x0B00_0001, 443),
+        ];
+        let reqs = [("GET", "/api"), ("DELETE", "/admin/x"), ("DELETE", "/api")];
+        for &(ip, port) in &ctxs {
+            let l4 = L4Ctx { tenant: TenantId(1), vpc: VpcId(1), src_ip: ip, dst_port: port, identity: 0 };
+            assert_eq!(reference_l4_verdict(&tp, &l4), compiled.l4_verdict(&l4));
+            for &(m, p) in &reqs {
+                let l7 = L7Ctx::new(m, p);
+                assert_eq!(reference_l7_match(&tp, &l4, &l7), compiled.l7_match(&l4, &l7));
+                assert_eq!(reference_l7_verdict(&tp, &l4, &l7), compiled.l7_verdict(&l4, &l7));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The bounded policy-version archive.
+//!
+//! The rollout controller's rollback targets must be materializable: when
+//! a canary NACKs version *v*, the controller rolls the fleet back to the
+//! last *converged* version, and the gateway needs that spec's compiled
+//! form again. [`PolicyStore`] keeps the most recent
+//! [`POLICY_RETAIN_CAP`] specs keyed by version, evicting the oldest and
+//! counting evictions, so memory stays flat no matter how many pushes a
+//! region sees.
+
+use crate::spec::PolicySpec;
+use canal_sim::Digest;
+use std::collections::BTreeMap;
+
+/// How many policy versions the archive retains; older entries are
+/// evicted oldest-first.
+pub const POLICY_RETAIN_CAP: usize = 16;
+
+/// Bounded archive of pushed policy specs, keyed by version.
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    by_version: BTreeMap<u64, PolicySpec>,
+    evicted: u64,
+}
+
+impl PolicyStore {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a pushed spec under its version, evicting the oldest entry
+    /// once [`POLICY_RETAIN_CAP`] is exceeded.
+    pub fn record(&mut self, spec: PolicySpec) {
+        self.by_version.insert(spec.version, spec);
+        while self.by_version.len() > POLICY_RETAIN_CAP {
+            if self.by_version.pop_first().is_none() {
+                break;
+            }
+            self.evicted += 1;
+        }
+    }
+
+    /// The spec pushed under `version`, if still retained.
+    pub fn get(&self, version: u64) -> Option<&PolicySpec> {
+        self.by_version.get(&version)
+    }
+
+    /// The most recent retained spec.
+    pub fn latest(&self) -> Option<&PolicySpec> {
+        self.by_version.values().next_back()
+    }
+
+    /// Number of retained specs.
+    pub fn len(&self) -> usize {
+        self.by_version.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_version.is_empty()
+    }
+
+    /// How many specs have been evicted since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Fold the archive into a digest.
+    pub fn fold_digest(&self, d: &mut Digest) {
+        d.write_u64(self.by_version.len() as u64).write_u64(self.evicted);
+        for spec in self.by_version.values() {
+            spec.fold_digest(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(v: u64) -> PolicySpec {
+        PolicySpec { version: v, tenants: Vec::new() }
+    }
+
+    #[test]
+    fn retains_at_most_the_cap_and_counts_evictions() {
+        let mut store = PolicyStore::new();
+        for v in 1..=(POLICY_RETAIN_CAP as u64 + 4) {
+            store.record(spec(v));
+        }
+        assert_eq!(store.len(), POLICY_RETAIN_CAP);
+        assert_eq!(store.evicted(), 4);
+        assert!(store.get(1).is_none(), "oldest evicted");
+        assert!(store.get(POLICY_RETAIN_CAP as u64 + 4).is_some());
+        assert_eq!(store.latest().map(|s| s.version), Some(POLICY_RETAIN_CAP as u64 + 4));
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = PolicyStore::new();
+        a.record(spec(1));
+        let mut b = PolicyStore::new();
+        b.record(spec(1));
+        let mut da = Digest::new();
+        a.fold_digest(&mut da);
+        let mut db = Digest::new();
+        b.fold_digest(&mut db);
+        assert_eq!(da.value(), db.value());
+        b.record(spec(2));
+        let mut dc = Digest::new();
+        b.fold_digest(&mut dc);
+        assert_ne!(da.value(), dc.value());
+    }
+}

@@ -91,6 +91,12 @@ pub enum FaultTarget {
     /// `canal-control` (no config pushes, no ACK/NACK returns) while its
     /// *data path* keeps serving whatever config it last committed.
     ControlPartition(u32),
+    /// The network-policy *content* pipeline: while failed, every policy
+    /// spec the controller emits is semantically invalid (an inverted
+    /// port range, a non-canonical CIDR) — the policy-plane twin of
+    /// [`ConfigPoison`](FaultTarget::ConfigPoison). Data planes are
+    /// expected to NACK it instead of applying it.
+    PolicyPoison,
 }
 
 /// What happens to the target.
@@ -261,6 +267,7 @@ fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result
         }
         "config-push" => Ok(FaultTarget::ConfigPush),
         "config-poison" => Ok(FaultTarget::ConfigPoison),
+        "policy-poison" => Ok(FaultTarget::PolicyPoison),
         "key-server" => Ok(FaultTarget::KeyServer),
         "cert-expiry-skew" => Ok(FaultTarget::CertExpirySkew),
         "ca-compromise-revoke" => {
@@ -354,6 +361,7 @@ impl FaultPlan {
     /// at 20s degrade link 0-1 loss 5% extra 2ms
     /// at 50s degrade config-push extra 5s
     /// at 55s fail config-poison
+    /// at 57s fail policy-poison
     /// at 60s degrade key-server extra 15ms
     /// at 70s degrade cert-expiry-skew extra 90s
     /// at 80s fail ca-compromise-revoke 3
@@ -576,6 +584,9 @@ impl FaultPlan {
                 FaultTarget::ControlPartition(g) => {
                     d.write_u64(13).write_u64(g as u64);
                 }
+                FaultTarget::PolicyPoison => {
+                    d.write_u64(14);
+                }
             }
             match ev.kind {
                 FaultKind::Crash => {
@@ -623,6 +634,7 @@ pub struct FaultState {
     config_blocked: bool,
     config_extra: SimDuration,
     config_poisoned: bool,
+    policy_poisoned: bool,
     key_server_down: bool,
     key_server_extra: SimDuration,
     cert_skew_active: bool,
@@ -690,6 +702,10 @@ impl FaultState {
             (FaultTarget::ConfigPoison, FaultKind::Recover) => self.config_poisoned = false,
             // Poison is binary: a config is valid or it is not.
             (FaultTarget::ConfigPoison, FaultKind::Degrade { .. }) => {}
+            (FaultTarget::PolicyPoison, FaultKind::Crash) => self.policy_poisoned = true,
+            (FaultTarget::PolicyPoison, FaultKind::Recover) => self.policy_poisoned = false,
+            // Same binary semantics as config poison.
+            (FaultTarget::PolicyPoison, FaultKind::Degrade { .. }) => {}
             (FaultTarget::KeyServer, FaultKind::Crash) => self.key_server_down = true,
             (FaultTarget::KeyServer, FaultKind::Recover) => {
                 self.key_server_down = false;
@@ -883,6 +899,15 @@ impl FaultState {
         self.config_poisoned
     }
 
+    /// Whether the policy pipeline is currently emitting semantically
+    /// invalid specs — the policy-plane twin of [`config_poisoned`]
+    /// (`ActivePolicy` NACKs these at the canary).
+    ///
+    /// [`config_poisoned`]: FaultState::config_poisoned
+    pub fn policy_poisoned(&self) -> bool {
+        self.policy_poisoned
+    }
+
     /// Added config-push delay (zero when healthy).
     pub fn config_extra(&self) -> SimDuration {
         self.config_extra
@@ -920,7 +945,8 @@ impl FaultState {
     /// Fold the ground-truth fault picture into a digest: the `az_of` /
     /// `replicas` topology view, every down set (`down_replicas`,
     /// `down_backends`, `down_azs`), the config pipeline flags
-    /// (`config_blocked`, `config_extra`, `config_poisoned`), key-server
+    /// (`config_blocked`, `config_extra`, `config_poisoned`,
+    /// `policy_poisoned`), key-server
     /// state (`key_server_down`, `key_server_extra`), the cert-lifecycle
     /// picture (`cert_skew_active`, `cert_skew`, `compromised_tenants`,
     /// `mass_restart_azs`), per-link `links` degradation, directed
@@ -950,6 +976,7 @@ impl FaultState {
         d.write_u64(self.config_blocked as u64)
             .write_u64(self.config_extra.as_nanos())
             .write_u64(self.config_poisoned as u64)
+            .write_u64(self.policy_poisoned as u64)
             .write_u64(self.key_server_down as u64)
             .write_u64(self.key_server_extra.as_nanos())
             .write_u64(self.cert_skew_active as u64)
@@ -1007,6 +1034,7 @@ impl FaultState {
         self.any_crash_active()
             || self.config_blocked
             || self.config_poisoned
+            || self.policy_poisoned
             || self.config_extra > SimDuration::ZERO
             || self.key_server_down
             || self.key_server_extra > SimDuration::ZERO
@@ -1282,6 +1310,37 @@ mod tests {
         assert!(st.config_poisoned());
         st.apply(&plan.events()[1]);
         assert!(!st.config_poisoned());
+        assert!(!st.any_active());
+    }
+
+    #[test]
+    fn policy_poison_parses_and_tracks() {
+        let plan = FaultPlan::parse(
+            "at 15s fail policy-poison\n\
+             at 45s recover policy-poison\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].target, FaultTarget::PolicyPoison);
+
+        let mut st = FaultState::new(&topo());
+        assert!(!st.policy_poisoned());
+        st.apply(&plan.events()[0]);
+        assert!(st.policy_poisoned());
+        assert!(!st.config_poisoned(), "policy poison is independent of config poison");
+        assert!(st.any_active() && !st.any_crash_active());
+        // Degrade is a no-op: poison is binary.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::PolicyPoison,
+            kind: FaultKind::Degrade {
+                loss: 0.5,
+                extra: SimDuration::from_millis(1),
+            },
+        });
+        assert!(st.policy_poisoned());
+        st.apply(&plan.events()[1]);
+        assert!(!st.policy_poisoned());
         assert!(!st.any_active());
     }
 

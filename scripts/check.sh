@@ -26,9 +26,11 @@ cargo run -q --release -p canal-bench --bin chaos -- --fast >/dev/null
 
 # Surge smoke: a compressed single-tenant 20x overload run. The binary
 # exits nonzero unless well-behaved tenants hold their no-surge P99 within
-# a bounded factor while the surging tenant degrades gracefully.
+# a bounded factor while the surging tenant degrades gracefully. The dated
+# BENCH throughput point lands in target/ (CI archives it).
 echo "==> surge smoke (tenant-isolation invariant under overload)"
-cargo run -q --release -p canal-bench --bin surge -- --fast >/dev/null
+cargo run -q --release -p canal-bench --bin surge -- --fast \
+    --bench "target/BENCH_$(date +%F)_surge.json" >/dev/null
 
 # Trace smoke: a compressed run of the tracing pipeline over the fault
 # timeline. The binary exits nonzero unless tail sampling retains the
@@ -69,6 +71,19 @@ echo "==> drill smoke (gray-failure + partition + drain invariants)"
 cargo run -q --release -p canal-bench --bin drill -- --fast \
     --json target/drill.json \
     --bench "target/BENCH_$(date +%F).json" >/dev/null
+
+# Policy smoke: a compressed policy-plane blast-radius run. The binary
+# exits nonzero unless the poisoned policy cut is NACKed at the canary and
+# never committed anywhere (fail-static serving), the wrong-scope deny-all
+# change is contained to the canary and rolled back off the deny-spike
+# health gate, compiled tables agree with the naive reference
+# bit-for-bit, overlapping tenant address spaces never cross-match, and
+# double runs are bit-identical. The JSON report and the dated BENCH
+# throughput point both land in target/ (CI archives them as artifacts).
+echo "==> policy smoke (tenant-isolation + blast-radius invariants)"
+cargo run -q --release -p canal-bench --bin policy -- --fast \
+    --json target/policy.json \
+    --bench "target/BENCH_$(date +%F)_policy.json" >/dev/null
 
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
