@@ -1,0 +1,187 @@
+//! CLI driver for the controller-failover drill.
+//!
+//! ```text
+//! failover                              # full 30 s-per-arm timeline
+//! failover --fast                       # 2x compressed smoke run (scripts/check.sh)
+//! failover --seed 7                     # different seed
+//! failover --json target/failover.json  # also write a machine-readable report
+//! failover --bench target/BENCH_x.json  # also write a throughput trajectory point
+//! ```
+//!
+//! Exit code is non-zero unless the failover invariant holds: a crash
+//! mid-wave of a healthy rollout is resumed from the write-ahead journal
+//! with only the orphaned pushes re-sent (zero duplicate canary exposure)
+//! and the fleet converges on exactly one version; a crash mid-rollback of
+//! a poisoned rollout is completed by the next incarnation (zero gateways
+//! left on the bad version); and a zombie incarnation racing the recovered
+//! controller has every one of its stale-epoch pushes fenced by the data
+//! plane with zero divergence. Double runs must be bit-identical. At full
+//! scale every report check gates too.
+
+use std::time::Instant;
+
+use canal_bench::experiments::failover::{report_for, run_failover, FailoverParams};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = match args.remove(pos).parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed takes a u64");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    let mut json_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json takes a path");
+            std::process::exit(2);
+        }
+    }
+    let mut bench_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        args.remove(pos);
+        if pos < args.len() {
+            bench_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--bench takes a path");
+            std::process::exit(2);
+        }
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let params = if fast { FailoverParams::fast() } else { FailoverParams::full() };
+
+    let report = report_for(seed, &params);
+    println!("{}", report.render());
+
+    let started = Instant::now();
+    let outcome = run_failover(seed, &params);
+    let wall = started.elapsed().as_secs_f64();
+    let rerun = run_failover(seed, &params);
+    println!("digest: {:#018x}", outcome.digest());
+
+    if let Some(path) = json_path {
+        let json = render_json(seed, fast, &outcome, &report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+    if let Some(path) = bench_path {
+        let json = render_bench(seed, fast, wall, &outcome);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench point written to {path}");
+    }
+
+    if outcome.digest() != rerun.digest() {
+        eprintln!("FAIL: double run diverged (determinism broken)");
+        std::process::exit(1);
+    }
+    if !outcome.failover_ok() {
+        eprintln!("FAIL: failover invariant violated (resume / rollback / fencing)");
+        std::process::exit(1);
+    }
+    // In --fast smoke mode only the invariant gates; the tuned bands are
+    // asserted at full scale by the experiments driver.
+    if !fast && report.checks.iter().any(|c| !c.pass) {
+        let missed = report.checks.iter().filter(|c| !c.pass).count();
+        eprintln!("FAIL: {missed} failover checks missed");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): the CI-archived artifact.
+fn render_json(
+    seed: u64,
+    fast: bool,
+    outcome: &canal_bench::experiments::failover::FailoverOutcome,
+    report: &canal_bench::ExperimentReport,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"failover\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"digest\": \"{:#018x}\",\n", outcome.digest()));
+    s.push_str(&format!("  \"failover_ok\": {},\n", outcome.failover_ok()));
+    s.push_str("  \"arms\": {\n");
+    let arms = [&outcome.healthy, &outcome.rollback, &outcome.zombie];
+    for (i, a) in arms.iter().enumerate() {
+        let comma = if i + 1 == arms.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {{\n", a.name));
+        s.push_str(&format!("      \"pushes_delivered\": {},\n", a.pushes_delivered));
+        s.push_str(&format!("      \"commits\": {},\n", a.commits));
+        s.push_str(&format!("      \"nacks\": {},\n", a.nacks));
+        s.push_str(&format!("      \"duplicate_exposures\": {},\n", a.duplicate_exposures));
+        s.push_str(&format!("      \"dropped_in_flight\": {},\n", a.dropped_in_flight));
+        s.push_str(&format!("      \"recovery_pushes\": {},\n", a.recovery_pushes));
+        s.push_str(&format!("      \"rollback_repushes\": {},\n", a.rollback_repushes));
+        s.push_str(&format!("      \"zombie_pushes\": {},\n", a.zombie_pushes));
+        s.push_str(&format!("      \"zombie_fenced\": {},\n", a.zombie_fenced));
+        s.push_str(&format!("      \"epoch_before\": {},\n", a.epoch_before));
+        s.push_str(&format!("      \"epoch_after\": {},\n", a.epoch_after));
+        s.push_str(&format!("      \"resumed_in_flight\": {},\n", a.resumed_in_flight));
+        s.push_str(&format!("      \"rollbacks\": {},\n", a.rollbacks));
+        s.push_str(&format!("      \"converged_version\": {},\n", a.converged_version));
+        s.push_str(&format!("      \"divergent\": {},\n", a.divergent));
+        s.push_str(&format!("      \"on_bad_version\": {},\n", a.on_bad_version));
+        s.push_str(&format!("      \"journal_appended\": {},\n", a.journal_appended));
+        s.push_str(&format!("      \"journal_evicted\": {}\n", a.journal_evicted));
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"checks\": [\n");
+    for (i, check) in report.checks.iter().enumerate() {
+        let comma = if i + 1 == report.checks.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": {:?}, \"pass\": {}}}{comma}\n",
+            check.name, check.pass
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// One throughput-trajectory point: how fast this machine pushes the three
+/// failover arms, for the `BENCH_<date>.json` series CI archives.
+fn render_bench(
+    seed: u64,
+    fast: bool,
+    wall_seconds: f64,
+    outcome: &canal_bench::experiments::failover::FailoverOutcome,
+) -> String {
+    let wall = wall_seconds.max(1e-9);
+    let events: u64 = [&outcome.healthy, &outcome.rollback, &outcome.zombie]
+        .iter()
+        .map(|a| a.events)
+        .sum();
+    let pushes: u64 = [&outcome.healthy, &outcome.rollback, &outcome.zombie]
+        .iter()
+        .map(|a| a.pushes_delivered + a.zombie_pushes)
+        .sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"failover\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    s.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    s.push_str(&format!("  \"events\": {events},\n"));
+    s.push_str(&format!("  \"events_per_sec\": {:.1},\n", events as f64 / wall));
+    s.push_str(&format!("  \"pushes_per_sec\": {:.1}\n", pushes as f64 / wall));
+    s.push_str("}\n");
+    s
+}

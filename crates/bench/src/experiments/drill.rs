@@ -441,7 +441,7 @@ pub fn run_canal(seed: u64, params: &DrillParams) -> CanalDrillRun {
         }
         for g in healed {
             for action in ctl.set_reachable(g, true, now) {
-                if let RolloutAction::Push { version, targets } = action {
+                if let RolloutAction::Push { version, targets, .. } = action {
                     for t in targets {
                         pending_pushes.push((now + push_delay, version, t));
                     }
@@ -463,12 +463,12 @@ pub fn run_canal(seed: u64, params: &DrillParams) -> CanalDrillRun {
         actions.extend(ctl.tick(now, None));
         for action in actions {
             match action {
-                RolloutAction::Push { version, targets } => {
+                RolloutAction::Push { version, targets, .. } => {
                     for t in targets {
                         pending_pushes.push((now + push_delay, version, t));
                     }
                 }
-                RolloutAction::Rollback { to, targets } => {
+                RolloutAction::Rollback { to, targets, .. } => {
                     // Rollbacks are delivered like pushes; the drill gate
                     // asserts none ever fire.
                     for t in targets {

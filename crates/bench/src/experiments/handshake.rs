@@ -621,7 +621,7 @@ pub fn run_canal(
         let actions = ctl.tick(now, None, skew, &mut rng);
         for action in actions {
             match action {
-                RolloutAction::Push { version, targets } => {
+                RolloutAction::Push { version, targets, .. } => {
                     if skew_cutting && !poison_versions.contains(&version) {
                         poison_versions.push(version);
                     }
@@ -632,7 +632,7 @@ pub fn run_canal(
                         pending_pushes.push((now + push_delay, version, t));
                     }
                 }
-                RolloutAction::Rollback { to, targets } => {
+                RolloutAction::Rollback { to, targets, .. } => {
                     if to == 0 {
                         continue; // nothing converged yet: fail-static holds
                     }

@@ -7,6 +7,7 @@ pub mod cloud;
 pub mod control;
 pub mod costs;
 pub mod drill;
+pub mod failover;
 pub mod handshake;
 pub mod health;
 pub mod micro;

@@ -459,7 +459,8 @@ fn run_canal(seed: u64, params: &PolicyParams, plan: &FaultPlan, stream: &[Arriv
     let baseline = HealthSample { error_rate: 0.0, p99: STEADY_P99 };
     let baseline_set = CompiledPolicySet::compile(&spec_for(1, false, false)).ok();
 
-    let mut ctl = RolloutController::new(params.rollout_cfg(), SimDuration::ZERO);
+    let mut ctl = RolloutController::new(params.rollout_cfg(), SimDuration::ZERO)
+        .with_kind(canal_control::RolloutKind::Policy);
     for t in 0..params.fleet as u32 {
         ctl.add_target(t);
     }
@@ -585,7 +586,7 @@ fn run_canal(seed: u64, params: &PolicyParams, plan: &FaultPlan, stream: &[Arriv
         //    the node filter mirrors whatever the gateway committed.
         for action in actions {
             match action {
-                RolloutAction::Push { version, targets } => {
+                RolloutAction::Push { version, targets, .. } => {
                     let spec = spec_for(
                         version,
                         poisoned_versions.contains(&version),
@@ -610,7 +611,7 @@ fn run_canal(seed: u64, params: &PolicyParams, plan: &FaultPlan, stream: &[Arriv
                         }
                     }
                 }
-                RolloutAction::Rollback { to, targets } => {
+                RolloutAction::Rollback { to, targets, .. } => {
                     if to == 0 {
                         continue; // nothing ever committed; fail-static holds
                     }
@@ -648,7 +649,7 @@ fn run_canal(seed: u64, params: &PolicyParams, plan: &FaultPlan, stream: &[Arriv
 
     // Post-run bookkeeping from the controller's audit log.
     let outcomes = ctl.outcomes();
-    let healthy = outcomes.first();
+    let healthy = outcomes.front();
     let poison_outcome = outcomes.iter().find(|o| poisoned_versions.contains(&o.version));
     let committed_poison = committed
         .iter()

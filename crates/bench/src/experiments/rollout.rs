@@ -532,7 +532,7 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
         //    config and the controller's ack timeout cleans up.
         for action in actions {
             match action {
-                RolloutAction::Push { version, targets } => {
+                RolloutAction::Push { version, targets, .. } => {
                     if state.config_blocked() {
                         dropped_pushes += 1;
                         continue;
@@ -554,7 +554,7 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
                         }
                     }
                 }
-                RolloutAction::Rollback { to, targets } => {
+                RolloutAction::Rollback { to, targets, .. } => {
                     // A rollback may only restore a version the fleet
                     // actually converged on (or 0 = nothing ever
                     // committed), and never a poisoned one. Count
@@ -601,7 +601,7 @@ fn run_canal(seed: u64, params: &RolloutParams, plan: &FaultPlan, stream: &[Arri
 
     // Post-run bookkeeping from the controller's audit log.
     let outcomes = ctl.outcomes();
-    let healthy = outcomes.first();
+    let healthy = outcomes.front();
     let blocked_outcome = outcomes
         .iter()
         .find(|o| o.result == RolloutResult::RolledBack(RollbackReason::AckTimeout));

@@ -28,6 +28,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "handshake", // cert rotation waves, handshake storms, rollback-safe bundles
     "drill", // disaster drill: gray failure + asymmetric partition + graceful drain
     "policy", // tenant policy plane: bad-push blast radius + compiled match gates
+    "failover", // controller crash recovery: journaled rollouts, epoch fencing, zombie race
     "fig16", "fig17", "fig18", "fig19", "fig20", "tab4", // cloud infra
     "tab5", // deployment costs
     "tab6", "tab7", // health checks
@@ -61,6 +62,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentReport> {
         "handshake" => handshake::handshake(seed),
         "drill" => drill::drill(seed),
         "policy" => policy::policy(seed),
+        "failover" => failover::failover(seed),
         "fig16" => cloud::fig16(seed),
         "fig17" => cloud::fig17(seed),
         "fig18" => cloud::fig18(seed),

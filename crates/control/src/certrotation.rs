@@ -151,7 +151,8 @@ impl CertRotationController {
     pub fn new(cfg: RotationConfig, rollout_cfg: RolloutConfig, debounce: SimDuration) -> Self {
         CertRotationController {
             cfg,
-            rollout: RolloutController::new(rollout_cfg, debounce),
+            rollout: RolloutController::new(rollout_cfg, debounce)
+                .with_kind(crate::journal::RolloutKind::Cert),
             tenants: BTreeMap::new(),
             bundles: BTreeMap::new(),
             bundles_evicted: 0,
@@ -369,9 +370,13 @@ impl CertRotationController {
     }
 
     /// Map freshly-terminal rollout outcomes back into tenant state.
+    /// `observed_outcomes` counts lifetime outcomes, so the index into the
+    /// bounded ring is offset by what the ring has evicted.
     fn observe_outcomes(&mut self, _now: SimTime) {
-        while self.observed_outcomes < self.rollout.outcomes().len() {
-            let outcome = self.rollout.outcomes()[self.observed_outcomes];
+        let evicted = self.rollout.outcomes_evicted() as usize;
+        self.observed_outcomes = self.observed_outcomes.max(evicted);
+        while self.observed_outcomes < evicted + self.rollout.outcomes().len() {
+            let outcome = self.rollout.outcomes()[self.observed_outcomes - evicted];
             self.observed_outcomes += 1;
             let Some(fl) = self.in_flight.take() else {
                 // A FailedValidation begin never set in_flight; attribute
@@ -585,7 +590,7 @@ mod tests {
     /// Ack every push in `actions` at `now`.
     fn ack_pushes(c: &mut CertRotationController, actions: &[RolloutAction], now: SimTime) {
         for a in actions {
-            if let RolloutAction::Push { version, targets } = a {
+            if let RolloutAction::Push { version, targets, .. } = a {
                 assert!(c.bundle(*version).is_some(), "push resolves to a bundle");
                 for t in targets {
                     c.ack(*t, *version, now);
@@ -646,7 +651,7 @@ mod tests {
         let t1 = c.tenant_expiry(1).unwrap();
         let actions = c.tick(t1, None, None, &mut rng);
         let (version, canary) = match &actions[..] {
-            [RolloutAction::Push { version, targets }] => (*version, targets.clone()),
+            [RolloutAction::Push { version, targets, .. }] => (*version, targets.clone()),
             other => panic!("expected one push, got {other:?}"),
         };
         c.nack(canary[0], version);
@@ -719,7 +724,7 @@ mod tests {
             for step in 0..400u64 {
                 let actions = c.tick(now, None, None, &mut rng);
                 for a in actions {
-                    if let RolloutAction::Push { version, targets } = a {
+                    if let RolloutAction::Push { version, targets, .. } = a {
                         for t in targets {
                             if step % 17 == 3 {
                                 c.nack(t, version);

@@ -34,6 +34,11 @@
 //!   compromise-forced) bundle cutting, distributed through [`rollout`] so
 //!   a poisoned bundle NACKs at the canary and rolls the fleet back to the
 //!   last converged trust state while gateways serve fail-static.
+//! * [`journal`] — the write-ahead rollout journal (DESIGN.md §15):
+//!   every begin / wave-cut / ack / nack / rollback / converge intent is
+//!   journaled before the southbound push, so a crashed controller's
+//!   replacement can replay the journal, reconcile against the fleet, and
+//!   resume or abort the in-flight wave under a fresh fencing epoch.
 
 #![forbid(unsafe_code)]
 
@@ -42,6 +47,7 @@
 pub mod certrotation;
 pub mod configure;
 pub mod inphase;
+pub mod journal;
 pub mod monitor;
 pub mod proofing;
 pub mod rca;
@@ -55,6 +61,10 @@ pub use configure::{ConfigPlane, PushReport};
 pub use inphase::{InPhasePlanner, MigrationPlan};
 pub use monitor::{
     AlertKind, Classification, MonitorDecision, OverloadAssessment, WaterLevelMonitor,
+};
+pub use journal::{
+    Journal, JournalRecord, PendingRollback, ReplayRollout, ReplayState, RolloutKind,
+    JOURNAL_RETAIN_CAP,
 };
 pub use proofing::{FaultVerdict, FullMeshProber, ProbeProtocol};
 pub use rca::{candidate_causes, CandidateCause, RootCauseAnalyzer, RcaVerdict};

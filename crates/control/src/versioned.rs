@@ -70,6 +70,14 @@ impl VersionedConfigStore {
         self.targets.remove(&target).is_some()
     }
 
+    /// Fast-forward the version counter to at least `version` — crash
+    /// recovery seeding: a store rebuilt by `RolloutController::recover`
+    /// must accept acks for (and allocate versions after) everything the
+    /// journal or the fleet has already seen. Never moves backward.
+    pub fn restore_version(&mut self, version: u64) {
+        self.version = self.version.max(version);
+    }
+
     /// Record a configuration change at `now`. Returns the version the
     /// change landed in. Changes within the debounce window share a version
     /// (they will be pushed together).

@@ -96,6 +96,15 @@ pub enum BundleRejection {
     },
     /// Nothing is staged.
     NothingStaged,
+    /// The push carries a controller epoch below the highest this gateway
+    /// has observed: a zombie incarnation's push, fenced before any
+    /// version or content check.
+    StaleEpoch {
+        /// Epoch the push carried.
+        pushed: u64,
+        /// Highest controller epoch this gateway has observed.
+        floor: u64,
+    },
 }
 
 impl std::fmt::Display for BundleRejection {
@@ -112,6 +121,9 @@ impl std::fmt::Display for BundleRejection {
                 write!(f, "stale bundle version {staged} (running {running})")
             }
             BundleRejection::NothingStaged => write!(f, "nothing staged"),
+            BundleRejection::StaleEpoch { pushed, floor } => {
+                write!(f, "fenced bundle push from stale controller epoch {pushed} (floor {floor})")
+            }
         }
     }
 }
@@ -130,6 +142,11 @@ pub struct ActiveCertBundle {
     committed_at: Option<SimTime>,
     commits: u64,
     rejections: u64,
+    /// Highest controller epoch observed on any push or probe; lower
+    /// epochs are fenced ([`BundleRejection::StaleEpoch`]).
+    epoch_floor: u64,
+    /// Pushes fenced for carrying a stale epoch.
+    fenced_pushes: u64,
 }
 
 impl ActiveCertBundle {
@@ -143,6 +160,60 @@ impl ActiveCertBundle {
     /// the previous staged bundle (last push wins).
     pub fn stage(&mut self, spec: CertBundleSpec) {
         self.staged = Some(spec);
+    }
+
+    /// Observe a controller incarnation's epoch (probes and pushes). The
+    /// floor is monotone; returns true if it advanced.
+    pub fn observe_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.epoch_floor {
+            self.epoch_floor = epoch;
+            return true;
+        }
+        false
+    }
+
+    /// Epoch-fenced stage: refuse the push if its epoch is below the
+    /// observed floor, else raise the floor and stage.
+    pub fn stage_fenced(
+        &mut self,
+        spec: CertBundleSpec,
+        epoch: u64,
+    ) -> Result<(), BundleRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(BundleRejection::StaleEpoch { pushed: epoch, floor: self.epoch_floor });
+        }
+        self.observe_epoch(epoch);
+        self.stage(spec);
+        Ok(())
+    }
+
+    /// Epoch-fenced [`Self::roll_back_to`]: rollbacks bypass version
+    /// monotonicity *and* generation regression, so they are exactly the
+    /// push the fence must stop.
+    pub fn roll_back_to_fenced(
+        &mut self,
+        now: SimTime,
+        spec: CertBundleSpec,
+        serving_tenant: u64,
+        epoch: u64,
+    ) -> Result<u64, BundleRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(BundleRejection::StaleEpoch { pushed: epoch, floor: self.epoch_floor });
+        }
+        self.observe_epoch(epoch);
+        self.roll_back_to(now, spec, serving_tenant)
+    }
+
+    /// Highest controller epoch this gateway has observed.
+    pub fn epoch_floor(&self) -> u64 {
+        self.epoch_floor
+    }
+
+    /// Pushes fenced for carrying a stale controller epoch.
+    pub fn fenced_pushes(&self) -> u64 {
+        self.fenced_pushes
     }
 
     /// Content validation, independent of the running pair. Pure: used by
@@ -277,6 +348,8 @@ impl ActiveCertBundle {
             }
         }
         d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
+        d.write_u64(self.epoch_floor);
+        d.write_u64(self.fenced_pushes);
     }
 }
 
@@ -417,5 +490,22 @@ mod tests {
         };
         assert_eq!(build(), build());
         let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn stale_epoch_bundle_push_is_fenced() {
+        let mut ab = ActiveCertBundle::new();
+        assert!(ab.stage_fenced(bundle(1, 7, 1, 0, 100), 1).is_ok());
+        ab.commit_staged(SimTime::from_secs(1), 7).ok();
+        ab.observe_epoch(2);
+        let r = ab.stage_fenced(bundle(2, 7, 2, 1, 100), 1);
+        assert_eq!(r, Err(BundleRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ab.running_version(), Some(1), "fail-static under fencing");
+        assert!(ab.staged().is_none());
+        let rb = ab.roll_back_to_fenced(SimTime::from_secs(2), bundle(1, 7, 1, 0, 100), 7, 1);
+        assert_eq!(rb, Err(BundleRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ab.fenced_pushes(), 2);
+        assert!(ab.stage_fenced(bundle(2, 7, 2, 1, 100), 2).is_ok());
+        assert_eq!(ab.commit_staged(SimTime::from_secs(3), 7), Ok(2));
     }
 }

@@ -81,6 +81,16 @@ pub enum ConfigRejection {
     },
     /// Nothing is staged.
     NothingStaged,
+    /// The push carries a controller epoch below the highest this gateway
+    /// has observed: it came from a zombie incarnation that lost the
+    /// fleet. Fenced regardless of version — a zombie's rollback push
+    /// could otherwise legally regress the data plane.
+    StaleEpoch {
+        /// Epoch the push carried.
+        pushed: u64,
+        /// Highest controller epoch this gateway has observed.
+        floor: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigRejection {
@@ -93,6 +103,9 @@ impl std::fmt::Display for ConfigRejection {
                 write!(f, "stale version {staged} (running {running})")
             }
             ConfigRejection::NothingStaged => write!(f, "nothing staged"),
+            ConfigRejection::StaleEpoch { pushed, floor } => {
+                write!(f, "fenced push from stale controller epoch {pushed} (floor {floor})")
+            }
         }
     }
 }
@@ -110,6 +123,11 @@ pub struct ActiveConfig {
     committed_at: Option<SimTime>,
     commits: u64,
     rejections: u64,
+    /// Highest controller epoch observed on any push or probe. Pushes
+    /// carrying a lower epoch are fenced ([`ConfigRejection::StaleEpoch`]).
+    epoch_floor: u64,
+    /// Pushes fenced for carrying a stale epoch.
+    fenced_pushes: u64,
 }
 
 impl ActiveConfig {
@@ -123,6 +141,61 @@ impl ActiveConfig {
     /// twice replaces the previous staged config (last push wins).
     pub fn stage(&mut self, spec: ConfigSpec) {
         self.staged = Some(spec);
+    }
+
+    /// Observe a controller incarnation's epoch (carried on probes and
+    /// pushes). The floor is monotone; returns true if it advanced. A new
+    /// controller announces itself this way, fencing any zombie
+    /// predecessor's in-flight pushes.
+    pub fn observe_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.epoch_floor {
+            self.epoch_floor = epoch;
+            return true;
+        }
+        false
+    }
+
+    /// Epoch-fenced stage: refuse the push outright if it carries an
+    /// epoch below the observed floor, else raise the floor and stage.
+    /// The fence runs *before* any version or content check — a zombie's
+    /// rollback push is version-legal but must still die here.
+    pub fn stage_fenced(&mut self, spec: ConfigSpec, epoch: u64) -> Result<(), ConfigRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(ConfigRejection::StaleEpoch { pushed: epoch, floor: self.epoch_floor });
+        }
+        self.observe_epoch(epoch);
+        self.stage(spec);
+        Ok(())
+    }
+
+    /// Epoch-fenced [`Self::roll_back_to`]: a rollback deliberately
+    /// bypasses version monotonicity, which is exactly why it must not
+    /// bypass the epoch fence — this is the push a zombie would use to
+    /// roll the fleet backward.
+    pub fn roll_back_to_fenced(
+        &mut self,
+        now: SimTime,
+        spec: ConfigSpec,
+        known_services: &BTreeSet<GlobalServiceId>,
+        epoch: u64,
+    ) -> Result<u64, ConfigRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(ConfigRejection::StaleEpoch { pushed: epoch, floor: self.epoch_floor });
+        }
+        self.observe_epoch(epoch);
+        self.roll_back_to(now, spec, known_services)
+    }
+
+    /// Highest controller epoch this gateway has observed.
+    pub fn epoch_floor(&self) -> u64 {
+        self.epoch_floor
+    }
+
+    /// Pushes fenced for carrying a stale controller epoch.
+    pub fn fenced_pushes(&self) -> u64 {
+        self.fenced_pushes
     }
 
     /// Validate a spec against the set of services this gateway knows.
@@ -254,6 +327,8 @@ impl ActiveConfig {
             }
         }
         d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
+        d.write_u64(self.epoch_floor);
+        d.write_u64(self.fenced_pushes);
     }
 }
 
@@ -343,6 +418,39 @@ mod tests {
         let bad = ac.roll_back_to(SimTime::from_secs(3), spec(0, &[(9, &[0])]), &known(&[7]));
         assert!(bad.is_err());
         assert_eq!(ac.running_version(), Some(1));
+    }
+
+    #[test]
+    fn stale_epoch_push_is_fenced() {
+        let mut ac = ActiveConfig::new();
+        assert!(ac.stage_fenced(spec(1, &[(7, &[0])]), 1).is_ok());
+        ac.commit_staged(SimTime::ZERO, &known(&[7])).ok();
+        // The new controller (epoch 2) announces itself via a probe.
+        assert!(ac.observe_epoch(2));
+        assert!(!ac.observe_epoch(2), "floor is monotone");
+        // The zombie at epoch 1 pushes v2: fenced before any other check.
+        let r = ac.stage_fenced(spec(2, &[(7, &[0, 1])]), 1);
+        assert_eq!(r, Err(ConfigRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ac.running_version(), Some(1), "fail-static under fencing");
+        assert!(ac.staged().is_none(), "fenced push never staged");
+        // The zombie's version-legal rollback is fenced too.
+        let rb = ac.roll_back_to_fenced(SimTime::from_secs(1), spec(1, &[(7, &[0])]), &known(&[7]), 1);
+        assert_eq!(rb, Err(ConfigRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ac.fenced_pushes(), 2);
+        // The live controller at the floor epoch still works.
+        assert!(ac.stage_fenced(spec(2, &[(7, &[0, 1])]), 2).is_ok());
+        assert_eq!(ac.commit_staged(SimTime::from_secs(2), &known(&[7])), Ok(2));
+    }
+
+    #[test]
+    fn fencing_state_is_digested() {
+        let a = ActiveConfig::new();
+        let mut b = ActiveConfig::new();
+        b.observe_epoch(3);
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        a.fold_digest(&mut da);
+        b.fold_digest(&mut db);
+        assert_ne!(da.value(), db.value(), "epoch floor is digested");
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum PolicyPushRejection {
     },
     /// Nothing is staged.
     NothingStaged,
+    /// The push carries a controller epoch below the highest this gateway
+    /// has observed: a zombie incarnation's push, fenced before any
+    /// version or content check.
+    StaleEpoch {
+        /// Epoch the push carried.
+        pushed: u64,
+        /// Highest controller epoch this gateway has observed.
+        floor: u64,
+    },
 }
 
 impl std::fmt::Display for PolicyPushRejection {
@@ -38,6 +47,9 @@ impl std::fmt::Display for PolicyPushRejection {
                 write!(f, "stale policy version {staged} (running {running})")
             }
             PolicyPushRejection::NothingStaged => write!(f, "nothing staged"),
+            PolicyPushRejection::StaleEpoch { pushed, floor } => {
+                write!(f, "fenced policy push from stale controller epoch {pushed} (floor {floor})")
+            }
         }
     }
 }
@@ -56,6 +68,11 @@ pub struct ActivePolicy {
     committed_at: Option<SimTime>,
     commits: u64,
     rejections: u64,
+    /// Highest controller epoch observed on any push or probe; lower
+    /// epochs are fenced ([`PolicyPushRejection::StaleEpoch`]).
+    epoch_floor: u64,
+    /// Pushes fenced for carrying a stale epoch.
+    fenced_pushes: u64,
 }
 
 impl ActivePolicy {
@@ -72,6 +89,64 @@ impl ActivePolicy {
     /// Staging twice replaces the previous staged spec (last push wins).
     pub fn stage(&mut self, spec: PolicySpec) {
         self.staged = Some(spec);
+    }
+
+    /// Observe a controller incarnation's epoch (probes and pushes). The
+    /// floor is monotone; returns true if it advanced.
+    pub fn observe_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.epoch_floor {
+            self.epoch_floor = epoch;
+            return true;
+        }
+        false
+    }
+
+    /// Epoch-fenced stage: refuse the push if its epoch is below the
+    /// observed floor, else raise the floor and stage.
+    pub fn stage_fenced(
+        &mut self,
+        spec: PolicySpec,
+        epoch: u64,
+    ) -> Result<(), PolicyPushRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(PolicyPushRejection::StaleEpoch {
+                pushed: epoch,
+                floor: self.epoch_floor,
+            });
+        }
+        self.observe_epoch(epoch);
+        self.stage(spec);
+        Ok(())
+    }
+
+    /// Epoch-fenced [`Self::roll_back_to`]: rollbacks bypass version
+    /// monotonicity, so they are exactly the push the fence must stop.
+    pub fn roll_back_to_fenced(
+        &mut self,
+        now: SimTime,
+        spec: PolicySpec,
+        epoch: u64,
+    ) -> Result<u64, PolicyPushRejection> {
+        if epoch < self.epoch_floor {
+            self.fenced_pushes += 1;
+            return Err(PolicyPushRejection::StaleEpoch {
+                pushed: epoch,
+                floor: self.epoch_floor,
+            });
+        }
+        self.observe_epoch(epoch);
+        self.roll_back_to(now, spec)
+    }
+
+    /// Highest controller epoch this gateway has observed.
+    pub fn epoch_floor(&self) -> u64 {
+        self.epoch_floor
+    }
+
+    /// Pushes fenced for carrying a stale controller epoch.
+    pub fn fenced_pushes(&self) -> u64 {
+        self.fenced_pushes
     }
 
     /// Atomically commit the staged spec if it validates and compiles,
@@ -181,6 +256,8 @@ impl ActivePolicy {
             }
         }
         d.write_u64(self.committed_at.map_or(u64::MAX, |t| t.as_nanos()));
+        d.write_u64(self.epoch_floor);
+        d.write_u64(self.fenced_pushes);
     }
 }
 
@@ -266,6 +343,23 @@ mod tests {
         );
         assert!(bad.is_err());
         assert_eq!(ap.running_version(), Some(1), "bad rollback target refused");
+    }
+
+    #[test]
+    fn stale_epoch_policy_push_is_fenced() {
+        let mut ap = ActivePolicy::new();
+        assert!(ap.stage_fenced(spec(1, vec![PolicyRule::allow()]), 1).is_ok());
+        ap.commit_staged(SimTime::ZERO).ok();
+        ap.observe_epoch(2);
+        let r = ap.stage_fenced(spec(2, vec![PolicyRule::deny()]), 1);
+        assert_eq!(r, Err(PolicyPushRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ap.running_version(), Some(1), "fail-static under fencing");
+        assert!(ap.staged().is_none());
+        let rb = ap.roll_back_to_fenced(SimTime::from_secs(1), spec(1, vec![PolicyRule::allow()]), 1);
+        assert_eq!(rb, Err(PolicyPushRejection::StaleEpoch { pushed: 1, floor: 2 }));
+        assert_eq!(ap.fenced_pushes(), 2);
+        assert!(ap.stage_fenced(spec(2, vec![PolicyRule::deny()]), 2).is_ok());
+        assert_eq!(ap.commit_staged(SimTime::from_secs(2)), Ok(2));
     }
 
     #[test]

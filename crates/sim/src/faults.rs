@@ -97,6 +97,18 @@ pub enum FaultTarget {
     /// [`ConfigPoison`](FaultTarget::ConfigPoison). Data planes are
     /// expected to NACK it instead of applying it.
     PolicyPoison,
+    /// The rollout controller process itself dies mid-wave and restarts
+    /// later from its journal. In the DSL, `fail control-crash <dur>`
+    /// expands into a `Crash` at `t` plus an auto-generated `Recover` at
+    /// `t + dur` — the restart — so a script line models the full
+    /// crash/recover cycle the failover drill measures.
+    ControlCrash,
+    /// A **zombie** controller incarnation: the pre-crash process was
+    /// paused (GC, VM migration, partitioned), not dead, and resumes
+    /// pushing with its stale epoch concurrently with the restarted
+    /// controller. Data planes are expected to fence every stale-epoch
+    /// push (`StaleEpoch` NACK), never apply it.
+    ControlZombie,
 }
 
 /// What happens to the target.
@@ -332,6 +344,8 @@ fn parse_target(words: &mut std::slice::Iter<'_, &str>, lineno: usize) -> Result
                 err(lineno, format!("bad gateway id `{id}`"))
             })?))
         }
+        "control-crash" => Ok(FaultTarget::ControlCrash),
+        "control-zombie" => Ok(FaultTarget::ControlZombie),
         other => Err(err(lineno, format!("unknown target `{other}`"))),
     }
 }
@@ -369,6 +383,8 @@ impl FaultPlan {
     /// at 86s degrade link-directed 1>0 loss 80%   # A→B only; B→A clean
     /// at 87s degrade gray 2 loss 60% extra 10ms   # probes stay green
     /// at 88s fail control-partition 2             # unreachable from control
+    /// at 89s fail control-crash 20s               # dies now, restarts at 109s
+    /// at 90s fail control-zombie                  # stale incarnation pushes
     /// ```
     ///
     /// Durations take `ns`/`us`/`ms`/`s` suffixes; loss takes a fraction or
@@ -429,6 +445,26 @@ impl FaultPlan {
                 }
                 other => return Err(err(lineno, format!("unknown action `{other}`"))),
             };
+            // `fail control-crash <dur>` is sugar for the full cycle: the
+            // controller dies now and its restart is the auto-generated
+            // recover at `t + dur` — one script line, two events.
+            if target == FaultTarget::ControlCrash && kind == FaultKind::Crash {
+                let dur_str = it.next().ok_or_else(|| {
+                    err(lineno, "control-crash needs a restart duration")
+                })?;
+                let dur = parse_duration(dur_str)
+                    .ok_or_else(|| err(lineno, format!("bad duration `{dur_str}`")))?;
+                if it.next().is_some() {
+                    return Err(err(lineno, "trailing tokens"));
+                }
+                plan.events.push(FaultEvent { at, target, kind });
+                plan.events.push(FaultEvent {
+                    at: at + dur,
+                    target,
+                    kind: FaultKind::Recover,
+                });
+                continue;
+            }
             if it.next().is_some() {
                 return Err(err(lineno, "trailing tokens"));
             }
@@ -587,6 +623,12 @@ impl FaultPlan {
                 FaultTarget::PolicyPoison => {
                     d.write_u64(14);
                 }
+                FaultTarget::ControlCrash => {
+                    d.write_u64(15);
+                }
+                FaultTarget::ControlZombie => {
+                    d.write_u64(16);
+                }
             }
             match ev.kind {
                 FaultKind::Crash => {
@@ -602,6 +644,31 @@ impl FaultPlan {
         }
     }
 }
+
+/// Every target token the scenario DSL accepts: `(token, operand, meaning)`.
+///
+/// This is the canonical catalogue — `parse` accepts exactly these tokens,
+/// and the README's fault-target table is checked against it by test, so
+/// adding a target here (or in [`parse_target`]) without documenting it
+/// fails the suite.
+pub const DSL_TARGETS: &[(&str, &str, &str)] = &[
+    ("replica", "<backend>/<index>", "one replica VM of a backend"),
+    ("backend", "<id>", "a whole backend (all replicas)"),
+    ("az", "<id>", "a whole availability zone (power loss)"),
+    ("config-push", "—", "the control plane's config-push path"),
+    ("config-poison", "—", "config pipeline emits semantically invalid configs"),
+    ("policy-poison", "—", "policy pipeline emits semantically invalid specs"),
+    ("key-server", "—", "the multi-tenant key server"),
+    ("cert-expiry-skew", "—", "cert-issuance clock skew (bundles NACKed downstream)"),
+    ("ca-compromise-revoke", "<tenant>", "tenant CA key compromise: mass revocation + re-issuance"),
+    ("az-mass-restart", "<az>", "synchronized pod restart of a zone (resumption state lost)"),
+    ("link", "<azA>-<azB>", "the undirected inter-AZ link"),
+    ("link-directed", "<from>><to>", "one direction of an inter-AZ link (asymmetric partition)"),
+    ("gray", "<gateway>", "gray failure: real requests degrade, probes stay green"),
+    ("control-partition", "<gateway>", "gateway unreachable from the control plane"),
+    ("control-crash", "<dur> (on fail)", "rollout controller dies, restarts from journal after dur"),
+    ("control-zombie", "—", "stale controller incarnation resumes pushing concurrently"),
+];
 
 /// Per-link degradation state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -652,6 +719,10 @@ pub struct FaultState {
     gray: BTreeMap<u32, GrayState>,
     /// Gateways unreachable from the control plane.
     partitioned: BTreeSet<u32>,
+    /// The rollout controller process is down (crashed, pre-restart).
+    controller_down: bool,
+    /// A stale controller incarnation is concurrently pushing (zombie).
+    zombie_active: bool,
 }
 
 fn link_key(a: u32, b: u32) -> (u32, u32) {
@@ -783,6 +854,14 @@ impl FaultState {
             }
             // A partition is binary: reachable or not.
             (FaultTarget::ControlPartition(_), FaultKind::Degrade { .. }) => {}
+            (FaultTarget::ControlCrash, FaultKind::Crash) => self.controller_down = true,
+            (FaultTarget::ControlCrash, FaultKind::Recover) => self.controller_down = false,
+            // A process is running or it is not.
+            (FaultTarget::ControlCrash, FaultKind::Degrade { .. }) => {}
+            (FaultTarget::ControlZombie, FaultKind::Crash) => self.zombie_active = true,
+            (FaultTarget::ControlZombie, FaultKind::Recover) => self.zombie_active = false,
+            // A zombie either exists or it does not.
+            (FaultTarget::ControlZombie, FaultKind::Degrade { .. }) => {}
             // Degrading a compute domain has no defined magnitude semantics;
             // treat it as a no-op rather than guessing.
             (
@@ -880,6 +959,22 @@ impl FaultState {
         self.partitioned.contains(&gateway)
     }
 
+    /// Whether the rollout controller process is currently down (crashed,
+    /// waiting on the `control-crash` auto-restart). While down it emits
+    /// no pushes and hears no ACKs; on recovery it must rebuild state from
+    /// its journal (`RolloutController::recover`).
+    pub fn controller_down(&self) -> bool {
+        self.controller_down
+    }
+
+    /// Whether a stale controller incarnation is concurrently pushing with
+    /// its pre-crash epoch. Every such push must be fenced (`StaleEpoch`
+    /// NACK) by the data planes — zero applications is the invariant the
+    /// failover drill gates on.
+    pub fn zombie_active(&self) -> bool {
+        self.zombie_active
+    }
+
     /// The gateways currently partitioned from the control plane,
     /// ascending.
     pub fn partitioned_targets(&self) -> impl Iterator<Item = u32> + '_ {
@@ -950,8 +1045,9 @@ impl FaultState {
     /// state (`key_server_down`, `key_server_extra`), the cert-lifecycle
     /// picture (`cert_skew_active`, `cert_skew`, `compromised_tenants`,
     /// `mass_restart_azs`), per-link `links` degradation, directed
-    /// `directed_links`, `gray` gateway degradation and the `partitioned`
-    /// control-plane reachability set.
+    /// `directed_links`, `gray` gateway degradation, the `partitioned`
+    /// control-plane reachability set, and the controller-lifecycle flags
+    /// (`controller_down`, `zombie_active`).
     pub fn fold_digest(&self, d: &mut Digest) {
         d.write_u64(self.az_of.len() as u64);
         for (&b, &az) in &self.az_of {
@@ -1015,6 +1111,8 @@ impl FaultState {
         for &g in &self.partitioned {
             d.write_u64(g as u64);
         }
+        d.write_u64(self.controller_down as u64)
+            .write_u64(self.zombie_active as u64);
     }
 
     /// Added key-server timeout per handshake (zero when healthy).
@@ -1045,6 +1143,8 @@ impl FaultState {
             || !self.directed_links.is_empty()
             || !self.gray.is_empty()
             || !self.partitioned.is_empty()
+            || self.controller_down
+            || self.zombie_active
     }
 }
 
@@ -1442,6 +1542,118 @@ mod tests {
         // Missing ids are parse errors.
         assert!(FaultPlan::parse("at 1s fail gray").is_err());
         assert!(FaultPlan::parse("at 1s fail control-partition").is_err());
+    }
+
+    #[test]
+    fn control_crash_expands_into_crash_plus_restart() {
+        // One script line yields the whole cycle: crash now, recover later.
+        let plan = FaultPlan::parse("at 30s fail control-crash 20s").unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events()[0],
+            FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(30),
+                target: FaultTarget::ControlCrash,
+                kind: FaultKind::Crash,
+            }
+        );
+        assert_eq!(
+            plan.events()[1],
+            FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(50),
+                target: FaultTarget::ControlCrash,
+                kind: FaultKind::Recover,
+            }
+        );
+        let mut st = FaultState::new(&topo());
+        assert!(!st.controller_down());
+        st.apply(&plan.events()[0]);
+        assert!(st.controller_down());
+        assert!(st.any_active() && !st.any_crash_active());
+        // Degrade is a no-op: a process is running or it is not.
+        st.apply(&FaultEvent {
+            at: SimTime::ZERO,
+            target: FaultTarget::ControlCrash,
+            kind: FaultKind::Degrade { loss: 0.5, extra: SimDuration::from_millis(1) },
+        });
+        assert!(st.controller_down());
+        st.apply(&plan.events()[1]);
+        assert!(!st.controller_down());
+        assert!(!st.any_active());
+        // The restart duration is mandatory on `fail`; manual `recover`
+        // takes none.
+        assert!(FaultPlan::parse("at 30s fail control-crash").is_err());
+        assert!(FaultPlan::parse("at 30s fail control-crash nope").is_err());
+        assert!(FaultPlan::parse("at 30s fail control-crash 20s junk").is_err());
+        assert!(FaultPlan::parse("at 50s recover control-crash").is_ok());
+    }
+
+    #[test]
+    fn control_zombie_parses_and_tracks() {
+        let plan = FaultPlan::parse(
+            "at 10s fail control-zombie\n\
+             at 40s recover control-zombie\n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].target, FaultTarget::ControlZombie);
+        let mut st = FaultState::new(&topo());
+        assert!(!st.zombie_active());
+        st.apply(&plan.events()[0]);
+        assert!(st.zombie_active());
+        assert!(!st.controller_down(), "zombie is independent of crash state");
+        assert!(st.any_active() && !st.any_crash_active());
+        st.apply(&plan.events()[1]);
+        assert!(!st.zombie_active());
+        assert!(!st.any_active());
+        // Crash and zombie digest differently, in plans and in state.
+        let one = FaultPlan::parse("at 1s fail control-crash 1s").unwrap();
+        let two = FaultPlan::parse("at 1s fail control-zombie").unwrap();
+        let (mut da, mut db) = (Digest::new(), Digest::new());
+        one.fold_digest(&mut da);
+        two.fold_digest(&mut db);
+        assert_ne!(da.value(), db.value());
+        let mut crashed = FaultState::new(&topo());
+        crashed.apply(&one.events()[0]);
+        let mut zombied = FaultState::new(&topo());
+        zombied.apply(&two.events()[0]);
+        let (mut dc, mut dz) = (Digest::new(), Digest::new());
+        crashed.fold_digest(&mut dc);
+        zombied.fold_digest(&mut dz);
+        assert_ne!(dc.value(), dz.value());
+    }
+
+    #[test]
+    fn dsl_target_catalogue_is_complete_and_parses() {
+        // Every catalogued token parses (with a representative operand)...
+        for &(token, _, _) in DSL_TARGETS {
+            let line = match token {
+                "replica" => "at 1s fail replica 0/0".to_string(),
+                "link" => "at 1s fail link 0-1".to_string(),
+                "link-directed" => "at 1s fail link-directed 0>1".to_string(),
+                "control-crash" => "at 1s fail control-crash 5s".to_string(),
+                "backend" | "az" | "ca-compromise-revoke" | "az-mass-restart" | "gray"
+                | "control-partition" => format!("at 1s fail {token} 0"),
+                _ => format!("at 1s fail {token}"),
+            };
+            assert!(
+                FaultPlan::parse(&line).is_ok(),
+                "catalogued target `{token}` failed to parse: `{line}`"
+            );
+        }
+        // ...and the README's fault-target table documents every token, so
+        // the catalogue, the parser and the docs cannot drift apart.
+        let readme = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../README.md"
+        ))
+        .unwrap();
+        for &(token, _, _) in DSL_TARGETS {
+            assert!(
+                readme.contains(&format!("| `{token}` |")),
+                "README fault-target table is missing a row for `{token}`"
+            );
+        }
     }
 
     #[test]

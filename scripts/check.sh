@@ -20,9 +20,11 @@ cargo test --workspace -q
 
 # Chaos smoke: a compressed fault-injection run. The binary exits nonzero
 # if the availability invariant breaks (a service with >=1 live replica in
-# a live AZ must serve 100% on the resilient datapath).
+# a live AZ must serve 100% on the resilient datapath). The dated BENCH
+# throughput point lands in target/ (CI archives it).
 echo "==> chaos smoke (availability invariant under fault injection)"
-cargo run -q --release -p canal-bench --bin chaos -- --fast >/dev/null
+cargo run -q --release -p canal-bench --bin chaos -- --fast \
+    --bench "target/BENCH_$(date +%F)_fig8.json" >/dev/null
 
 # Surge smoke: a compressed single-tenant 20x overload run. The binary
 # exits nonzero unless well-behaved tenants hold their no-surge P99 within
@@ -84,6 +86,19 @@ echo "==> policy smoke (tenant-isolation + blast-radius invariants)"
 cargo run -q --release -p canal-bench --bin policy -- --fast \
     --json target/policy.json \
     --bench "target/BENCH_$(date +%F)_policy.json" >/dev/null
+
+# Failover smoke: a compressed controller-failover drill. The binary exits
+# nonzero unless a crash mid-wave is resumed from the write-ahead journal
+# with only the orphaned pushes re-sent (zero duplicate canary exposure)
+# and exactly one converged version, a crash mid-rollback of a poisoned
+# rollout is completed by the next incarnation, every zombie-incarnation
+# push is epoch-fenced by the data plane with zero divergence, and double
+# runs are bit-identical. The JSON report and the dated BENCH throughput
+# point both land in target/ (CI archives them as artifacts).
+echo "==> failover smoke (journal-recovery + epoch-fencing invariants)"
+cargo run -q --release -p canal-bench --bin failover -- --fast \
+    --json target/failover.json \
+    --bench "target/BENCH_$(date +%F)_failover.json" >/dev/null
 
 # Clippy enforces the [workspace.lints] table where available; the lint
 # binary above already covers the determinism rules, so a missing clippy
